@@ -1,0 +1,149 @@
+// Command allscale-bench regenerates the tables and figures of the
+// paper's evaluation (Section 4) plus the ablation experiments of
+// DESIGN.md, printing each as a text table.
+//
+// Usage:
+//
+//	allscale-bench                      # run everything
+//	allscale-bench -exp fig7-tpc        # one experiment
+//	allscale-bench -exp table1,fig7-stencil
+//
+// Experiments: table1, fig7-stencil, fig7-ipic3d, fig7-tpc,
+// tree-regions (E5), tpc-dist (E5b), index (E6), sched (E7), validate
+// (real-mode correctness check of all three applications).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"allscale/internal/apps/ipic3d"
+	"allscale/internal/apps/stencil"
+	"allscale/internal/apps/tpc"
+	"allscale/internal/bench"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiment list (see doc)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string) bool { return all || want[name] }
+	failed := false
+
+	if run("table1") {
+		fmt.Println(bench.Table1())
+	}
+	if run("fig7-stencil") {
+		fmt.Println(bench.Fig7Stencil().Render())
+	}
+	if run("fig7-ipic3d") {
+		fmt.Println(bench.Fig7IPiC3D().Render())
+	}
+	if run("fig7-tpc") {
+		fmt.Println(bench.Fig7TPC().Render())
+	}
+	if run("tree-regions") {
+		fmt.Println(bench.RenderTreeRegionRows(bench.TreeRegionAblation(nil, 50*time.Millisecond)))
+	}
+	if run("index") {
+		rows, err := bench.IndexAblation(nil, 50)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "index ablation:", err)
+			failed = true
+		} else {
+			fmt.Println(bench.RenderIndexRows(rows))
+		}
+	}
+	if run("tpc-dist") {
+		rows, err := bench.TPCDistributionAblation(4, tpc.Params{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tpc distribution ablation:", err)
+			failed = true
+		} else {
+			fmt.Println(bench.RenderTPCDistRows(rows))
+		}
+	}
+	if run("sched") {
+		rows, err := bench.SchedulerAblation(4, stencil.Params{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scheduler ablation:", err)
+			failed = true
+		} else {
+			fmt.Println(bench.RenderSchedulerRows(rows))
+		}
+	}
+	if run("validate") {
+		if err := validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "validation:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// validate runs all three applications in real (non-simulated) mode
+// on 4 localities and checks them against their sequential
+// references.
+func validate() error {
+	fmt.Println("Real-mode validation (4 localities, in-process cluster)")
+
+	// stencil
+	sp := stencil.Params{N: 48, Steps: 4, C: 0.1, MinGrain: 128}
+	seq := stencil.RunSequential(sp)
+	start := time.Now()
+	got, err := stencil.RunAllScale(4, sp)
+	if err != nil {
+		return fmt.Errorf("stencil: %w", err)
+	}
+	for i := range seq {
+		if got[i] != seq[i] {
+			return fmt.Errorf("stencil: mismatch at %d", i)
+		}
+	}
+	fmt.Printf("  stencil  %4d^2 x %d steps   ok (%.0f ms)\n", sp.N, sp.Steps, float64(time.Since(start).Microseconds())/1000)
+
+	// iPiC3D
+	ip := ipic3d.Params{N: 6, Steps: 2, PartsPerCell: 2, Dt: 0.5, Seed: 1, MinGrain: 27}
+	ipSeq := ipic3d.RunSequential(ip).Canonical()
+	start = time.Now()
+	ipGot, err := ipic3d.RunAllScale(4, ip)
+	if err != nil {
+		return fmt.Errorf("ipic3d: %w", err)
+	}
+	ipGot.Canonical()
+	if ipGot.TotalParticles() != ipSeq.TotalParticles() {
+		return fmt.Errorf("ipic3d: particle count mismatch")
+	}
+	for i := range ipSeq.Cells {
+		if len(ipGot.Cells[i].Parts) != len(ipSeq.Cells[i].Parts) {
+			return fmt.Errorf("ipic3d: cell %d mismatch", i)
+		}
+	}
+	fmt.Printf("  iPiC3D   %d^3 x %d steps     ok (%.0f ms)\n", ip.N, ip.Steps, float64(time.Since(start).Microseconds())/1000)
+
+	// TPC
+	tp := tpc.Params{NumPoints: 512, Height: 6, BlockHeight: 2, Radius: 60, NumQueries: 16, Seed: 3}
+	tpSeq := tpc.RunSequential(tp)
+	start = time.Now()
+	tpGot, err := tpc.RunAllScale(4, tp)
+	if err != nil {
+		return fmt.Errorf("tpc: %w", err)
+	}
+	for i := range tpSeq {
+		if tpGot[i] != tpSeq[i] {
+			return fmt.Errorf("tpc: query %d mismatch", i)
+		}
+	}
+	fmt.Printf("  TPC      %d pts, %d queries  ok (%.0f ms)\n", tp.NumPoints, tp.NumQueries, float64(time.Since(start).Microseconds())/1000)
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package allscale is a Go reproduction of "The AllScale Runtime
+// Application Model" (Jordan et al., CLUSTER 2018): a parallel
+// runtime system with system-wide control over the distribution of
+// user-defined data structures.
+//
+// See README.md for an overview, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for the paper-vs-
+// measured record of every table and figure. The top-level
+// bench_test.go regenerates each evaluation artifact as a Go
+// benchmark; `go run ./cmd/allscale-bench` prints them all.
+package allscale

@@ -1,0 +1,147 @@
+// Services example: the system-level features the paper's
+// introduction motivates — features that "all depend on the
+// manipulation of the distribution of the underlying data structure"
+// and that the AllScale model therefore enables generically:
+//
+//   - monitoring of the data distribution and workload,
+//   - inter-node load balancing by data migration (the scheduler then
+//     redirects future tasks automatically, Section 3.2),
+//   - checkpointing and restarting of the computation (Section 6).
+//
+// Run with:
+//
+//	go run ./examples/services
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"allscale/internal/balance"
+	"allscale/internal/core"
+	"allscale/internal/dataitem"
+	"allscale/internal/dim"
+	"allscale/internal/monitor"
+	"allscale/internal/region"
+	"allscale/internal/resilience"
+	"allscale/internal/sched"
+)
+
+const (
+	nx, ny     = 96, 32
+	localities = 4
+)
+
+func buildSystem() (*core.System, *core.Grid[float64]) {
+	sys := core.NewSystem(core.Config{Localities: localities})
+	grid := core.DefineGrid[float64](sys, "svc.field", region.Point{nx, ny})
+	core.RegisterPFor(sys, core.PForSpec{
+		Name:     "svc.relax",
+		MinGrain: 256,
+		Body: func(ctx *sched.Ctx, p region.Point, _ []byte) {
+			g := grid.Local(ctx)
+			g.Set(p, g.At(p)*0.5+float64(p[0]+p[1])*0.5)
+		},
+		Reqs: func(r core.Range, _ []byte) []dim.Requirement {
+			return []dim.Requirement{{Item: grid.Item(), Region: grid.Region(r.Lo, r.Hi), Mode: dim.Write}}
+		},
+	})
+	sys.Start()
+	return sys, grid
+}
+
+func main() {
+	sys, grid := buildSystem()
+	if err := grid.Create(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Deliberately skew the distribution: locality 0 first-touches the
+	// whole field (as a naive port might).
+	mgr := sys.Manager(0)
+	full := dataitem.GridRegionFromTo(region.Point{0, 0}, region.Point{nx, ny})
+	if err := mgr.Acquire(1, []dim.Requirement{{Item: grid.Item(), Region: full, Mode: dim.Write}}); err != nil {
+		log.Fatal(err)
+	}
+	mgr.Release(1)
+
+	mon := monitor.Start(sys, 50*time.Millisecond, 16)
+	defer mon.Stop()
+	mon.SampleNow()
+	fmt.Println("-- distribution before balancing --")
+	fmt.Print(mon.Report())
+	fmt.Printf("coverage imbalance (max/mean): %.2f\n\n", mon.CoverageImbalance(grid.Item()))
+
+	// Inter-node load balancing by data migration.
+	moves, err := balance.RebalanceGrid(sys, grid.Item(), balance.Options{Tolerance: 1.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range moves {
+		fmt.Printf("migrated %5d elements: locality %d -> %d\n", m.Elems, m.From, m.To)
+	}
+	mon.SampleNow()
+	fmt.Println("\n-- distribution after balancing --")
+	fmt.Print(mon.Report())
+	fmt.Printf("coverage imbalance (max/mean): %.2f\n\n", mon.CoverageImbalance(grid.Item()))
+
+	// Future tasks follow the data (Algorithm 2).
+	if err := sys.PFor("svc.relax", region.Point{0, 0}, region.Point{nx, ny}, nil); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.SchedStats()
+	fmt.Printf("after one pfor: %d/%d placements were data-aware\n\n",
+		st.CoveredAll+st.CoveredWrite, st.Executed)
+
+	// Checkpoint, tear the whole system down, restart, restore.
+	cp, err := resilience.Capture(sys, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cp.WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint captured: %d fragment records, %d payload bytes\n",
+		len(cp.Records), cp.Size())
+	sys.Close()
+
+	sys2, grid2 := buildSystem()
+	defer sys2.Close()
+	if err := grid2.Create(); err != nil {
+		log.Fatal(err)
+	}
+	cp2, err := resilience.ReadCheckpoint(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := resilience.Restore(sys2, cp2); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify the restored field equals the pre-checkpoint state.
+	var checksum float64
+	err = grid2.Read(grid2.FullRegion(), func(f *dataitem.GridFragment[float64]) {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				checksum += f.At(region.Point{x, y})
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var want float64
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			want += float64(x+y) * 0.5
+		}
+	}
+	fmt.Printf("restored into a fresh system: checksum %.1f (expected %.1f)\n", checksum, want)
+	if checksum != want {
+		log.Fatal("restore verification FAILED")
+	}
+	fmt.Println("restart verification: OK")
+}

@@ -1,0 +1,3 @@
+module allscale
+
+go 1.22

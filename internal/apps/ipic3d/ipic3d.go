@@ -1,0 +1,462 @@
+// Package ipic3d implements a particle-in-cell simulation structured
+// after the iPiC3D application of the paper's evaluation (Section 4):
+// charged particles interacting with electromagnetic fields on
+// regular 3-d grids. The data structures mirror the paper's — regular
+// 3-d grids holding electromagnetic field data plus a grid holding
+// lists of particles.
+//
+// The physics is a simplified, deterministic PIC cycle (documented as
+// a substitution in DESIGN.md): per step,
+//
+//  1. push — per cell, advance every particle by the local E and B
+//     fields (Boris-style v += dt·(E + v×B), clamped below one cell
+//     per step) and deposit the cell's charge density;
+//  2. collect — per cell, gather the particles whose new position
+//     falls into the cell from the cell's one-ring neighborhood
+//     (particle migration between cells — and thereby localities);
+//  3. fields — per cell, update E from the curl of B and the charge
+//     density (B is a static background field).
+//
+// Boundaries are reflecting. Three implementations (sequential,
+// AllScale, MPI x-band decomposition) produce identical particle
+// multisets and fields.
+package ipic3d
+
+import (
+	"math"
+
+	"allscale/internal/core"
+	"allscale/internal/dataitem"
+	"allscale/internal/dim"
+	"allscale/internal/region"
+	"allscale/internal/sched"
+)
+
+// Vec3 is a 3-d vector.
+type Vec3 [3]float64
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a[0] + b[0], a[1] + b[1], a[2] + b[2]} }
+
+// Scale returns s·a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a[0], s * a[1], s * a[2]} }
+
+// Cross returns a × b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a[1]*b[2] - a[2]*b[1],
+		a[2]*b[0] - a[0]*b[2],
+		a[0]*b[1] - a[1]*b[0],
+	}
+}
+
+// Particle is one charged particle.
+type Particle struct {
+	ID  int64
+	Pos Vec3
+	Vel Vec3
+}
+
+// Cell is one cell of the particle grid: the list of particles whose
+// position lies within the cell.
+type Cell struct {
+	Parts []Particle
+}
+
+// Params configures one simulation run.
+type Params struct {
+	// N is the cubic grid edge length (N×N×N cells of unit size).
+	N int
+	// Steps is the number of PIC cycles.
+	Steps int
+	// PartsPerCell is the initial particle count per cell.
+	PartsPerCell int
+	// Dt is the time step.
+	Dt float64
+	// Seed determinizes the initial particle distribution.
+	Seed int64
+	// MinGrain bounds pfor splitting (AllScale version only).
+	MinGrain int64
+}
+
+// physics constants of the simplified cycle.
+const (
+	fieldGamma = 0.05 // E damping
+	fieldKappa = 0.01 // charge feedback
+)
+
+// initialB returns the static background magnetic field of a cell.
+func initialB(x, y, z, n int) Vec3 {
+	return Vec3{0.1, 0.05 * float64(x%3), 0.2 - 0.01*float64((y+z)%5)}
+}
+
+// initialE returns the initial electric field of a cell.
+func initialE(x, y, z, n int) Vec3 {
+	return Vec3{0.01 * float64((x+y)%7), -0.01 * float64((y+z)%5), 0.005 * float64((x+z)%3)}
+}
+
+// hash64 is a deterministic mixing function for particle init.
+func hash64(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+func unit(v uint64) float64 { return float64(v%(1<<20)) / (1 << 20) }
+
+// initialParticles returns the deterministic particles of a cell.
+func initialParticles(x, y, z, n, perCell int, seed int64) []Particle {
+	cellIdx := int64((x*n+y)*n + z)
+	parts := make([]Particle, 0, perCell)
+	for i := 0; i < perCell; i++ {
+		id := cellIdx*int64(perCell) + int64(i)
+		h := hash64(uint64(id) ^ uint64(seed)*0x9e3779b97f4a7c15)
+		p := Particle{
+			ID: id,
+			Pos: Vec3{
+				float64(x) + 0.25 + 0.5*unit(h),
+				float64(y) + 0.25 + 0.5*unit(h>>7),
+				float64(z) + 0.25 + 0.5*unit(h>>14),
+			},
+			Vel: Vec3{
+				0.4 * (unit(h>>21) - 0.5),
+				0.4 * (unit(h>>28) - 0.5),
+				0.4 * (unit(h>>35) - 0.5),
+			},
+		}
+		parts = append(parts, p)
+	}
+	return parts
+}
+
+// advance pushes one particle using the fields of its current cell;
+// the velocity is clamped so that movement stays below one cell per
+// step, and positions reflect at the domain walls. The function is
+// shared by all implementations, making results identical.
+func advance(p Particle, e, b Vec3, dt float64, n int) Particle {
+	v := p.Vel.Add(e.Add(p.Vel.Cross(b)).Scale(dt))
+	limit := 0.9 / dt // stay below 0.9 cells per step
+	for d := 0; d < 3; d++ {
+		if v[d] > limit {
+			v[d] = limit
+		}
+		if v[d] < -limit {
+			v[d] = -limit
+		}
+	}
+	pos := p.Pos.Add(v.Scale(dt))
+	for d := 0; d < 3; d++ {
+		if pos[d] < 0 {
+			pos[d] = -pos[d]
+			v[d] = -v[d]
+		}
+		if pos[d] >= float64(n) {
+			pos[d] = 2*float64(n) - pos[d]
+			v[d] = -v[d]
+			// Guard against landing exactly on the wall.
+			if pos[d] >= float64(n) {
+				pos[d] = math.Nextafter(float64(n), 0)
+			}
+		}
+	}
+	return Particle{ID: p.ID, Pos: pos, Vel: v}
+}
+
+// cellOf returns the cell coordinates of a position.
+func cellOf(pos Vec3) (int, int, int) {
+	return int(pos[0]), int(pos[1]), int(pos[2])
+}
+
+// curlB approximates the curl of the background field at a cell via
+// central differences with clamped (reflected) indices.
+func curlB(b func(x, y, z int) Vec3, x, y, z, n int) Vec3 {
+	cl := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= n {
+			return n - 1
+		}
+		return i
+	}
+	dBz_dy := (b(x, cl(y+1), z)[2] - b(x, cl(y-1), z)[2]) / 2
+	dBy_dz := (b(x, y, cl(z+1))[1] - b(x, y, cl(z-1))[1]) / 2
+	dBx_dz := (b(x, y, cl(z+1))[0] - b(x, y, cl(z-1))[0]) / 2
+	dBz_dx := (b(cl(x+1), y, z)[2] - b(cl(x-1), y, z)[2]) / 2
+	dBy_dx := (b(cl(x+1), y, z)[1] - b(cl(x-1), y, z)[1]) / 2
+	dBx_dy := (b(x, cl(y+1), z)[0] - b(x, cl(y-1), z)[0]) / 2
+	return Vec3{dBz_dy - dBy_dz, dBx_dz - dBz_dx, dBy_dx - dBx_dy}
+}
+
+// updateE computes the next E value of a cell.
+func updateE(eCur, curl Vec3, rho float64, dt float64) Vec3 {
+	return eCur.Scale(1 - fieldGamma).Add(curl.Scale(dt)).Add(Vec3{-fieldKappa * rho, -fieldKappa * rho, -fieldKappa * rho}.Scale(dt))
+}
+
+// State is the full simulation state of the sequential reference.
+type State struct {
+	N     int
+	E     []Vec3
+	B     []Vec3
+	Rho   []float64
+	Cells []Cell
+}
+
+func (s *State) idx(x, y, z int) int { return (x*s.N+y)*s.N + z }
+
+// NewState builds the deterministic initial state.
+func NewState(p Params) *State {
+	n := p.N
+	s := &State{
+		N:     n,
+		E:     make([]Vec3, n*n*n),
+		B:     make([]Vec3, n*n*n),
+		Rho:   make([]float64, n*n*n),
+		Cells: make([]Cell, n*n*n),
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				i := s.idx(x, y, z)
+				s.E[i] = initialE(x, y, z, n)
+				s.B[i] = initialB(x, y, z, n)
+				s.Cells[i] = Cell{Parts: initialParticles(x, y, z, n, p.PartsPerCell, p.Seed)}
+			}
+		}
+	}
+	return s
+}
+
+// TotalParticles counts all particles.
+func (s *State) TotalParticles() int {
+	total := 0
+	for i := range s.Cells {
+		total += len(s.Cells[i].Parts)
+	}
+	return total
+}
+
+// RunSequential executes the reference simulation.
+func RunSequential(p Params) *State {
+	s := NewState(p)
+	n := p.N
+	mid := make([]Cell, n*n*n)
+	for t := 0; t < p.Steps; t++ {
+		// Push + charge deposition.
+		for i := range mid {
+			mid[i].Parts = mid[i].Parts[:0]
+		}
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				for z := 0; z < n; z++ {
+					i := s.idx(x, y, z)
+					s.Rho[i] = float64(len(s.Cells[i].Parts))
+					out := make([]Particle, 0, len(s.Cells[i].Parts))
+					for _, part := range s.Cells[i].Parts {
+						out = append(out, advance(part, s.E[i], s.B[i], p.Dt, n))
+					}
+					mid[i].Parts = out
+				}
+			}
+		}
+		// Collect: rebuild cells from the one-ring neighborhood.
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				for z := 0; z < n; z++ {
+					i := s.idx(x, y, z)
+					var parts []Particle
+					forNeighborhood(x, y, z, n, func(nx, ny, nz int) {
+						for _, part := range mid[s.idx(nx, ny, nz)].Parts {
+							cx, cy, cz := cellOf(part.Pos)
+							if cx == x && cy == y && cz == z {
+								parts = append(parts, part)
+							}
+						}
+					})
+					s.Cells[i].Parts = parts
+				}
+			}
+		}
+		// Field update.
+		next := make([]Vec3, len(s.E))
+		bAt := func(x, y, z int) Vec3 { return s.B[s.idx(x, y, z)] }
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				for z := 0; z < n; z++ {
+					i := s.idx(x, y, z)
+					next[i] = updateE(s.E[i], curlB(bAt, x, y, z, n), s.Rho[i], p.Dt)
+				}
+			}
+		}
+		s.E = next
+	}
+	return s
+}
+
+// forNeighborhood visits the one-ring neighborhood of a cell
+// including itself, clipped to the domain, in deterministic order.
+func forNeighborhood(x, y, z, n int, fn func(nx, ny, nz int)) {
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				nx, ny, nz := x+dx, y+dy, z+dz
+				if nx < 0 || ny < 0 || nz < 0 || nx >= n || ny >= n || nz >= n {
+					continue
+				}
+				fn(nx, ny, nz)
+			}
+		}
+	}
+}
+
+// AllScale is the managed version over six grid data items: the
+// ping-pong E fields, the static B field, the charge density, and the
+// ping-pong particle grids (current + mid-step).
+type AllScale struct {
+	sys    *core.System
+	params Params
+	e      [2]*core.Grid[Vec3]
+	b      *core.Grid[Vec3]
+	rho    *core.Grid[float64]
+	pcur   *core.Grid[Cell]
+	pmid   *core.Grid[Cell]
+}
+
+// NewAllScale defines items and pfor kinds; must run before Start.
+func NewAllScale(sys *core.System, p Params) *AllScale {
+	if p.MinGrain <= 0 {
+		p.MinGrain = 128
+	}
+	a := &AllScale{sys: sys, params: p}
+	n := p.N
+	size := region.Point{n, n, n}
+	a.e[0] = core.DefineGrid[Vec3](sys, "ipic.E0", size)
+	a.e[1] = core.DefineGrid[Vec3](sys, "ipic.E1", size)
+	a.b = core.DefineGrid[Vec3](sys, "ipic.B", size)
+	a.rho = core.DefineGrid[float64](sys, "ipic.Rho", size)
+	a.pcur = core.DefineGrid[Cell](sys, "ipic.P", size)
+	a.pmid = core.DefineGrid[Cell](sys, "ipic.Pmid", size)
+
+	own := func(g interface{ Item() dim.ItemID }, r core.Range, mode dim.Mode) dim.Requirement {
+		return dim.Requirement{
+			Item:   g.Item(),
+			Region: dataRegion(r.Lo, r.Hi),
+			Mode:   mode,
+		}
+	}
+	halo := func(g interface{ Item() dim.ItemID }, r core.Range, mode dim.Mode) dim.Requirement {
+		lo := region.Point{max(r.Lo[0]-1, 0), max(r.Lo[1]-1, 0), max(r.Lo[2]-1, 0)}
+		hi := region.Point{min(r.Hi[0]+1, n), min(r.Hi[1]+1, n), min(r.Hi[2]+1, n)}
+		return dim.Requirement{Item: g.Item(), Region: dataRegion(lo, hi), Mode: mode}
+	}
+
+	core.RegisterPFor(sys, core.PForSpec{
+		Name:     "ipic.init",
+		MinGrain: p.MinGrain,
+		Body: func(ctx *sched.Ctx, q region.Point, _ []byte) {
+			x, y, z := q[0], q[1], q[2]
+			a.e[0].Local(ctx).Set(q, initialE(x, y, z, n))
+			a.e[1].Local(ctx).Set(q, Vec3{})
+			a.b.Local(ctx).Set(q, initialB(x, y, z, n))
+			a.rho.Local(ctx).Set(q, 0)
+			a.pcur.Local(ctx).Set(q, Cell{Parts: initialParticles(x, y, z, n, p.PartsPerCell, p.Seed)})
+			a.pmid.Local(ctx).Set(q, Cell{})
+		},
+		Reqs: func(r core.Range, _ []byte) []dim.Requirement {
+			return []dim.Requirement{
+				own(a.e[0], r, dim.Write), own(a.e[1], r, dim.Write),
+				own(a.b, r, dim.Write), own(a.rho, r, dim.Write),
+				own(a.pcur, r, dim.Write), own(a.pmid, r, dim.Write),
+			}
+		},
+	})
+
+	// push: advance particles in place (per cell), deposit charge.
+	core.RegisterPFor(sys, core.PForSpec{
+		Name:     "ipic.push",
+		MinGrain: p.MinGrain,
+		Body: func(ctx *sched.Ctx, q region.Point, extra []byte) {
+			eg := a.e[extra[0]].Local(ctx)
+			bg := a.b.Local(ctx)
+			pc := a.pcur.Local(ctx)
+			pm := a.pmid.Local(ctx)
+			rg := a.rho.Local(ctx)
+			cell := pc.At(q)
+			rg.Set(q, float64(len(cell.Parts)))
+			out := make([]Particle, 0, len(cell.Parts))
+			e, b := eg.At(q), bg.At(q)
+			for _, part := range cell.Parts {
+				out = append(out, advance(part, e, b, p.Dt, n))
+			}
+			pm.Set(q, Cell{Parts: out})
+		},
+		Reqs: func(r core.Range, extra []byte) []dim.Requirement {
+			return []dim.Requirement{
+				own(a.e[extra[0]], r, dim.Read),
+				own(a.b, r, dim.Read),
+				own(a.pcur, r, dim.Read),
+				own(a.pmid, r, dim.Write),
+				own(a.rho, r, dim.Write),
+			}
+		},
+	})
+
+	// collect: gather arriving particles from the one-ring.
+	core.RegisterPFor(sys, core.PForSpec{
+		Name:     "ipic.collect",
+		MinGrain: p.MinGrain,
+		Body: func(ctx *sched.Ctx, q region.Point, _ []byte) {
+			pm := a.pmid.Local(ctx)
+			pc := a.pcur.Local(ctx)
+			x, y, z := q[0], q[1], q[2]
+			var parts []Particle
+			forNeighborhood(x, y, z, n, func(nx, ny, nz int) {
+				for _, part := range pm.At(region.Point{nx, ny, nz}).Parts {
+					cx, cy, cz := cellOf(part.Pos)
+					if cx == x && cy == y && cz == z {
+						parts = append(parts, part)
+					}
+				}
+			})
+			pc.Set(q, Cell{Parts: parts})
+		},
+		Reqs: func(r core.Range, _ []byte) []dim.Requirement {
+			return []dim.Requirement{
+				halo(a.pmid, r, dim.Read),
+				own(a.pcur, r, dim.Write),
+			}
+		},
+	})
+
+	// fields: update E from curl(B) and the charge density.
+	core.RegisterPFor(sys, core.PForSpec{
+		Name:     "ipic.fields",
+		MinGrain: p.MinGrain,
+		Body: func(ctx *sched.Ctx, q region.Point, extra []byte) {
+			eCur := a.e[extra[0]].Local(ctx)
+			eNext := a.e[1-extra[0]].Local(ctx)
+			bg := a.b.Local(ctx)
+			rg := a.rho.Local(ctx)
+			x, y, z := q[0], q[1], q[2]
+			bAt := func(bx, by, bz int) Vec3 { return bg.At(region.Point{bx, by, bz}) }
+			eNext.Set(q, updateE(eCur.At(q), curlB(bAt, x, y, z, n), rg.At(q), p.Dt))
+		},
+		Reqs: func(r core.Range, extra []byte) []dim.Requirement {
+			return []dim.Requirement{
+				own(a.e[extra[0]], r, dim.Read),
+				own(a.e[1-extra[0]], r, dim.Write),
+				halo(a.b, r, dim.Read),
+				own(a.rho, r, dim.Read),
+			}
+		},
+	})
+	return a
+}
+
+// dataRegion builds a 3-d grid region.
+func dataRegion(lo, hi region.Point) dataitem.Region {
+	return dataitem.GridRegionFromTo(lo, hi)
+}

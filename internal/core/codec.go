@@ -1,0 +1,10 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+func decodeArgs(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -1,0 +1,65 @@
+// Conformance test (external test package): run a real application
+// on the real runtime and check the formal model's safety properties
+// (Section 2.5) at every quiescent point, plus the Fig. 5 index
+// invariant — tying the implementation back to its specification.
+package core_test
+
+import (
+	"testing"
+
+	"allscale/internal/apps/stencil"
+	"allscale/internal/core"
+	"allscale/internal/dim"
+)
+
+func TestStencilConformsToModelInvariants(t *testing.T) {
+	const localities = 4
+	p := stencil.Params{N: 32, Steps: 6, C: 0.1, MinGrain: 64}
+	sys := core.NewSystem(core.Config{Localities: localities})
+	app := stencil.NewAllScale(sys, p)
+	sys.Start()
+	defer sys.Close()
+
+	managers := make([]*dim.Manager, localities)
+	for i := range managers {
+		managers[i] = sys.Manager(i)
+	}
+	checkAll := func(phase string) {
+		t.Helper()
+		for _, id := range managers[0].Items() {
+			if err := dim.CheckSystemInvariants(managers, id); err != nil {
+				t.Fatalf("%s: %v", phase, err)
+			}
+			if err := dim.VerifyIndex(managers, id); err != nil {
+				t.Fatalf("%s: %v", phase, err)
+			}
+		}
+	}
+
+	if err := app.CreateItems(); err != nil {
+		t.Fatal(err)
+	}
+	checkAll("after create")
+	if err := app.Init(); err != nil {
+		t.Fatal(err)
+	}
+	checkAll("after init")
+	for step := 0; step < p.Steps; step++ {
+		if err := app.RunSteps(step, step+1); err != nil {
+			t.Fatal(err)
+		}
+		checkAll("after step")
+	}
+
+	// And the result is still right.
+	got, err := app.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stencil.RunSequential(p)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d diverged", i)
+		}
+	}
+}

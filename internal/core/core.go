@@ -1,0 +1,178 @@
+// Package core is the public programming interface of the AllScale
+// runtime reproduction — the layer the AllScale API and compiler
+// would emit code against (Sections 3.3–3.4). It bundles a simulated
+// cluster (one locality per node), per-locality data item managers
+// and schedulers, and offers the high-level primitives of the paper's
+// example applications: managed data structures (Grid, Tree), the
+// pfor parallel loop, and recursively splittable tasks.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"allscale/internal/dataitem"
+	"allscale/internal/dim"
+	"allscale/internal/runtime"
+	"allscale/internal/sched"
+	"allscale/internal/transport"
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Localities is the number of simulated cluster nodes (address
+	// spaces). Default 1.
+	Localities int
+	// Policy is the scheduling policy; default is the hierarchical
+	// data-spreading DefaultPolicy.
+	Policy sched.Policy
+	// Workers, when positive, switches every locality to a bounded
+	// worker pool of that size with inter-locality work stealing
+	// (Section 3.2: enqueued tasks "may be stolen by other nodes");
+	// zero keeps the default goroutine-per-task execution.
+	Workers int
+}
+
+// System is a running AllScale runtime instance hosting all
+// localities of a simulated cluster in one process.
+type System struct {
+	rsys    *runtime.System
+	regs    []*dataitem.Registry
+	mgrs    []*dim.Manager
+	scheds  []*sched.Scheduler
+	started bool
+	mu      sync.Mutex
+}
+
+// NewSystem creates a system. Data item types and task kinds must be
+// registered before Start.
+func NewSystem(cfg Config) *System {
+	n := cfg.Localities
+	if n <= 0 {
+		n = 1
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = &sched.DefaultPolicy{}
+	}
+	s := &System{rsys: runtime.NewSystem(n)}
+	for i := 0; i < n; i++ {
+		reg := dataitem.NewRegistry()
+		mgr := dim.New(s.rsys.Locality(i), reg)
+		s.regs = append(s.regs, reg)
+		s.mgrs = append(s.mgrs, mgr)
+		sc := sched.New(s.rsys.Locality(i), mgr, policy)
+		if cfg.Workers > 0 {
+			sc.EnableQueue(cfg.Workers)
+		}
+		s.scheds = append(s.scheds, sc)
+	}
+	return s
+}
+
+// Size returns the number of localities.
+func (s *System) Size() int { return len(s.mgrs) }
+
+// Manager returns the data item manager of the given locality.
+func (s *System) Manager(rank int) *dim.Manager { return s.mgrs[rank] }
+
+// Scheduler returns the scheduler of the given locality.
+func (s *System) Scheduler(rank int) *sched.Scheduler { return s.scheds[rank] }
+
+// RegisterType registers a data item type on every locality; must be
+// called before Start.
+func (s *System) RegisterType(typ dataitem.Type) {
+	for _, reg := range s.regs {
+		reg.MustRegister(typ)
+	}
+}
+
+// RegisterKind registers a task kind on every locality; mk is invoked
+// once per rank, mirroring how the AllScale compiler emits identical
+// task tables into every process. Must be called before Start.
+func (s *System) RegisterKind(mk func(rank int) *sched.Kind) {
+	for i, sc := range s.scheds {
+		sc.Register(mk(i))
+	}
+}
+
+// Start begins message delivery; registrations are frozen.
+func (s *System) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		s.rsys.Start()
+		s.started = true
+	}
+}
+
+// Close shuts the system down, stopping any worker pools.
+func (s *System) Close() error {
+	for _, sc := range s.scheds {
+		sc.StopQueue()
+	}
+	return s.rsys.Close()
+}
+
+// Spawn schedules a root task from locality 0 and returns its future.
+func (s *System) Spawn(kind string, args any) (*runtime.Future, error) {
+	return s.scheds[0].Spawn(kind, args)
+}
+
+// Wait runs a root task to completion, decoding its result into out
+// (pass nil to discard).
+func (s *System) Wait(kind string, args any, out any) error {
+	fut, err := s.Spawn(kind, args)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		_, err := fut.Wait()
+		return err
+	}
+	return fut.WaitInto(out)
+}
+
+// NetStats sums the transport counters over all localities.
+func (s *System) NetStats() transport.Stats {
+	var total transport.Stats
+	for i := range s.mgrs {
+		st := s.rsys.Locality(i).Stats()
+		total.MsgsSent += st.MsgsSent
+		total.BytesSent += st.BytesSent
+		total.MsgsReceived += st.MsgsReceived
+		total.BytesReceived += st.BytesReceived
+	}
+	return total
+}
+
+// SchedStats sums the scheduler counters over all localities.
+func (s *System) SchedStats() sched.Stats {
+	var total sched.Stats
+	for _, sc := range s.scheds {
+		st := sc.Stats()
+		total.Spawned += st.Spawned
+		total.Executed += st.Executed
+		total.Splits += st.Splits
+		total.LocalPlaced += st.LocalPlaced
+		total.RemotePlaced += st.RemotePlaced
+		total.CoveredAll += st.CoveredAll
+		total.CoveredWrite += st.CoveredWrite
+		total.PolicyPlaced += st.PolicyPlaced
+	}
+	return total
+}
+
+// CoverageByRank returns each locality's fragment coverage of an item
+// (for monitoring and tests).
+func (s *System) CoverageByRank(item dim.ItemID) ([]dataitem.Region, error) {
+	out := make([]dataitem.Region, s.Size())
+	for i, m := range s.mgrs {
+		cov, err := m.Coverage(item)
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", i, err)
+		}
+		out[i] = cov
+	}
+	return out, nil
+}

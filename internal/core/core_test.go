@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+
+	"allscale/internal/dataitem"
+	"allscale/internal/dim"
+	"allscale/internal/region"
+	"allscale/internal/sched"
+)
+
+func TestGridLifecycleAndPFor(t *testing.T) {
+	sys := NewSystem(Config{Localities: 4})
+	defer sys.Close()
+
+	grid := DefineGrid[float64](sys, "field", region.Point{64, 64})
+	RegisterPFor(sys, PForSpec{
+		Name:     "init",
+		MinGrain: 256,
+		Body: func(ctx *sched.Ctx, p region.Point, _ []byte) {
+			grid.Local(ctx).Set(p, float64(p[0]*64+p[1]))
+		},
+		Reqs: func(r Range, _ []byte) []dim.Requirement {
+			return []dim.Requirement{{
+				Item:   grid.Item(),
+				Region: grid.Region(r.Lo, r.Hi),
+				Mode:   dim.Write,
+			}}
+		},
+	})
+	sys.Start()
+	if err := grid.Create(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sys.PFor("init", region.Point{0, 0}, region.Point{64, 64}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// All elements must be initialized and distributed.
+	var sum float64
+	err := grid.Read(grid.FullRegion(), func(f *dataitem.GridFragment[float64]) {
+		Range{Lo: region.Point{0, 0}, Hi: region.Point{64, 64}}.ForEach(func(p region.Point) {
+			sum += f.At(p)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(64*64-1) * float64(64*64) / 2
+	if sum != want {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+
+	// Data must be spread over multiple localities by first touch.
+	covs, err := sys.CoverageByRank(grid.Item())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	var total int64
+	for _, cov := range covs {
+		if !cov.IsEmpty() {
+			nonEmpty++
+		}
+	}
+	// Total primary coverage equals the grid (replicas from Read add
+	// to rank 0's coverage, so sum >= full size).
+	for _, cov := range covs {
+		total += cov.Size()
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("grid held by only %d localities", nonEmpty)
+	}
+	if total < 64*64 {
+		t.Fatalf("coverage sums to %d, want >= %d", total, 64*64)
+	}
+
+	if err := grid.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPForExtraPayloadSelectsBuffers(t *testing.T) {
+	sys := NewSystem(Config{Localities: 2})
+	defer sys.Close()
+
+	a := DefineGrid[int](sys, "A", region.Point{32})
+	b := DefineGrid[int](sys, "B", region.Point{32})
+	grids := []*Grid[int]{a, b}
+
+	RegisterPFor(sys, PForSpec{
+		Name:     "copyshift",
+		MinGrain: 8,
+		Body: func(ctx *sched.Ctx, p region.Point, extra []byte) {
+			src, dst := grids[extra[0]], grids[1-extra[0]]
+			dst.Local(ctx).Set(p, src.Local(ctx).At(p)+1)
+		},
+		Reqs: func(r Range, extra []byte) []dim.Requirement {
+			src, dst := grids[extra[0]], grids[1-extra[0]]
+			return []dim.Requirement{
+				{Item: src.Item(), Region: src.Region(r.Lo, r.Hi), Mode: dim.Read},
+				{Item: dst.Item(), Region: dst.Region(r.Lo, r.Hi), Mode: dim.Write},
+			}
+		},
+	})
+	RegisterPFor(sys, PForSpec{
+		Name:     "zero",
+		MinGrain: 8,
+		Body: func(ctx *sched.Ctx, p region.Point, _ []byte) {
+			a.Local(ctx).Set(p, 0)
+		},
+		Reqs: func(r Range, _ []byte) []dim.Requirement {
+			return []dim.Requirement{{Item: a.Item(), Region: a.Region(r.Lo, r.Hi), Mode: dim.Write}}
+		},
+	})
+	sys.Start()
+	if err := a.Create(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Create(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sys.PFor("zero", region.Point{0}, region.Point{32}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Two ping-pong steps: A -> B (+1), B -> A (+1).
+	if err := sys.PFor("copyshift", region.Point{0}, region.Point{32}, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.PFor("copyshift", region.Point{0}, region.Point{32}, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	err := a.Read(a.FullRegion(), func(f *dataitem.GridFragment[int]) {
+		for i := 0; i < 32; i++ {
+			if got := f.At(region.Point{i}); got != 2 {
+				t.Fatalf("A[%d] = %d, want 2", i, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeSplitAndVolume(t *testing.T) {
+	r := Range{Lo: region.Point{0, 0}, Hi: region.Point{10, 4}}
+	if r.Volume() != 40 {
+		t.Fatalf("volume = %d", r.Volume())
+	}
+	l, rr := r.Split()
+	if l.Volume()+rr.Volume() != 40 {
+		t.Fatalf("split volumes %d + %d != 40", l.Volume(), rr.Volume())
+	}
+	// Split must cut the widest dimension (x, extent 10).
+	if l.Hi[0] != 5 || rr.Lo[0] != 5 {
+		t.Fatalf("split at %v / %v, want x=5", l, rr)
+	}
+	empty := Range{Lo: region.Point{3}, Hi: region.Point{3}}
+	if empty.Volume() != 0 {
+		t.Fatal("empty range must have volume 0")
+	}
+	count := 0
+	empty.ForEach(func(region.Point) { count++ })
+	if count != 0 {
+		t.Fatal("ForEach over empty range must not iterate")
+	}
+}
+
+func TestRangeForEachOrder(t *testing.T) {
+	r := Range{Lo: region.Point{1, 1}, Hi: region.Point{3, 3}}
+	var got []string
+	r.ForEach(func(p region.Point) { got = append(got, p.String()) })
+	want := []string{"(1,1)", "(1,2)", "(2,1)", "(2,2)"}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWaitDecodesResult(t *testing.T) {
+	sys := NewSystem(Config{Localities: 2})
+	sys.RegisterKind(func(rank int) *sched.Kind {
+		return &sched.Kind{
+			Name:    "mul",
+			Process: func(ctx *sched.Ctx) (any, error) { var x int; ctx.Args(&x); return x * 3, nil },
+		}
+	})
+	sys.Start()
+	defer sys.Close()
+	var out int
+	if err := sys.Wait("mul", 7, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != 21 {
+		t.Fatalf("out = %d", out)
+	}
+	if err := sys.Wait("mul", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemStatsExposed(t *testing.T) {
+	sys := NewSystem(Config{Localities: 2})
+	grid := DefineGrid[int](sys, "g", region.Point{16})
+	RegisterPFor(sys, PForSpec{
+		Name:     "touch",
+		MinGrain: 4,
+		Body:     func(ctx *sched.Ctx, p region.Point, _ []byte) { grid.Local(ctx).Set(p, 1) },
+		Reqs: func(r Range, _ []byte) []dim.Requirement {
+			return []dim.Requirement{{Item: grid.Item(), Region: grid.Region(r.Lo, r.Hi), Mode: dim.Write}}
+		},
+	})
+	sys.Start()
+	defer sys.Close()
+	if err := grid.Create(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.PFor("touch", region.Point{0}, region.Point{16}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sys.SchedStats().Executed == 0 {
+		t.Fatal("no executions recorded")
+	}
+	if sys.NetStats().MsgsSent == 0 {
+		t.Fatal("no messages recorded")
+	}
+}

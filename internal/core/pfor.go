@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"allscale/internal/dim"
+	"allscale/internal/region"
+	"allscale/internal/sched"
+)
+
+// Range is an N-dimensional half-open iteration range [Lo, Hi), the
+// argument domain of pfor (Fig. 6b).
+type Range struct {
+	Lo, Hi region.Point
+}
+
+// Volume returns the number of iteration points.
+func (r Range) Volume() int64 {
+	if len(r.Lo) == 0 {
+		return 0
+	}
+	v := int64(1)
+	for d := range r.Lo {
+		if r.Hi[d] <= r.Lo[d] {
+			return 0
+		}
+		v *= int64(r.Hi[d] - r.Lo[d])
+	}
+	return v
+}
+
+// Split divides the range into two halves along its widest dimension.
+func (r Range) Split() (Range, Range) {
+	widest, extent := 0, 0
+	for d := range r.Lo {
+		if e := r.Hi[d] - r.Lo[d]; e > extent {
+			widest, extent = d, e
+		}
+	}
+	mid := r.Lo[widest] + extent/2
+	left := Range{Lo: r.Lo.Clone(), Hi: r.Hi.Clone()}
+	right := Range{Lo: r.Lo.Clone(), Hi: r.Hi.Clone()}
+	left.Hi[widest] = mid
+	right.Lo[widest] = mid
+	return left, right
+}
+
+// ForEach invokes fn for every point of the range in row-major order;
+// fn must not retain the point.
+func (r Range) ForEach(fn func(p region.Point)) {
+	if r.Volume() == 0 {
+		return
+	}
+	p := r.Lo.Clone()
+	for {
+		fn(p)
+		d := len(p) - 1
+		for d >= 0 {
+			p[d]++
+			if p[d] < r.Hi[d] {
+				break
+			}
+			p[d] = r.Lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+func (r Range) String() string { return r.Lo.String() + ".." + r.Hi.String() }
+
+// pforArgs travel with each pfor fragment task. Extra is an opaque
+// per-invocation payload (e.g. the time step of a stencil, selecting
+// which buffer is source and which is destination).
+type pforArgs struct {
+	R     Range
+	Extra []byte
+}
+
+// PForSpec defines one pfor call site: the loop body, the data
+// requirements of a sub-range, and the splitting grain. The AllScale
+// compiler derives all three from the source loop (Section 3.3); here
+// the application states them explicitly.
+type PForSpec struct {
+	// Name must be unique among registered kinds.
+	Name string
+	// Body executes one iteration point.
+	Body func(ctx *sched.Ctx, p region.Point, extra []byte)
+	// Reqs states the data requirements of processing the sub-range
+	// sequentially (Definition 2.7); nil means none.
+	Reqs func(r Range, extra []byte) []dim.Requirement
+	// MinGrain stops splitting below this iteration volume.
+	// Default 1024.
+	MinGrain int64
+}
+
+// RegisterPFor installs a pfor call site as a task kind with a
+// sequential (process) and a parallel (split) variant — the two
+// variants of Example 2.3. Must run before System.Start.
+func RegisterPFor(sys *System, spec PForSpec) {
+	grain := spec.MinGrain
+	if grain <= 0 {
+		grain = 1024
+	}
+	sys.RegisterKind(func(rank int) *sched.Kind {
+		return &sched.Kind{
+			Name: spec.Name,
+			CanSplit: func(args []byte) bool {
+				var a pforArgs
+				if err := decodeArgs(args, &a); err != nil {
+					return false
+				}
+				return a.R.Volume() > grain
+			},
+			Split: func(ctx *sched.Ctx) (any, error) {
+				var a pforArgs
+				if err := ctx.Args(&a); err != nil {
+					return nil, err
+				}
+				l, r := a.R.Split()
+				lf, err := ctx.Spawn(spec.Name, &pforArgs{R: l, Extra: a.Extra}, 0)
+				if err != nil {
+					return nil, err
+				}
+				rf, err := ctx.Spawn(spec.Name, &pforArgs{R: r, Extra: a.Extra}, 1)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := lf.Wait(); err != nil {
+					return nil, err
+				}
+				if _, err := rf.Wait(); err != nil {
+					return nil, err
+				}
+				return nil, nil
+			},
+			Reqs: func(args []byte) []dim.Requirement {
+				if spec.Reqs == nil {
+					return nil
+				}
+				var a pforArgs
+				if err := decodeArgs(args, &a); err != nil {
+					return nil
+				}
+				return spec.Reqs(a.R, a.Extra)
+			},
+			Process: func(ctx *sched.Ctx) (any, error) {
+				var a pforArgs
+				if err := ctx.Args(&a); err != nil {
+					return nil, err
+				}
+				a.R.ForEach(func(p region.Point) { spec.Body(ctx, p, a.Extra) })
+				return nil, nil
+			},
+		}
+	})
+}
+
+// PFor runs a registered pfor call site over [lo, hi) and blocks
+// until every iteration completed — the pfor of Fig. 6b.
+func (s *System) PFor(name string, lo, hi region.Point, extra []byte) error {
+	if len(lo) != len(hi) {
+		return fmt.Errorf("core: pfor bounds of different dimensionality")
+	}
+	fut, err := s.Spawn(name, &pforArgs{R: Range{Lo: lo, Hi: hi}, Extra: extra})
+	if err != nil {
+		return err
+	}
+	_, err = fut.Wait()
+	return err
+}

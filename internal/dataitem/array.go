@@ -1,0 +1,235 @@
+package dataitem
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"allscale/internal/region"
+)
+
+// IntervalRegion adapts region.IntervalSet — 1-d index ranges — to
+// the dynamic Region interface. It is the region type of array data
+// items and of scalar items (arrays of length 1).
+type IntervalRegion struct {
+	S region.IntervalSet
+}
+
+var _ Region = IntervalRegion{}
+
+func init() { gob.Register(IntervalRegion{}) }
+
+// IntervalFromTo returns the region covering [lo, hi).
+func IntervalFromTo(lo, hi int64) IntervalRegion {
+	return IntervalRegion{S: region.Span(lo, hi)}
+}
+
+// Union implements Region.
+func (r IntervalRegion) Union(other Region) Region {
+	o, ok := other.(IntervalRegion)
+	if !ok {
+		typeMismatch("union", r, other)
+	}
+	return IntervalRegion{S: r.S.Union(o.S)}
+}
+
+// Intersect implements Region.
+func (r IntervalRegion) Intersect(other Region) Region {
+	o, ok := other.(IntervalRegion)
+	if !ok {
+		typeMismatch("intersect", r, other)
+	}
+	return IntervalRegion{S: r.S.Intersect(o.S)}
+}
+
+// Difference implements Region.
+func (r IntervalRegion) Difference(other Region) Region {
+	o, ok := other.(IntervalRegion)
+	if !ok {
+		typeMismatch("difference", r, other)
+	}
+	return IntervalRegion{S: r.S.Difference(o.S)}
+}
+
+// IsEmpty implements Region.
+func (r IntervalRegion) IsEmpty() bool { return r.S.IsEmpty() }
+
+// Equal implements Region.
+func (r IntervalRegion) Equal(other Region) bool {
+	o, ok := other.(IntervalRegion)
+	if !ok {
+		return false
+	}
+	return r.S.Equal(o.S)
+}
+
+// Size implements Region.
+func (r IntervalRegion) Size() int64 { return r.S.Size() }
+
+func (r IntervalRegion) String() string { return r.S.String() }
+
+// intervalWire is the gob wire form of an IntervalRegion.
+type intervalWire struct {
+	Los, His []int64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (r IntervalRegion) MarshalBinary() ([]byte, error) {
+	var w intervalWire
+	for _, iv := range r.S.Intervals() {
+		w.Los = append(w.Los, iv.Lo)
+		w.His = append(w.His, iv.Hi)
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (r *IntervalRegion) UnmarshalBinary(data []byte) error {
+	var w intervalWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	ivs := make([]region.Interval, len(w.Los))
+	for i := range w.Los {
+		ivs[i] = region.Interval{Lo: w.Los[i], Hi: w.His[i]}
+	}
+	r.S = region.NewIntervalSet(ivs...)
+	return nil
+}
+
+// ArrayType is the data item type of 1-d arrays of T with
+// IntervalRegion regions. A length-1 array models a scalar item.
+type ArrayType[T any] struct {
+	name string
+	n    int64
+}
+
+// NewArrayType describes an array data item with n elements.
+func NewArrayType[T any](name string, n int64) *ArrayType[T] {
+	if n <= 0 {
+		panic("dataitem: array needs at least one element")
+	}
+	return &ArrayType[T]{name: name, n: n}
+}
+
+// NewScalarType describes a single-value data item.
+func NewScalarType[T any](name string) *ArrayType[T] {
+	return &ArrayType[T]{name: name, n: 1}
+}
+
+// Name implements Type.
+func (t *ArrayType[T]) Name() string { return t.name }
+
+// Len returns the element count.
+func (t *ArrayType[T]) Len() int64 { return t.n }
+
+// FullRegion implements Type.
+func (t *ArrayType[T]) FullRegion() Region { return IntervalFromTo(0, t.n) }
+
+// EmptyRegion implements Type.
+func (t *ArrayType[T]) EmptyRegion() Region { return IntervalRegion{} }
+
+// NewFragment implements Type.
+func (t *ArrayType[T]) NewFragment() Fragment {
+	return &ArrayFragment[T]{vals: make(map[int64]T)}
+}
+
+// ArrayFragment stores the elements of one interval region.
+type ArrayFragment[T any] struct {
+	cover region.IntervalSet
+	vals  map[int64]T
+}
+
+var _ Fragment = (*ArrayFragment[int])(nil)
+
+// Region implements Fragment.
+func (f *ArrayFragment[T]) Region() Region { return IntervalRegion{S: f.cover} }
+
+// Covers reports whether index i is stored in the fragment.
+func (f *ArrayFragment[T]) Covers(i int64) bool { return f.cover.Contains(i) }
+
+// At returns the element at index i; it panics outside the fragment.
+func (f *ArrayFragment[T]) At(i int64) T {
+	if !f.cover.Contains(i) {
+		panic(fmt.Sprintf("dataitem: access to [%d] outside array fragment %v (missing data requirement?)", i, f.cover))
+	}
+	return f.vals[i]
+}
+
+// Set stores v at index i; same containment contract as At.
+func (f *ArrayFragment[T]) Set(i int64, v T) {
+	if !f.cover.Contains(i) {
+		panic(fmt.Sprintf("dataitem: write to [%d] outside array fragment %v (missing data requirement?)", i, f.cover))
+	}
+	f.vals[i] = v
+}
+
+// Resize implements Fragment.
+func (f *ArrayFragment[T]) Resize(r Region) error {
+	ir, ok := r.(IntervalRegion)
+	if !ok {
+		return fmt.Errorf("dataitem: array fragment resized with %T", r)
+	}
+	next := make(map[int64]T)
+	for _, iv := range ir.S.Intervals() {
+		for i := iv.Lo; i < iv.Hi; i++ {
+			if f.cover.Contains(i) {
+				next[i] = f.vals[i]
+			} else {
+				var zero T
+				next[i] = zero
+			}
+		}
+	}
+	f.vals = next
+	f.cover = ir.S
+	return nil
+}
+
+// arrayWire is the gob wire form of extracted array data.
+type arrayWire[T any] struct {
+	Idx    []int64
+	Values []T
+}
+
+// Extract implements Fragment.
+func (f *ArrayFragment[T]) Extract(r Region) ([]byte, error) {
+	ir, ok := r.(IntervalRegion)
+	if !ok {
+		return nil, fmt.Errorf("dataitem: array extract with %T", r)
+	}
+	if !ir.S.Difference(f.cover).IsEmpty() {
+		return nil, fmt.Errorf("dataitem: extract region %v not covered by fragment %v", ir.S, f.cover)
+	}
+	var w arrayWire[T]
+	for _, iv := range ir.S.Intervals() {
+		for i := iv.Lo; i < iv.Hi; i++ {
+			w.Idx = append(w.Idx, i)
+			w.Values = append(w.Values, f.vals[i])
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Insert implements Fragment.
+func (f *ArrayFragment[T]) Insert(data []byte) (Region, error) {
+	var w arrayWire[T]
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, err
+	}
+	var ivs []region.Interval
+	for i, idx := range w.Idx {
+		if !f.cover.Contains(idx) {
+			return nil, fmt.Errorf("dataitem: insert index %d outside fragment region %v", idx, f.cover)
+		}
+		f.vals[idx] = w.Values[i]
+		ivs = append(ivs, region.Interval{Lo: idx, Hi: idx + 1})
+	}
+	return IntervalRegion{S: region.NewIntervalSet(ivs...)}, nil
+}

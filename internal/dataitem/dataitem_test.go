@@ -1,0 +1,288 @@
+package dataitem
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"allscale/internal/region"
+)
+
+func p(xs ...int) region.Point { return region.Point(xs) }
+
+func TestGridFragmentResizeAndAccess(t *testing.T) {
+	typ := NewGridType[float64]("grid2d", p(10, 10))
+	f := typ.NewFragment().(*GridFragment[float64])
+	if !f.Region().IsEmpty() {
+		t.Fatal("fresh fragment must cover nothing")
+	}
+	if err := f.Resize(GridRegionFromTo(p(0, 0), p(5, 10))); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Region().Size(); got != 50 {
+		t.Fatalf("region size = %d, want 50", got)
+	}
+	f.Set(p(2, 3), 42.5)
+	if got := f.At(p(2, 3)); got != 42.5 {
+		t.Fatalf("At = %v", got)
+	}
+	if got := f.At(p(4, 9)); got != 0 {
+		t.Fatalf("uninitialized element = %v, want 0", got)
+	}
+	// Growing preserves data.
+	if err := f.Resize(GridRegionFromTo(p(0, 0), p(7, 10))); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.At(p(2, 3)); got != 42.5 {
+		t.Fatalf("data lost on grow: %v", got)
+	}
+	// Shrinking away drops elements.
+	if err := f.Resize(GridRegionFromTo(p(5, 0), p(7, 10))); err != nil {
+		t.Fatal(err)
+	}
+	if f.Covers(p(2, 3)) {
+		t.Fatal("shrunk fragment still covers dropped point")
+	}
+}
+
+func TestGridFragmentOutOfRegionPanics(t *testing.T) {
+	typ := NewGridType[int]("grid1", p(4, 4))
+	f := typ.NewFragment().(*GridFragment[int])
+	f.Resize(GridRegionFromTo(p(0, 0), p(2, 2)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-region access must panic")
+		}
+	}()
+	f.At(p(3, 3))
+}
+
+func TestGridExtractInsertRoundTrip(t *testing.T) {
+	typ := NewGridType[int]("gridA", p(8, 8))
+	src := typ.NewFragment().(*GridFragment[int])
+	src.Resize(GridRegionFromTo(p(0, 0), p(8, 4)))
+	n := 0
+	region.BoxFromTo(p(0, 0), p(8, 4)).ForEachPoint(func(q region.Point) {
+		src.Set(q, n)
+		n++
+	})
+
+	// Transfer the band [3,0)..(5,4) into a destination fragment.
+	xfer := GridRegionFromTo(p(3, 0), p(5, 4))
+	data, err := src.Extract(xfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := typ.NewFragment().(*GridFragment[int])
+	dst.Resize(GridRegionFromTo(p(3, 0), p(6, 4)))
+	covered, err := dst.Insert(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !covered.Equal(xfer) {
+		t.Fatalf("insert covered %v, want %v", covered, xfer)
+	}
+	region.BoxFromTo(p(3, 0), p(5, 4)).ForEachPoint(func(q region.Point) {
+		if dst.At(q) != src.At(q) {
+			t.Fatalf("mismatch at %v: %d != %d", q, dst.At(q), src.At(q))
+		}
+	})
+}
+
+func TestGridExtractRequiresCoverage(t *testing.T) {
+	typ := NewGridType[int]("gridB", p(8, 8))
+	f := typ.NewFragment().(*GridFragment[int])
+	f.Resize(GridRegionFromTo(p(0, 0), p(4, 4)))
+	if _, err := f.Extract(GridRegionFromTo(p(0, 0), p(5, 4))); err == nil {
+		t.Fatal("extract beyond region must fail")
+	}
+}
+
+func TestGridInsertRequiresCoverage(t *testing.T) {
+	typ := NewGridType[int]("gridC", p(8, 8))
+	src := typ.NewFragment().(*GridFragment[int])
+	src.Resize(GridRegionFromTo(p(0, 0), p(4, 4)))
+	data, err := src.Extract(GridRegionFromTo(p(0, 0), p(4, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := typ.NewFragment().(*GridFragment[int])
+	dst.Resize(GridRegionFromTo(p(0, 0), p(2, 2)))
+	if _, err := dst.Insert(data); err == nil {
+		t.Fatal("insert beyond region must fail")
+	}
+}
+
+func TestGridFragmentMultiBlock(t *testing.T) {
+	typ := NewGridType[int]("gridD", p(10, 10))
+	f := typ.NewFragment().(*GridFragment[int])
+	// Two disjoint bands.
+	r := GridRegionFromTo(p(0, 0), p(2, 10)).Union(GridRegionFromTo(p(8, 0), p(10, 10)))
+	if err := f.Resize(r); err != nil {
+		t.Fatal(err)
+	}
+	f.Set(p(1, 5), 11)
+	f.Set(p(9, 5), 99)
+	if f.At(p(1, 5)) != 11 || f.At(p(9, 5)) != 99 {
+		t.Fatal("multi-block access broken")
+	}
+	if len(f.Blocks()) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(f.Blocks()))
+	}
+	if f.Covers(p(5, 5)) {
+		t.Fatal("gap must not be covered")
+	}
+}
+
+func TestGridDenseBlocksAliasStorage(t *testing.T) {
+	typ := NewGridType[int]("gridE", p(4, 4))
+	f := typ.NewFragment().(*GridFragment[int])
+	f.Resize(GridRegionFromTo(p(0, 0), p(4, 4)))
+	blocks := f.Blocks()
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	blocks[0].Data[5] = 77 // row-major (1,1)
+	if got := f.At(p(1, 1)); got != 77 {
+		t.Fatalf("dense write not visible: %d", got)
+	}
+}
+
+func TestTreeFragmentBasics(t *testing.T) {
+	typ := NewTreeType[string]("tree", 4)
+	if got := typ.FullRegion().Size(); got != 15 {
+		t.Fatalf("full region size = %d, want 15", got)
+	}
+	f := typ.NewFragment().(*TreeFragment[string])
+	left := TreeItemRegion{T: region.SubtreeRegion(4, 2)}
+	if err := f.Resize(left); err != nil {
+		t.Fatal(err)
+	}
+	f.Set(4, "node4")
+	if got := f.At(4); got != "node4" {
+		t.Fatalf("At = %q", got)
+	}
+	if f.Covers(3) {
+		t.Fatal("fragment must not cover right subtree")
+	}
+}
+
+func TestTreeExtractInsertRoundTrip(t *testing.T) {
+	typ := NewTreeType[int]("treeB", 4)
+	src := typ.NewFragment().(*TreeFragment[int])
+	src.Resize(typ.FullRegion())
+	for id := region.NodeID(1); id < 16; id++ {
+		src.Set(id, int(id)*10)
+	}
+	sub := TreeItemRegion{T: region.SubtreeRegion(4, 3)}
+	data, err := src.Extract(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := typ.NewFragment().(*TreeFragment[int])
+	dst.Resize(sub)
+	covered, err := dst.Insert(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !covered.Equal(sub) {
+		t.Fatalf("covered %v, want %v", covered, sub)
+	}
+	if dst.At(3) != 30 || dst.At(14) != 140 {
+		t.Fatal("tree payload mismatch after transfer")
+	}
+}
+
+func TestArrayFragment(t *testing.T) {
+	typ := NewArrayType[float32]("arr", 100)
+	f := typ.NewFragment().(*ArrayFragment[float32])
+	if err := f.Resize(IntervalFromTo(10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	f.Set(15, 1.5)
+	if got := f.At(15); got != 1.5 {
+		t.Fatalf("At = %v", got)
+	}
+	data, err := f.Extract(IntervalFromTo(14, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := typ.NewFragment().(*ArrayFragment[float32])
+	g.Resize(IntervalFromTo(0, 100))
+	if _, err := g.Insert(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.At(15); got != 1.5 {
+		t.Fatalf("transferred value = %v", got)
+	}
+}
+
+func TestScalarType(t *testing.T) {
+	typ := NewScalarType[int64]("counter")
+	if typ.FullRegion().Size() != 1 {
+		t.Fatal("scalar must have one element")
+	}
+	f := typ.NewFragment().(*ArrayFragment[int64])
+	f.Resize(typ.FullRegion())
+	f.Set(0, 7)
+	if f.At(0) != 7 {
+		t.Fatal("scalar access broken")
+	}
+}
+
+func TestRegionGobRoundTrip(t *testing.T) {
+	regions := []Region{
+		GridRegionFromTo(p(1, 2), p(5, 9)).Union(GridRegionFromTo(p(10, 10), p(12, 12))),
+		TreeItemRegion{T: region.TreeRegionFromSubtrees(5, []region.NodeID{2}, []region.NodeID{5})},
+		IntervalFromTo(3, 9).Union(IntervalFromTo(20, 25)),
+	}
+	for _, r := range regions {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&r); err != nil {
+			t.Fatalf("encode %T: %v", r, err)
+		}
+		var back Region
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+			t.Fatalf("decode %T: %v", r, err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("gob round trip changed %T: %v -> %v", r, r, back)
+		}
+	}
+}
+
+func TestRegionTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-type union must panic")
+		}
+	}()
+	GridRegionFromTo(p(0), p(1)).Union(IntervalFromTo(0, 1))
+}
+
+func TestRegionEqualAcrossTypesIsFalse(t *testing.T) {
+	if GridRegionFromTo(p(0), p(1)).Equal(IntervalFromTo(0, 1)) {
+		t.Fatal("regions of different types must not be equal")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	typ := NewGridType[int]("field", p(4))
+	if err := reg.Register(typ); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(NewGridType[int]("field", p(8))); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	got, err := reg.Lookup("field")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "field" {
+		t.Fatalf("lookup returned %q", got.Name())
+	}
+	if _, err := reg.Lookup("nope"); err == nil {
+		t.Fatal("lookup of unknown type must fail")
+	}
+}

@@ -1,0 +1,219 @@
+package dataitem
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"allscale/internal/region"
+)
+
+// GridType is the data item type of N-dimensional grids of elements
+// of type T (Fig. 4a): fragments hold sets of dense, row-major boxes;
+// regions are sets of axis-aligned bounding boxes.
+type GridType[T any] struct {
+	name string
+	size region.Point // extent per dimension; elems = [0, size)
+}
+
+// NewGridType describes a grid data item with the given extent.
+func NewGridType[T any](name string, size region.Point) *GridType[T] {
+	if len(size) == 0 {
+		panic("dataitem: grid needs at least one dimension")
+	}
+	return &GridType[T]{name: name, size: size.Clone()}
+}
+
+// Name implements Type.
+func (t *GridType[T]) Name() string { return t.name }
+
+// Size returns the grid extent.
+func (t *GridType[T]) Size() region.Point { return t.size.Clone() }
+
+// FullRegion implements Type.
+func (t *GridType[T]) FullRegion() Region {
+	zero := make(region.Point, len(t.size))
+	return GridRegionFromTo(zero, t.size)
+}
+
+// EmptyRegion implements Type.
+func (t *GridType[T]) EmptyRegion() Region { return GridRegion{} }
+
+// NewFragment implements Type.
+func (t *GridType[T]) NewFragment() Fragment {
+	return &GridFragment[T]{dims: len(t.size)}
+}
+
+// gridBlock is one dense, row-major box of grid data.
+type gridBlock[T any] struct {
+	box  region.Box
+	data []T
+}
+
+// index returns the row-major offset of p within the block.
+func (b *gridBlock[T]) index(p region.Point) int {
+	idx := 0
+	for d := 0; d < len(p); d++ {
+		idx = idx*(b.box.Max[d]-b.box.Min[d]) + (p[d] - b.box.Min[d])
+	}
+	return idx
+}
+
+// GridFragment is the runtime-side storage of one grid region within
+// one address space: a set of disjoint dense boxes.
+type GridFragment[T any] struct {
+	dims   int
+	blocks []gridBlock[T]
+	cover  region.BoxSet
+}
+
+var _ Fragment = (*GridFragment[int])(nil)
+
+// Region implements Fragment.
+func (f *GridFragment[T]) Region() Region { return GridRegion{B: f.cover} }
+
+// Covers reports whether point p is stored in the fragment.
+func (f *GridFragment[T]) Covers(p region.Point) bool { return f.cover.Contains(p) }
+
+// blockOf finds the block containing p.
+func (f *GridFragment[T]) blockOf(p region.Point) *gridBlock[T] {
+	for i := range f.blocks {
+		if f.blocks[i].box.Contains(p) {
+			return &f.blocks[i]
+		}
+	}
+	return nil
+}
+
+// At returns the element at p; it panics when p is outside the
+// fragment (the runtime guarantees task requirements are satisfied
+// before a task runs, so this indicates a missing data requirement).
+func (f *GridFragment[T]) At(p region.Point) T {
+	b := f.blockOf(p)
+	if b == nil {
+		panic(fmt.Sprintf("dataitem: access to %v outside fragment region %v (missing data requirement?)", p, f.cover))
+	}
+	return b.data[b.index(p)]
+}
+
+// Set stores v at p; same containment contract as At.
+func (f *GridFragment[T]) Set(p region.Point, v T) {
+	b := f.blockOf(p)
+	if b == nil {
+		panic(fmt.Sprintf("dataitem: write to %v outside fragment region %v (missing data requirement?)", p, f.cover))
+	}
+	b.data[b.index(p)] = v
+}
+
+// Ptr returns a pointer to the element at p for in-place updates.
+func (f *GridFragment[T]) Ptr(p region.Point) *T {
+	b := f.blockOf(p)
+	if b == nil {
+		panic(fmt.Sprintf("dataitem: access to %v outside fragment region %v (missing data requirement?)", p, f.cover))
+	}
+	return &b.data[b.index(p)]
+}
+
+// Resize implements Fragment: the fragment afterwards covers exactly
+// r; data in the intersection with the previous region is preserved.
+func (f *GridFragment[T]) Resize(r Region) error {
+	gr, ok := r.(GridRegion)
+	if !ok {
+		return fmt.Errorf("dataitem: grid fragment resized with %T", r)
+	}
+	target := gr.B
+	if !target.IsEmpty() && target.Dims() != f.dims && f.dims != 0 {
+		return fmt.Errorf("dataitem: resize of %d-d grid with %d-d region", f.dims, target.Dims())
+	}
+	var blocks []gridBlock[T]
+	for _, box := range target.Boxes() {
+		nb := gridBlock[T]{box: box, data: make([]T, box.Size())}
+		// Copy the overlap with every old block.
+		for oi := range f.blocks {
+			old := &f.blocks[oi]
+			inter := box.Intersect(old.box)
+			if inter.IsEmpty() {
+				continue
+			}
+			region.NewBoxSet(inter).ForEachPoint(func(p region.Point) {
+				nb.data[nb.index(p)] = old.data[old.index(p)]
+			})
+		}
+		blocks = append(blocks, nb)
+	}
+	f.blocks = blocks
+	f.cover = target
+	return nil
+}
+
+// gridWire is the gob wire form of extracted grid data.
+type gridWire[T any] struct {
+	Boxes []region.Box
+	Data  [][]T
+}
+
+// Extract implements Fragment.
+func (f *GridFragment[T]) Extract(r Region) ([]byte, error) {
+	gr, ok := r.(GridRegion)
+	if !ok {
+		return nil, fmt.Errorf("dataitem: grid extract with %T", r)
+	}
+	if !gr.B.Difference(f.cover).IsEmpty() {
+		return nil, fmt.Errorf("dataitem: extract region %v not covered by fragment %v", gr.B, f.cover)
+	}
+	var w gridWire[T]
+	for _, box := range gr.B.Boxes() {
+		data := make([]T, 0, box.Size())
+		region.NewBoxSet(box).ForEachPoint(func(p region.Point) {
+			b := f.blockOf(p)
+			data = append(data, b.data[b.index(p)])
+		})
+		w.Boxes = append(w.Boxes, box)
+		w.Data = append(w.Data, data)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Insert implements Fragment.
+func (f *GridFragment[T]) Insert(data []byte) (Region, error) {
+	var w gridWire[T]
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, err
+	}
+	covered := region.BoxSet{}
+	for bi, box := range w.Boxes {
+		if !region.NewBoxSet(box).Difference(f.cover).IsEmpty() {
+			return nil, fmt.Errorf("dataitem: insert box %v outside fragment region %v", box, f.cover)
+		}
+		vals := w.Data[bi]
+		i := 0
+		region.NewBoxSet(box).ForEachPoint(func(p region.Point) {
+			b := f.blockOf(p)
+			b.data[b.index(p)] = vals[i]
+			i++
+		})
+		covered = covered.Union(region.NewBoxSet(box))
+	}
+	return GridRegion{B: covered}, nil
+}
+
+// DenseBlock exposes one stored box and its row-major backing slice
+// for high-performance kernels (e.g. stencil inner loops).
+type DenseBlock[T any] struct {
+	Box  region.Box
+	Data []T
+}
+
+// Blocks returns the fragment's dense blocks. The slices alias the
+// fragment's storage: writes are visible to At/Extract.
+func (f *GridFragment[T]) Blocks() []DenseBlock[T] {
+	out := make([]DenseBlock[T], len(f.blocks))
+	for i := range f.blocks {
+		out[i] = DenseBlock[T]{Box: f.blocks[i].box, Data: f.blocks[i].data}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package dataitem
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+)
+
+// MapType is the data item type of hash maps from K to V,
+// demonstrating the interface's generality beyond arrays and trees
+// (Section 3.1 lists sets and maps among the implementable
+// structures). The key space is partitioned into a fixed number of
+// hash buckets; regions address sets of buckets (IntervalRegion over
+// bucket indices), which keeps them efficient and closed under the
+// set operations while still allowing fine-grained distribution.
+type MapType[K comparable, V any] struct {
+	name    string
+	buckets int64
+}
+
+// NewMapType describes a map item with the given bucket count.
+func NewMapType[K comparable, V any](name string, buckets int) *MapType[K, V] {
+	if buckets <= 0 {
+		panic("dataitem: map needs at least one bucket")
+	}
+	return &MapType[K, V]{name: name, buckets: int64(buckets)}
+}
+
+// Name implements Type.
+func (t *MapType[K, V]) Name() string { return t.name }
+
+// Buckets returns the partition count.
+func (t *MapType[K, V]) Buckets() int64 { return t.buckets }
+
+// FullRegion implements Type.
+func (t *MapType[K, V]) FullRegion() Region { return IntervalFromTo(0, t.buckets) }
+
+// EmptyRegion implements Type.
+func (t *MapType[K, V]) EmptyRegion() Region { return IntervalRegion{} }
+
+// NewFragment implements Type.
+func (t *MapType[K, V]) NewFragment() Fragment {
+	return &MapFragment[K, V]{buckets: t.buckets, vals: make(map[K]V)}
+}
+
+// BucketOf returns the bucket index of key k (deterministic across
+// processes: FNV over the gob encoding of the key).
+func (t *MapType[K, V]) BucketOf(k K) int64 { return bucketOf(k, t.buckets) }
+
+// BucketRegion returns the region containing only the bucket of k.
+func (t *MapType[K, V]) BucketRegion(k K) IntervalRegion {
+	b := t.BucketOf(k)
+	return IntervalFromTo(b, b+1)
+}
+
+func bucketOf[K comparable](k K, buckets int64) int64 {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(k); err != nil {
+		// Encoding a comparable value can only fail for exotic types
+		// (e.g. channels), which cannot be sensible map keys anyway.
+		panic(fmt.Sprintf("dataitem: unhashable map key %v: %v", k, err))
+	}
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	return int64(h.Sum64() % uint64(buckets))
+}
+
+// MapFragment stores the key/value pairs of the covered buckets.
+type MapFragment[K comparable, V any] struct {
+	buckets int64
+	cover   IntervalRegion
+	vals    map[K]V
+}
+
+var _ Fragment = (*MapFragment[string, int])(nil)
+
+// Region implements Fragment.
+func (f *MapFragment[K, V]) Region() Region { return f.cover }
+
+// Covers reports whether the bucket of key k is held locally.
+func (f *MapFragment[K, V]) Covers(k K) bool {
+	return f.cover.S.Contains(bucketOf(k, f.buckets))
+}
+
+// Get returns the value of k; it panics when k's bucket is outside
+// the fragment (a missing data requirement).
+func (f *MapFragment[K, V]) Get(k K) (V, bool) {
+	if !f.Covers(k) {
+		panic(fmt.Sprintf("dataitem: map access to key %v outside fragment buckets %v (missing data requirement?)", k, f.cover))
+	}
+	v, ok := f.vals[k]
+	return v, ok
+}
+
+// Put stores v under k; same containment contract as Get.
+func (f *MapFragment[K, V]) Put(k K, v V) {
+	if !f.Covers(k) {
+		panic(fmt.Sprintf("dataitem: map write to key %v outside fragment buckets %v (missing data requirement?)", k, f.cover))
+	}
+	f.vals[k] = v
+}
+
+// Delete removes k; same containment contract as Get.
+func (f *MapFragment[K, V]) Delete(k K) {
+	if !f.Covers(k) {
+		panic(fmt.Sprintf("dataitem: map delete of key %v outside fragment buckets %v (missing data requirement?)", k, f.cover))
+	}
+	delete(f.vals, k)
+}
+
+// Len returns the number of locally stored pairs.
+func (f *MapFragment[K, V]) Len() int { return len(f.vals) }
+
+// ForEach visits every locally stored pair in unspecified order.
+func (f *MapFragment[K, V]) ForEach(fn func(K, V)) {
+	for k, v := range f.vals {
+		fn(k, v)
+	}
+}
+
+// Resize implements Fragment: pairs in dropped buckets are discarded.
+func (f *MapFragment[K, V]) Resize(r Region) error {
+	ir, ok := r.(IntervalRegion)
+	if !ok {
+		return fmt.Errorf("dataitem: map fragment resized with %T", r)
+	}
+	next := make(map[K]V)
+	for k, v := range f.vals {
+		if ir.S.Contains(bucketOf(k, f.buckets)) {
+			next[k] = v
+		}
+	}
+	f.vals = next
+	f.cover = ir
+	return nil
+}
+
+// mapWire is the gob wire form of extracted map data. Empty buckets
+// still travel (as the region) so the receiver learns their coverage.
+type mapWire[K comparable, V any] struct {
+	Keys []K
+	Vals []V
+}
+
+// Extract implements Fragment.
+func (f *MapFragment[K, V]) Extract(r Region) ([]byte, error) {
+	ir, ok := r.(IntervalRegion)
+	if !ok {
+		return nil, fmt.Errorf("dataitem: map extract with %T", r)
+	}
+	if !ir.S.Difference(f.cover.S).IsEmpty() {
+		return nil, fmt.Errorf("dataitem: extract buckets %v not covered by fragment %v", ir, f.cover)
+	}
+	var w mapWire[K, V]
+	for k, v := range f.vals {
+		if ir.S.Contains(bucketOf(k, f.buckets)) {
+			w.Keys = append(w.Keys, k)
+			w.Vals = append(w.Vals, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Insert implements Fragment. Because bucket contents travel as whole
+// buckets, inserting replaces nothing outside the carried keys; the
+// DIM transfers at bucket granularity so this is exact.
+func (f *MapFragment[K, V]) Insert(data []byte) (Region, error) {
+	var w mapWire[K, V]
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, err
+	}
+	covered := IntervalRegion{}
+	for i, k := range w.Keys {
+		b := bucketOf(k, f.buckets)
+		if !f.cover.S.Contains(b) {
+			return nil, fmt.Errorf("dataitem: insert key %v outside fragment buckets %v", k, f.cover)
+		}
+		f.vals[k] = w.Vals[i]
+		covered = covered.Union(IntervalFromTo(b, b+1)).(IntervalRegion)
+	}
+	return covered, nil
+}

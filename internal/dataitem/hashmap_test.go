@@ -1,0 +1,148 @@
+package dataitem
+
+import (
+	"testing"
+)
+
+func TestMapFragmentBasics(t *testing.T) {
+	typ := NewMapType[string, int]("kv", 8)
+	if typ.FullRegion().Size() != 8 {
+		t.Fatalf("full region = %d buckets", typ.FullRegion().Size())
+	}
+	f := typ.NewFragment().(*MapFragment[string, int])
+	if err := f.Resize(typ.FullRegion()); err != nil {
+		t.Fatal(err)
+	}
+	f.Put("alpha", 1)
+	f.Put("beta", 2)
+	if v, ok := f.Get("alpha"); !ok || v != 1 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if _, ok := f.Get("gamma"); ok {
+		t.Fatal("absent key reported present")
+	}
+	f.Delete("alpha")
+	if _, ok := f.Get("alpha"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("len = %d", f.Len())
+	}
+}
+
+func TestMapBucketAssignmentDeterministic(t *testing.T) {
+	typ := NewMapType[string, int]("kv2", 16)
+	seen := map[int64]int{}
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"} {
+		b1 := typ.BucketOf(k)
+		b2 := typ.BucketOf(k)
+		if b1 != b2 {
+			t.Fatal("bucket assignment not deterministic")
+		}
+		if b1 < 0 || b1 >= 16 {
+			t.Fatalf("bucket %d out of range", b1)
+		}
+		seen[b1]++
+	}
+	if len(seen) < 3 {
+		t.Fatalf("keys hash to only %d buckets", len(seen))
+	}
+	if typ.BucketRegion("a").Size() != 1 {
+		t.Fatal("bucket region must cover one bucket")
+	}
+}
+
+func TestMapFragmentAccessOutsideBucketsPanics(t *testing.T) {
+	typ := NewMapType[string, int]("kv3", 8)
+	f := typ.NewFragment().(*MapFragment[string, int])
+	// Cover only the bucket of "inside".
+	if err := f.Resize(typ.BucketRegion("inside")); err != nil {
+		t.Fatal(err)
+	}
+	f.Put("inside", 1)
+	// Find a key hashing to a different bucket.
+	outside := ""
+	for _, k := range []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"} {
+		if typ.BucketOf(k) != typ.BucketOf("inside") {
+			outside = k
+			break
+		}
+	}
+	if outside == "" {
+		t.Skip("all probe keys collided")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access outside covered buckets must panic")
+		}
+	}()
+	f.Put(outside, 2)
+}
+
+func TestMapExtractInsertRoundTrip(t *testing.T) {
+	typ := NewMapType[string, float64]("kv4", 4)
+	src := typ.NewFragment().(*MapFragment[string, float64])
+	src.Resize(typ.FullRegion())
+	keys := []string{"one", "two", "three", "four", "five", "six"}
+	for i, k := range keys {
+		src.Put(k, float64(i)*1.5)
+	}
+	// Transfer buckets 0..2.
+	sub := IntervalFromTo(0, 2)
+	data, err := src.Extract(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := typ.NewFragment().(*MapFragment[string, float64])
+	dst.Resize(sub)
+	if _, err := dst.Insert(data); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i, k := range keys {
+		if typ.BucketOf(k) < 2 {
+			moved++
+			if v, ok := dst.Get(k); !ok || v != float64(i)*1.5 {
+				t.Fatalf("key %q = %v,%v after transfer", k, v, ok)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Skip("no probe key landed in buckets 0..2")
+	}
+	if dst.Len() != moved {
+		t.Fatalf("dst holds %d pairs, want %d", dst.Len(), moved)
+	}
+}
+
+func TestMapFragmentResizeDropsForeignBuckets(t *testing.T) {
+	typ := NewMapType[int, string]("kv5", 4)
+	f := typ.NewFragment().(*MapFragment[int, string])
+	f.Resize(typ.FullRegion())
+	for i := 0; i < 20; i++ {
+		f.Put(i, "v")
+	}
+	keep := IntervalFromTo(0, 2)
+	if err := f.Resize(keep); err != nil {
+		t.Fatal(err)
+	}
+	f.ForEach(func(k int, _ string) {
+		if typ.BucketOf(k) >= 2 {
+			t.Fatalf("key %d in dropped bucket survived", k)
+		}
+	})
+	total := 0
+	f.ForEach(func(int, string) { total++ })
+	if total != f.Len() || total == 20 || total == 0 {
+		t.Fatalf("kept %d of 20", total)
+	}
+}
+
+func TestMapExtractRequiresCoverage(t *testing.T) {
+	typ := NewMapType[string, int]("kv6", 4)
+	f := typ.NewFragment().(*MapFragment[string, int])
+	f.Resize(IntervalFromTo(0, 2))
+	if _, err := f.Extract(IntervalFromTo(0, 4)); err == nil {
+		t.Fatal("extract beyond coverage must fail")
+	}
+}

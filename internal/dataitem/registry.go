@@ -1,0 +1,51 @@
+package dataitem
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry maps item type names to Type descriptors, so every runtime
+// process can materialize fragments for data items created by other
+// processes. Applications register their item types on every process
+// before the computation starts (the role the AllScale compiler's
+// generated registration code plays, Section 3.3).
+type Registry struct {
+	mu    sync.RWMutex
+	types map[string]Type
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{types: make(map[string]Type)}
+}
+
+// Register adds t under its name; re-registering a name is an error
+// to catch accidental item type collisions.
+func (r *Registry) Register(t Type) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.types[t.Name()]; dup {
+		return fmt.Errorf("dataitem: type %q already registered", t.Name())
+	}
+	r.types[t.Name()] = t
+	return nil
+}
+
+// MustRegister is Register, panicking on error.
+func (r *Registry) MustRegister(t Type) {
+	if err := r.Register(t); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the type registered under name.
+func (r *Registry) Lookup(name string) (Type, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.types[name]
+	if !ok {
+		return nil, fmt.Errorf("dataitem: type %q not registered", name)
+	}
+	return t, nil
+}

@@ -1,0 +1,243 @@
+package dataitem
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"allscale/internal/region"
+)
+
+// TreeItemRegion adapts region.TreeRegion — the flexible
+// included/excluded-subtree scheme of Fig. 4b — to the dynamic Region
+// interface.
+type TreeItemRegion struct {
+	T region.TreeRegion
+}
+
+var _ Region = TreeItemRegion{}
+
+func init() { gob.Register(TreeItemRegion{}) }
+
+// Union implements Region.
+func (t TreeItemRegion) Union(other Region) Region {
+	o, ok := other.(TreeItemRegion)
+	if !ok {
+		typeMismatch("union", t, other)
+	}
+	return TreeItemRegion{T: t.T.Union(o.T)}
+}
+
+// Intersect implements Region.
+func (t TreeItemRegion) Intersect(other Region) Region {
+	o, ok := other.(TreeItemRegion)
+	if !ok {
+		typeMismatch("intersect", t, other)
+	}
+	return TreeItemRegion{T: t.T.Intersect(o.T)}
+}
+
+// Difference implements Region.
+func (t TreeItemRegion) Difference(other Region) Region {
+	o, ok := other.(TreeItemRegion)
+	if !ok {
+		typeMismatch("difference", t, other)
+	}
+	return TreeItemRegion{T: t.T.Difference(o.T)}
+}
+
+// IsEmpty implements Region.
+func (t TreeItemRegion) IsEmpty() bool { return t.T.IsEmpty() }
+
+// Equal implements Region.
+func (t TreeItemRegion) Equal(other Region) bool {
+	o, ok := other.(TreeItemRegion)
+	if !ok {
+		return false
+	}
+	return t.T.Equal(o.T)
+}
+
+// Size implements Region.
+func (t TreeItemRegion) Size() int64 { return t.T.Size() }
+
+func (t TreeItemRegion) String() string { return t.T.String() }
+
+// treeRegionWire is the gob wire form of a TreeItemRegion: the exact
+// ordered subtree-op decomposition.
+type treeRegionWire struct {
+	Height int
+	Adds   []bool
+	Nodes  []uint64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (t TreeItemRegion) MarshalBinary() ([]byte, error) {
+	w := treeRegionWire{Height: t.T.Height()}
+	for _, op := range t.T.Ops() {
+		w.Adds = append(w.Adds, op.Add)
+		w.Nodes = append(w.Nodes, uint64(op.Node))
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(w)
+	return buf.Bytes(), err
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *TreeItemRegion) UnmarshalBinary(data []byte) error {
+	var w treeRegionWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	ops := make([]region.TreeOp, len(w.Adds))
+	for i := range w.Adds {
+		ops[i] = region.TreeOp{Add: w.Adds[i], Node: region.NodeID(w.Nodes[i])}
+	}
+	t.T = region.ApplyTreeOps(w.Height, ops)
+	return nil
+}
+
+// TreeType is the data item type of complete binary trees of height
+// `height` with node payloads of type T (Fig. 4b/4c).
+type TreeType[T any] struct {
+	name   string
+	height int
+}
+
+// NewTreeType describes a binary tree data item with the given number
+// of levels.
+func NewTreeType[T any](name string, height int) *TreeType[T] {
+	if height <= 0 {
+		panic("dataitem: tree needs at least one level")
+	}
+	return &TreeType[T]{name: name, height: height}
+}
+
+// Name implements Type.
+func (t *TreeType[T]) Name() string { return t.name }
+
+// Height returns the number of tree levels.
+func (t *TreeType[T]) Height() int { return t.height }
+
+// FullRegion implements Type.
+func (t *TreeType[T]) FullRegion() Region {
+	return TreeItemRegion{T: region.FullTreeRegion(t.height)}
+}
+
+// EmptyRegion implements Type.
+func (t *TreeType[T]) EmptyRegion() Region {
+	return TreeItemRegion{T: region.EmptyTreeRegion(t.height)}
+}
+
+// NewFragment implements Type.
+func (t *TreeType[T]) NewFragment() Fragment {
+	return &TreeFragment[T]{
+		height: t.height,
+		cover:  region.EmptyTreeRegion(t.height),
+		nodes:  make(map[region.NodeID]T),
+	}
+}
+
+// TreeFragment stores the payloads of the tree nodes of one region.
+type TreeFragment[T any] struct {
+	height int
+	cover  region.TreeRegion
+	nodes  map[region.NodeID]T
+}
+
+var _ Fragment = (*TreeFragment[int])(nil)
+
+// Region implements Fragment.
+func (f *TreeFragment[T]) Region() Region { return TreeItemRegion{T: f.cover} }
+
+// Covers reports whether node n is stored in the fragment.
+func (f *TreeFragment[T]) Covers(n region.NodeID) bool { return f.cover.Contains(n) }
+
+// At returns the payload of node n; it panics when n is outside the
+// fragment (a missing data requirement).
+func (f *TreeFragment[T]) At(n region.NodeID) T {
+	if !f.cover.Contains(n) {
+		panic(fmt.Sprintf("dataitem: access to %v outside tree fragment %v (missing data requirement?)", n, f.cover))
+	}
+	return f.nodes[n]
+}
+
+// Set stores v at node n; same containment contract as At.
+func (f *TreeFragment[T]) Set(n region.NodeID, v T) {
+	if !f.cover.Contains(n) {
+		panic(fmt.Sprintf("dataitem: write to %v outside tree fragment %v (missing data requirement?)", n, f.cover))
+	}
+	f.nodes[n] = v
+}
+
+// Resize implements Fragment.
+func (f *TreeFragment[T]) Resize(r Region) error {
+	tr, ok := r.(TreeItemRegion)
+	if !ok {
+		return fmt.Errorf("dataitem: tree fragment resized with %T", r)
+	}
+	target := tr.T
+	if target.Height() != f.height && !target.IsEmpty() {
+		return fmt.Errorf("dataitem: resize of height-%d tree with height-%d region", f.height, target.Height())
+	}
+	next := make(map[region.NodeID]T)
+	target.ForEachNode(func(n region.NodeID) {
+		if f.cover.Contains(n) {
+			next[n] = f.nodes[n]
+		} else {
+			var zero T
+			next[n] = zero
+		}
+	})
+	if target.IsEmpty() {
+		target = region.EmptyTreeRegion(f.height)
+	}
+	f.nodes = next
+	f.cover = target
+	return nil
+}
+
+// treeWire is the gob wire form of extracted tree data.
+type treeWire[T any] struct {
+	Nodes  []uint64
+	Values []T
+}
+
+// Extract implements Fragment.
+func (f *TreeFragment[T]) Extract(r Region) ([]byte, error) {
+	tr, ok := r.(TreeItemRegion)
+	if !ok {
+		return nil, fmt.Errorf("dataitem: tree extract with %T", r)
+	}
+	if !tr.T.Difference(f.cover).IsEmpty() {
+		return nil, fmt.Errorf("dataitem: extract region %v not covered by fragment %v", tr.T, f.cover)
+	}
+	var w treeWire[T]
+	tr.T.ForEachNode(func(n region.NodeID) {
+		w.Nodes = append(w.Nodes, uint64(n))
+		w.Values = append(w.Values, f.nodes[n])
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Insert implements Fragment.
+func (f *TreeFragment[T]) Insert(data []byte) (Region, error) {
+	var w treeWire[T]
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, err
+	}
+	covered := region.EmptyTreeRegion(f.height)
+	for i, raw := range w.Nodes {
+		n := region.NodeID(raw)
+		if !f.cover.Contains(n) {
+			return nil, fmt.Errorf("dataitem: insert node %v outside fragment region %v", n, f.cover)
+		}
+		f.nodes[n] = w.Values[i]
+		covered = covered.Union(region.SingleNodeRegion(f.height, n))
+	}
+	return TreeItemRegion{T: covered}, nil
+}

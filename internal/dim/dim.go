@@ -1,0 +1,162 @@
+// Package dim implements the AllScale data item manager
+// (Section 3.2): one manager instance per runtime process maintains
+// fragments of data items, performs resizing, import and export
+// operations, tracks the read/write lock state of locally maintained
+// regions, and participates in the hierarchical distributed index of
+// Fig. 5 used to locate regions (Algorithm 1).
+package dim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"allscale/internal/dataitem"
+	"allscale/internal/runtime"
+)
+
+// ItemID globally identifies a data item: the creating rank in the
+// upper 32 bits, a creator-local sequence number in the lower 32.
+type ItemID uint64
+
+// MakeItemID composes an item ID.
+func MakeItemID(rank int, seq uint32) ItemID {
+	return ItemID(uint64(uint32(rank))<<32 | uint64(seq))
+}
+
+func (id ItemID) String() string { return fmt.Sprintf("d%d.%d", uint64(id)>>32, uint32(id)) }
+
+// Mode distinguishes read-only from read/write data requirements
+// (Definition 2.7).
+type Mode int
+
+const (
+	// Read grants shared access; the manager may replicate the data.
+	Read Mode = iota
+	// Write grants exclusive access; the manager consolidates all
+	// copies into the local fragment first (exclusive writes).
+	Write
+)
+
+func (m Mode) String() string {
+	if m == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Requirement is one data requirement of a task: a region of one item
+// accessed in the given mode.
+type Requirement struct {
+	Item   ItemID
+	Region dataitem.Region
+	Mode   Mode
+}
+
+// Located maps a region segment to the rank hosting it (the result
+// relation of Algorithm 1).
+type Located struct {
+	Region dataitem.Region
+	Rank   int
+}
+
+// lockEntry records one granted requirement.
+type lockEntry struct {
+	token  uint64
+	mode   Mode
+	region dataitem.Region
+}
+
+// sides holds the child coverage an inner index node maintains.
+// Reports carry per-reporter version numbers so that out-of-order
+// delivery (handlers run concurrently) cannot regress a side to a
+// stale coverage.
+type sides struct {
+	left, right       dataitem.Region
+	leftSeq, rightSeq uint64
+}
+
+// itemState is the per-item bookkeeping of one manager.
+type itemState struct {
+	typ   dataitem.Type
+	frag  dataitem.Fragment
+	locks []lockEntry
+	// index maps level -> child coverages, for the levels at which
+	// this rank hosts an inner node (level >= 2).
+	index map[int]*sides
+	// ver numbers the coverage reports this rank emits per hierarchy
+	// level (level 1 = the leaf fragment), making reports monotonic.
+	ver map[int]uint64
+	// allocated is maintained only at the index root host: the union
+	// of all element regions ever allocated, serializing first-touch
+	// allocation claims.
+	allocated dataitem.Region
+}
+
+// Manager is the data item manager instance of one locality.
+type Manager struct {
+	loc *runtime.Locality
+	reg *dataitem.Registry
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  map[ItemID]*itemState
+	seq    uint32
+	pinSeq uint64 // replica-pin token sequence (guarded by mu)
+
+	// LockWaitTimeout bounds how long lock-conflict waits may block
+	// before failing loudly; it converts application-level deadlocks
+	// into errors instead of hangs.
+	LockWaitTimeout time.Duration
+}
+
+// New creates the manager of loc and registers its services. All
+// managers of a system must be created before the fabric starts.
+func New(loc *runtime.Locality, reg *dataitem.Registry) *Manager {
+	m := &Manager{
+		loc:             loc,
+		reg:             reg,
+		items:           make(map[ItemID]*itemState),
+		LockWaitTimeout: 60 * time.Second,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.registerServices()
+	return m
+}
+
+// Rank returns the hosting locality's rank.
+func (m *Manager) Rank() int { return m.loc.Rank() }
+
+// size returns the number of processes.
+func (m *Manager) size() int { return m.loc.Size() }
+
+// ---------------------------------------------------------------
+// Process hierarchy geometry (Fig. 5)
+// ---------------------------------------------------------------
+
+// rootLevel returns the level of the hierarchy root: the smallest l
+// with 2^(l-1) >= P. Level 1 is the leaf level.
+func rootLevel(p int) int {
+	l := 1
+	for (1 << uint(l-1)) < p {
+		l++
+	}
+	return l
+}
+
+// hostsNode reports whether process i hosts the (unique) inner node
+// at level l of the hierarchy; the role of inner nodes is assumed by
+// the left-most process of their subtree.
+func hostsNode(i, l int) bool { return i%(1<<uint(l-1)) == 0 }
+
+// parentHost returns the process hosting the parent (at level l+1) of
+// the node at level l hosted by process i.
+func parentHost(i, l int) int { return i - i%(1<<uint(l)) }
+
+// rightChildHost returns the process hosting the right child (at
+// level l-1) of the inner node at level l hosted by process i.
+func rightChildHost(i, l int) int { return i + 1<<uint(l-2) }
+
+// subtreeSpan returns the process range [lo, hi) covered by the node
+// at level l hosted by process i.
+func subtreeSpan(i, l int) (int, int) { return i, i + 1<<uint(l-1) }

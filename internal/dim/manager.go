@@ -1,0 +1,952 @@
+package dim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"allscale/internal/dataitem"
+)
+
+// Wire argument structures of the manager's services. Region fields
+// travel as gob interface values; all concrete region types register
+// themselves with gob.
+type (
+	createArgs struct {
+		ID       ItemID
+		TypeName string
+	}
+	destroyArgs struct {
+		ID ItemID
+	}
+	reportArgs struct {
+		Item   ItemID
+		Level  int // the parent's level receiving the report
+		Left   bool
+		Region dataitem.Region
+		Seq    uint64
+	}
+	resolveArgs struct {
+		Item    ItemID
+		Region  dataitem.Region
+		Level   int
+		Descend bool
+	}
+	resolveReply struct {
+		Entries []Located
+	}
+	fetchArgs struct {
+		Item   ItemID
+		Region dataitem.Region
+		Remove bool
+		// Pin asks the source to hold a temporary read lock on the
+		// exported region until the caller confirms (dim.unpin) that
+		// the new replica is registered in the index. Without it, a
+		// concurrent write consolidation could miss the in-flight
+		// replica and later be overwritten by its stale data.
+		Pin bool
+	}
+	fetchReply struct {
+		Data []byte
+		// Part is the region actually exported — the request clipped
+		// to the source's coverage at execution time.
+		Part     dataitem.Region
+		Empty    bool
+		PinToken uint64
+	}
+	unpinArgs struct {
+		Token uint64
+	}
+	claimArgs struct {
+		Item   ItemID
+		Region dataitem.Region
+	}
+	claimReply struct {
+		Granted dataitem.Region
+	}
+	dropArgs struct {
+		Item   ItemID
+		Region dataitem.Region
+	}
+)
+
+const (
+	methodCreate     = "dim.create"
+	methodDestroy    = "dim.destroy"
+	methodReport     = "dim.report"
+	methodResolve    = "dim.resolve"
+	methodResolveAll = "dim.resolveAll"
+	methodFetch      = "dim.fetch"
+	methodClaim      = "dim.claim"
+	methodDrop       = "dim.drop"
+	methodUnpin      = "dim.unpin"
+)
+
+func (m *Manager) registerServices() {
+	m.loc.Handle(methodCreate, rpc(m.handleCreate))
+	m.loc.Handle(methodDestroy, rpc(m.handleDestroy))
+	m.loc.Handle(methodReport, rpc(m.handleReport))
+	m.loc.Handle(methodResolve, rpc(m.handleResolve))
+	m.loc.Handle(methodResolveAll, rpc(m.handleResolveAll))
+	m.loc.Handle(methodFetch, rpc(m.handleFetch))
+	m.loc.Handle(methodClaim, rpc(m.handleClaim))
+	m.loc.Handle(methodDrop, rpc(m.handleDrop))
+	m.loc.Handle(methodUnpin, rpc(m.handleUnpin))
+}
+
+// rpc adapts a typed handler to the runtime Method signature.
+func rpc[A any, R any](fn func(from int, args *A) (*R, error)) func(int, []byte) ([]byte, error) {
+	return func(from int, body []byte) ([]byte, error) {
+		var args A
+		if err := decodeGob(body, &args); err != nil {
+			return nil, err
+		}
+		reply, err := fn(from, &args)
+		if err != nil {
+			return nil, err
+		}
+		return encodeGob(reply)
+	}
+}
+
+// ---------------------------------------------------------------
+// Item lifecycle
+// ---------------------------------------------------------------
+
+// CreateItem introduces a new data item of the given registered type
+// to all processes of the system and returns its global ID
+// ((create) transition). No memory is allocated yet.
+func (m *Manager) CreateItem(typ dataitem.Type) (ItemID, error) {
+	if _, err := m.reg.Lookup(typ.Name()); err != nil {
+		return 0, fmt.Errorf("dim: create of unregistered type: %w", err)
+	}
+	m.mu.Lock()
+	m.seq++
+	id := MakeItemID(m.Rank(), m.seq)
+	m.mu.Unlock()
+	args := &createArgs{ID: id, TypeName: typ.Name()}
+	for rank := 0; rank < m.size(); rank++ {
+		if err := m.loc.Call(rank, methodCreate, args, nil); err != nil {
+			return 0, fmt.Errorf("dim: create at rank %d: %w", rank, err)
+		}
+	}
+	return id, nil
+}
+
+func (m *Manager) handleCreate(_ int, args *createArgs) (*struct{}, error) {
+	typ, err := m.reg.Lookup(args.TypeName)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.items[args.ID]; dup {
+		return nil, fmt.Errorf("dim: item %v already exists", args.ID)
+	}
+	m.items[args.ID] = &itemState{
+		typ:       typ,
+		frag:      typ.NewFragment(),
+		index:     make(map[int]*sides),
+		ver:       make(map[int]uint64),
+		allocated: typ.EmptyRegion(),
+	}
+	return &struct{}{}, nil
+}
+
+// DestroyItem removes the data item from all processes, releasing its
+// fragments and locks ((destroy) transition).
+func (m *Manager) DestroyItem(id ItemID) error {
+	args := &destroyArgs{ID: id}
+	for rank := 0; rank < m.size(); rank++ {
+		if err := m.loc.Call(rank, methodDestroy, args, nil); err != nil {
+			return fmt.Errorf("dim: destroy at rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+func (m *Manager) handleDestroy(_ int, args *destroyArgs) (*struct{}, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.items, args.ID)
+	m.cond.Broadcast()
+	return &struct{}{}, nil
+}
+
+func (m *Manager) itemLocked(id ItemID) (*itemState, error) {
+	st, ok := m.items[id]
+	if !ok {
+		return nil, fmt.Errorf("dim: unknown item %v at rank %d", id, m.Rank())
+	}
+	return st, nil
+}
+
+// Coverage returns the region of the item currently present in this
+// process's fragment.
+func (m *Manager) Coverage(id ItemID) (dataitem.Region, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	return st.frag.Region(), nil
+}
+
+// Fragment exposes the local fragment of the item for task bodies;
+// access is legitimate only under granted requirements.
+func (m *Manager) Fragment(id ItemID) (dataitem.Fragment, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	return st.frag, nil
+}
+
+// ---------------------------------------------------------------
+// Hierarchical index maintenance (Fig. 5)
+// ---------------------------------------------------------------
+
+// reportUp propagates the local fragment coverage into the index,
+// stamped with a fresh leaf report version.
+func (m *Manager) reportUp(id ItemID) error {
+	m.mu.Lock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	total := st.frag.Region()
+	st.ver[1]++
+	seq := st.ver[1]
+	m.mu.Unlock()
+	return m.propagate(id, m.Rank(), 1, total, seq)
+}
+
+// propagate walks the hierarchy upward from the node at (host i,
+// level l) whose total coverage changed to `total` under report
+// version seq, updating parents until the root. Local hops stay
+// in-process; the first remote hop hands the walk to the parent's
+// host via dim.report. Stale reports (older seq than the side's last
+// applied one) terminate the walk — a newer report has already
+// propagated past this point.
+func (m *Manager) propagate(id ItemID, i, l int, total dataitem.Region, seq uint64) error {
+	root := rootLevel(m.size())
+	for l < root {
+		p := parentHost(i, l)
+		left := i == p
+		if p != m.Rank() {
+			return m.loc.Call(p, methodReport, &reportArgs{Item: id, Level: l + 1, Left: left, Region: total, Seq: seq}, nil)
+		}
+		next, nextSeq, fresh, err := m.applyReport(id, l+1, left, total, seq)
+		if err != nil {
+			return err
+		}
+		if !fresh {
+			return nil
+		}
+		i, l, total, seq = p, l+1, next, nextSeq
+	}
+	return nil
+}
+
+// applyReport stores a child's coverage at the inner node at `level`
+// hosted here (unless the report is stale), returning the node's new
+// total coverage and this node's own report version for the next hop.
+func (m *Manager) applyReport(id ItemID, level int, left bool, region dataitem.Region, seq uint64) (dataitem.Region, uint64, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	s := st.index[level]
+	if s == nil {
+		s = &sides{left: st.typ.EmptyRegion(), right: st.typ.EmptyRegion()}
+		st.index[level] = s
+	}
+	if left {
+		if seq <= s.leftSeq {
+			return nil, 0, false, nil
+		}
+		s.leftSeq = seq
+		s.left = region
+	} else {
+		if seq <= s.rightSeq {
+			return nil, 0, false, nil
+		}
+		s.rightSeq = seq
+		s.right = region
+	}
+	st.ver[level]++
+	return s.left.Union(s.right), st.ver[level], true, nil
+}
+
+func (m *Manager) handleReport(_ int, args *reportArgs) (*struct{}, error) {
+	total, seq, fresh, err := m.applyReport(args.Item, args.Level, args.Left, args.Region, args.Seq)
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		if err := m.propagate(args.Item, m.Rank(), args.Level, total, seq); err != nil {
+			return nil, err
+		}
+	}
+	return &struct{}{}, nil
+}
+
+// ---------------------------------------------------------------
+// Region location resolution (Algorithm 1)
+// ---------------------------------------------------------------
+
+// Lookup locates the region r of item id, starting — as in
+// Algorithm 1 — at this process's leaf and escalating toward the
+// root. The result maps disjoint region segments to one hosting rank
+// each; segments of r nowhere allocated are absent from the result.
+func (m *Manager) Lookup(id ItemID, r dataitem.Region) ([]Located, error) {
+	return m.resolve(id, r, 1, false)
+}
+
+// resolve implements RESOLVE(d, r, l). descend suppresses parent
+// escalation for calls walking down into subtrees, guaranteeing
+// termination.
+func (m *Manager) resolve(id ItemID, r dataitem.Region, l int, descend bool) ([]Located, error) {
+	if r.IsEmpty() {
+		return nil, nil
+	}
+	var out []Located
+	remaining := r
+
+	if l == 1 {
+		// Leaf level: add the local share to the result.
+		m.mu.Lock()
+		st, err := m.itemLocked(id)
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+		cov := st.frag.Region()
+		m.mu.Unlock()
+		ri := remaining.Intersect(cov)
+		if !ri.IsEmpty() {
+			out = append(out, Located{Region: ri, Rank: m.Rank()})
+			remaining = remaining.Difference(ri)
+		}
+	} else {
+		// Inner level: consult the children.
+		m.mu.Lock()
+		st, err := m.itemLocked(id)
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+		var lr, rr dataitem.Region = st.typ.EmptyRegion(), st.typ.EmptyRegion()
+		if s := st.index[l]; s != nil {
+			lr, rr = s.left, s.right
+		}
+		m.mu.Unlock()
+
+		if sub := remaining.Intersect(lr); !sub.IsEmpty() {
+			entries, err := m.resolve(id, sub, l-1, true) // left child is hosted here
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, entries...)
+			remaining = remaining.Difference(lr)
+		}
+		if rc := rightChildHost(m.Rank(), l); rc < m.size() && !remaining.IsEmpty() {
+			if sub := remaining.Intersect(rr); !sub.IsEmpty() {
+				var reply resolveReply
+				if err := m.loc.Call(rc, methodResolve, &resolveArgs{Item: id, Region: sub, Level: l - 1, Descend: true}, &reply); err != nil {
+					return nil, err
+				}
+				out = append(out, reply.Entries...)
+				remaining = remaining.Difference(rr)
+			}
+		}
+	}
+
+	// Fully resolved, or a downward call: done.
+	if remaining.IsEmpty() || descend {
+		return out, nil
+	}
+	// Escalate to the parent.
+	if l < rootLevel(m.size()) {
+		p := parentHost(m.Rank(), l)
+		if p == m.Rank() {
+			entries, err := m.resolve(id, remaining, l+1, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, entries...)
+		} else {
+			var reply resolveReply
+			if err := m.loc.Call(p, methodResolve, &resolveArgs{Item: id, Region: remaining, Level: l + 1}, &reply); err != nil {
+				return nil, err
+			}
+			out = append(out, reply.Entries...)
+		}
+	}
+	return out, nil
+}
+
+func (m *Manager) handleResolve(_ int, args *resolveArgs) (*resolveReply, error) {
+	entries, err := m.resolve(args.Item, args.Region, args.Level, args.Descend)
+	if err != nil {
+		return nil, err
+	}
+	return &resolveReply{Entries: entries}, nil
+}
+
+// Owners returns every copy of every segment of r: unlike Lookup it
+// descends the whole hierarchy from the root and does not stop at the
+// first owner, so replicated segments appear once per holding rank.
+// The write-consolidation path uses it to enforce exclusive writes.
+func (m *Manager) Owners(id ItemID, r dataitem.Region) ([]Located, error) {
+	root := rootLevel(m.size())
+	if m.Rank() == 0 {
+		return m.resolveAll(id, r, root)
+	}
+	var reply resolveReply
+	if err := m.loc.Call(0, methodResolveAll, &resolveArgs{Item: id, Region: r, Level: root}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Entries, nil
+}
+
+func (m *Manager) resolveAll(id ItemID, r dataitem.Region, l int) ([]Located, error) {
+	if r.IsEmpty() {
+		return nil, nil
+	}
+	if l == 1 {
+		m.mu.Lock()
+		st, err := m.itemLocked(id)
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+		cov := st.frag.Region()
+		m.mu.Unlock()
+		ri := r.Intersect(cov)
+		if ri.IsEmpty() {
+			return nil, nil
+		}
+		return []Located{{Region: ri, Rank: m.Rank()}}, nil
+	}
+	m.mu.Lock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	var lr, rr dataitem.Region = st.typ.EmptyRegion(), st.typ.EmptyRegion()
+	if s := st.index[l]; s != nil {
+		lr, rr = s.left, s.right
+	}
+	m.mu.Unlock()
+
+	var out []Located
+	if sub := r.Intersect(lr); !sub.IsEmpty() {
+		entries, err := m.resolveAll(id, sub, l-1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entries...)
+	}
+	if rc := rightChildHost(m.Rank(), l); rc < m.size() {
+		if sub := r.Intersect(rr); !sub.IsEmpty() {
+			var reply resolveReply
+			if err := m.loc.Call(rc, methodResolveAll, &resolveArgs{Item: id, Region: sub, Level: l - 1}, &reply); err != nil {
+				return nil, err
+			}
+			out = append(out, reply.Entries...)
+		}
+	}
+	return out, nil
+}
+
+func (m *Manager) handleResolveAll(_ int, args *resolveArgs) (*resolveReply, error) {
+	entries, err := m.resolveAll(args.Item, args.Region, args.Level)
+	if err != nil {
+		return nil, err
+	}
+	return &resolveReply{Entries: entries}, nil
+}
+
+// ---------------------------------------------------------------
+// Data movement services
+// ---------------------------------------------------------------
+
+// handleFetch exports the requested region of the local fragment,
+// optionally removing it (the export side of a migration). The
+// operation waits until no conflicting locks are held: any lock
+// blocks removal ((migrate) rule), while only write locks block
+// copying ((replicate) rule).
+func (m *Manager) handleFetch(_ int, args *fetchArgs) (*fetchReply, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	deadline := time.Now().Add(m.LockWaitTimeout)
+	for {
+		st, err := m.itemLocked(args.Item)
+		if err != nil {
+			return nil, err
+		}
+		if !m.lockConflictLocked(st, args.Region, args.Remove) {
+			part := args.Region.Intersect(st.frag.Region())
+			if part.IsEmpty() {
+				return &fetchReply{Empty: true}, nil
+			}
+			data, err := st.frag.Extract(part)
+			if err != nil {
+				return nil, err
+			}
+			var pinToken uint64
+			if args.Pin && !args.Remove {
+				m.pinSeq++
+				pinToken = 1<<63 | uint64(m.Rank())<<48 | m.pinSeq
+				st.locks = append(st.locks, lockEntry{token: pinToken, mode: Read, region: part})
+			}
+			if args.Remove {
+				rest := st.frag.Region().Difference(part)
+				if err := st.frag.Resize(rest); err != nil {
+					return nil, err
+				}
+				total := st.frag.Region()
+				st.ver[1]++
+				seq := st.ver[1]
+				// Propagate outside the lock.
+				m.mu.Unlock()
+				err := m.propagate(args.Item, m.Rank(), 1, total, seq)
+				m.mu.Lock()
+				if err != nil {
+					return nil, err
+				}
+				m.cond.Broadcast()
+			}
+			return &fetchReply{Data: data, Part: part, PinToken: pinToken}, nil
+		}
+		if err := m.waitLocked(deadline); err != nil {
+			return nil, fmt.Errorf("dim: fetch of %v blocked on locks: %w", args.Item, err)
+		}
+	}
+}
+
+// handleDrop removes a region from the local fragment without
+// returning its data; used to evict replicas. It waits until no lock
+// overlaps the region (a locked replica must stay in place —
+// satisfied requirements).
+func (m *Manager) handleDrop(_ int, args *dropArgs) (*struct{}, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	deadline := time.Now().Add(m.LockWaitTimeout)
+	for {
+		st, err := m.itemLocked(args.Item)
+		if err != nil {
+			return nil, err
+		}
+		if !m.lockConflictLocked(st, args.Region, true) {
+			rest := st.frag.Region().Difference(args.Region)
+			if err := st.frag.Resize(rest); err != nil {
+				return nil, err
+			}
+			total := st.frag.Region()
+			st.ver[1]++
+			seq := st.ver[1]
+			m.mu.Unlock()
+			err := m.propagate(args.Item, m.Rank(), 1, total, seq)
+			m.mu.Lock()
+			if err != nil {
+				return nil, err
+			}
+			m.cond.Broadcast()
+			return &struct{}{}, nil
+		}
+		if err := m.waitLocked(deadline); err != nil {
+			return nil, fmt.Errorf("dim: drop of %v blocked on locks: %w", args.Item, err)
+		}
+	}
+}
+
+func (m *Manager) handleUnpin(_ int, args *unpinArgs) (*struct{}, error) {
+	m.Release(args.Token)
+	return &struct{}{}, nil
+}
+
+// DropReplica evicts the given region from rank's fragment.
+func (m *Manager) DropReplica(rank int, id ItemID, r dataitem.Region) error {
+	return m.loc.Call(rank, methodDrop, &dropArgs{Item: id, Region: r}, nil)
+}
+
+// handleClaim serializes first-touch allocation at the index root
+// host: the granted region is the not-yet-allocated part of the
+// request, which the claimant must then allocate ((init) rule — the
+// premise "not allocated anywhere" is decided here atomically).
+func (m *Manager) handleClaim(_ int, args *claimArgs) (*claimReply, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.itemLocked(args.Item)
+	if err != nil {
+		return nil, err
+	}
+	granted := args.Region.Difference(st.allocated)
+	st.allocated = st.allocated.Union(args.Region)
+	return &claimReply{Granted: granted}, nil
+}
+
+// claim asks the root host which part of r this process may allocate.
+func (m *Manager) claim(id ItemID, r dataitem.Region) (dataitem.Region, error) {
+	var reply claimReply
+	if err := m.loc.Call(0, methodClaim, &claimArgs{Item: id, Region: r}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Granted, nil
+}
+
+// ---------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------
+
+// lockConflictLocked reports whether a lock overlaps region; when
+// exclusive is set, read locks conflict too (migration), otherwise
+// only write locks (replication).
+func (m *Manager) lockConflictLocked(st *itemState, region dataitem.Region, exclusive bool) bool {
+	for _, e := range st.locks {
+		if e.mode == Write || exclusive {
+			if !e.region.Intersect(region).IsEmpty() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// waitLocked blocks on the manager condition until the next
+// broadcast, failing once deadline passes. A helper timer guarantees
+// periodic wakeups so the deadline is observed.
+func (m *Manager) waitLocked(deadline time.Time) error {
+	if time.Now().After(deadline) {
+		return fmt.Errorf("lock wait timed out after %v (application-level deadlock?)", m.LockWaitTimeout)
+	}
+	timer := time.AfterFunc(50*time.Millisecond, m.cond.Broadcast)
+	defer timer.Stop()
+	m.cond.Wait()
+	return nil
+}
+
+// Acquire grants the task identified by token all given requirements,
+// following the model's discipline that locks imply presence (the
+// (start) rule takes locks only where the data already is):
+//
+//  1. stage — pull/allocate the required data into the local fragment
+//     while holding no locks (so a staging task can never be part of
+//     a wait cycle);
+//  2. lock — atomically take all locks, provided no conflicting lock
+//     exists and the staged coverage is still local (a racing
+//     migration sends us back to staging);
+//  3. validate — for write requirements, evict any replica that raced
+//     in between staging and locking (restoring exclusive writes).
+//
+// On failure all locks of the token are released.
+//
+// Scheduling discipline: the task scheduler should avoid placing
+// tasks with overlapping write requirements on different processes
+// concurrently (Algorithm 2 routes by write requirement); such tasks
+// are still executed correctly, but keep stealing the overlap from
+// each other while racing for the lock.
+func (m *Manager) Acquire(token uint64, reqs []Requirement) error {
+	sorted := append([]Requirement(nil), reqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Item < sorted[j].Item })
+
+	deadline := time.Now().Add(m.LockWaitTimeout)
+	for {
+		for _, rq := range sorted {
+			if err := m.ensureLocal(rq); err != nil {
+				return err
+			}
+		}
+		ok, err := m.tryLockAll(token, sorted, deadline)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // coverage changed under us: re-stage
+		}
+		if err := m.enforceExclusive(sorted, deadline); err != nil {
+			m.Release(token)
+			return err
+		}
+		return nil
+	}
+}
+
+// tryLockAll takes all locks atomically. It waits (until deadline)
+// while conflicting locks exist; once conflict-free it verifies that
+// the staged data is still locally present — if a concurrent
+// migration stole it, it returns false so the caller re-stages.
+func (m *Manager) tryLockAll(token uint64, reqs []Requirement, deadline time.Time) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		conflict := false
+		for _, rq := range reqs {
+			st, err := m.itemLocked(rq.Item)
+			if err != nil {
+				return false, err
+			}
+			for _, e := range st.locks {
+				if e.token == token {
+					continue
+				}
+				if (e.mode == Write || rq.Mode == Write) && !e.region.Intersect(rq.Region).IsEmpty() {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				break
+			}
+		}
+		if conflict {
+			if err := m.waitLocked(deadline); err != nil {
+				return false, fmt.Errorf("dim: acquire at rank %d: %w", m.Rank(), err)
+			}
+			continue
+		}
+		// Conflict-free: is the staged coverage still here?
+		for _, rq := range reqs {
+			st, _ := m.itemLocked(rq.Item)
+			if !rq.Region.Difference(st.frag.Region()).IsEmpty() {
+				return false, nil
+			}
+		}
+		for _, rq := range reqs {
+			st, _ := m.itemLocked(rq.Item)
+			st.locks = append(st.locks, lockEntry{token: token, mode: rq.Mode, region: rq.Region})
+		}
+		return true, nil
+	}
+}
+
+// enforceExclusive restores single-copy ownership of all write
+// regions after the locks are taken: replicas that raced in between
+// staging and locking are pulled away from their holders. Holders of
+// such replicas either finished staging (they run and release — a
+// bounded wait) or have not registered them yet (then they are not in
+// the index and their own fetch will wait on our write lock), so no
+// wait cycle can form.
+func (m *Manager) enforceExclusive(reqs []Requirement, deadline time.Time) error {
+	for _, rq := range reqs {
+		if rq.Mode != Write {
+			continue
+		}
+		for {
+			owners, err := m.Owners(rq.Item, rq.Region)
+			if err != nil {
+				return err
+			}
+			foreign := owners[:0:0]
+			for _, o := range owners {
+				if o.Rank != m.Rank() {
+					foreign = append(foreign, o)
+				}
+			}
+			if len(foreign) == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("dim: write region %v of %v keeps being re-replicated", rq.Region, rq.Item)
+			}
+			for _, o := range foreign {
+				var reply fetchReply
+				if err := m.loc.Call(o.Rank, methodFetch, &fetchArgs{Item: rq.Item, Region: o.Region, Remove: true}, &reply); err != nil {
+					return fmt.Errorf("dim: evict replica of %v from rank %d: %w", rq.Item, o.Rank, err)
+				}
+				// All copies hold equal values (exclusive writes), so
+				// the pulled data simply refreshes our fragment.
+				if !reply.Empty {
+					if err := m.insertLocal(rq.Item, reply.Part, reply.Data); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Release drops all locks held by token.
+func (m *Manager) Release(token uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.items {
+		kept := st.locks[:0]
+		for _, e := range st.locks {
+			if e.token != token {
+				kept = append(kept, e)
+			}
+		}
+		st.locks = kept
+	}
+	m.cond.Broadcast()
+}
+
+// LockedRegions returns the currently locked regions of an item (for
+// tests and monitoring).
+func (m *Manager) LockedRegions(id ItemID) (read, write []dataitem.Region, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range st.locks {
+		if e.mode == Write {
+			write = append(write, e.region)
+		} else {
+			read = append(read, e.region)
+		}
+	}
+	return read, write, nil
+}
+
+// ensureLocal stages one requirement's data into the local fragment.
+func (m *Manager) ensureLocal(rq Requirement) error {
+	deadline := time.Now().Add(m.LockWaitTimeout)
+	for round := 0; ; round++ {
+		cov, err := m.Coverage(rq.Item)
+		if err != nil {
+			return err
+		}
+		missing := rq.Region.Difference(cov)
+
+		owners, err := m.Owners(rq.Item, rq.Region)
+		if err != nil {
+			return err
+		}
+		foreign := owners[:0:0]
+		var located dataitem.Region = missing.Difference(missing) // empty of right type
+		for _, o := range owners {
+			if o.Rank != m.Rank() {
+				foreign = append(foreign, o)
+				located = located.Union(o.Region)
+			}
+		}
+
+		done := false
+		switch rq.Mode {
+		case Read:
+			done = missing.IsEmpty()
+		case Write:
+			done = missing.IsEmpty() && len(foreign) == 0
+		}
+		if done {
+			return nil
+		}
+
+		progressed := false
+		// Pull data from foreign holders.
+		for _, o := range foreign {
+			want := o.Region
+			if rq.Mode == Read {
+				// Only copy what is still missing locally.
+				want = want.Intersect(missing)
+				if want.IsEmpty() {
+					continue
+				}
+			}
+			var reply fetchReply
+			err := m.loc.Call(o.Rank, methodFetch, &fetchArgs{
+				Item: rq.Item, Region: want,
+				Remove: rq.Mode == Write,
+				Pin:    rq.Mode == Read,
+			}, &reply)
+			if err != nil {
+				return fmt.Errorf("dim: fetch %v from rank %d: %w", rq.Item, o.Rank, err)
+			}
+			if reply.Empty {
+				continue
+			}
+			// Grow only by what the source actually exported; a
+			// concurrent migration may have shrunk it below `want`.
+			insErr := m.insertLocal(rq.Item, reply.Part, reply.Data)
+			if reply.PinToken != 0 {
+				// The replica is registered (or the insert failed):
+				// release the source pin either way.
+				if err := m.loc.Call(o.Rank, methodUnpin, &unpinArgs{Token: reply.PinToken}, nil); err != nil {
+					return err
+				}
+			}
+			if insErr != nil {
+				return insErr
+			}
+			progressed = true
+		}
+
+		// Allocate never-touched parts (first-touch claim at the root).
+		cov, err = m.Coverage(rq.Item)
+		if err != nil {
+			return err
+		}
+		unresolved := rq.Region.Difference(cov).Difference(located)
+		if !unresolved.IsEmpty() {
+			granted, err := m.claim(rq.Item, unresolved)
+			if err != nil {
+				return err
+			}
+			if !granted.IsEmpty() {
+				if err := m.growLocal(rq.Item, granted); err != nil {
+					return err
+				}
+				progressed = true
+			}
+		}
+
+		if !progressed {
+			// Somebody else is mid-allocation or mid-report; retry
+			// until the index reflects it.
+			if time.Now().After(deadline) {
+				return fmt.Errorf("dim: staging %v %v at rank %d made no progress", rq.Item, rq.Mode, m.Rank())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// insertLocal grows the local fragment by region and inserts the
+// transferred data.
+func (m *Manager) insertLocal(id ItemID, region dataitem.Region, data []byte) error {
+	m.mu.Lock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if err := st.frag.Resize(st.frag.Region().Union(region)); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if _, err := st.frag.Insert(data); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	return m.reportUp(id)
+}
+
+// growLocal zero-allocates region in the local fragment.
+func (m *Manager) growLocal(id ItemID, region dataitem.Region) error {
+	m.mu.Lock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if err := st.frag.Resize(st.frag.Region().Union(region)); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	return m.reportUp(id)
+}

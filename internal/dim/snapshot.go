@@ -1,0 +1,216 @@
+package dim
+
+import (
+	"fmt"
+
+	"allscale/internal/dataitem"
+)
+
+// LocalSnapshot is the serialized content of one locality's fragment
+// of one data item: the covered region plus the element data, as
+// produced by ExportLocal and consumed by ImportLocal. It is the unit
+// of the resilience manager's checkpoints.
+type LocalSnapshot struct {
+	Region dataitem.Region
+	Data   []byte
+}
+
+// Items returns the IDs of all live data items known to this manager,
+// in unspecified order.
+func (m *Manager) Items() []ItemID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ItemID, 0, len(m.items))
+	for id := range m.items {
+		out = append(out, id)
+	}
+	return out
+}
+
+// TypeName returns the registered type name of an item.
+func (m *Manager) TypeName(id ItemID) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		return "", err
+	}
+	return st.typ.Name(), nil
+}
+
+// CoverageSize returns the element count of the local fragment.
+func (m *Manager) CoverageSize(id ItemID) (int64, error) {
+	cov, err := m.Coverage(id)
+	if err != nil {
+		return 0, err
+	}
+	return cov.Size(), nil
+}
+
+// ExportLocal serializes the locality's entire fragment of the item.
+// The caller must ensure quiescence (no concurrent writers), e.g. by
+// checkpointing between computation phases.
+func (m *Manager) ExportLocal(id ItemID) (*LocalSnapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	cov := st.frag.Region()
+	if cov.IsEmpty() {
+		return &LocalSnapshot{Region: cov}, nil
+	}
+	data, err := st.frag.Extract(cov)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalSnapshot{Region: cov, Data: data}, nil
+}
+
+// ImportLocal restores a snapshot into the local fragment: the region
+// is registered as allocated with the index root (so later first-
+// touch claims cannot double-allocate it), the fragment grows to
+// cover it, the data is inserted, and the index is updated. Importing
+// over existing coverage overwrites the intersection.
+func (m *Manager) ImportLocal(id ItemID, snap *LocalSnapshot) error {
+	if snap.Region == nil || snap.Region.IsEmpty() {
+		return nil
+	}
+	// Mark the region allocated; the granted remainder is irrelevant —
+	// the claim only serializes allocation bookkeeping.
+	if _, err := m.claim(id, snap.Region); err != nil {
+		return fmt.Errorf("dim: import claim: %w", err)
+	}
+	m.mu.Lock()
+	st, err := m.itemLocked(id)
+	if err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if err := st.frag.Resize(st.frag.Region().Union(snap.Region)); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	if _, err := st.frag.Insert(snap.Data); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	return m.reportUp(id)
+}
+
+// VerifyIndex checks the Fig. 5 index invariant across a set of
+// managers (one per rank of one system): every inner node's stored
+// child coverages equal the union of the leaf coverages of the
+// processes in the child subtree. It is a test and debugging aid.
+func VerifyIndex(managers []*Manager, id ItemID) error {
+	p := len(managers)
+	leafCov := make([]dataitem.Region, p)
+	for i, m := range managers {
+		cov, err := m.Coverage(id)
+		if err != nil {
+			return err
+		}
+		leafCov[i] = cov
+	}
+	unionOf := func(lo, hi int) dataitem.Region {
+		var u dataitem.Region
+		for i := lo; i < hi && i < p; i++ {
+			if u == nil {
+				u = leafCov[i]
+			} else {
+				u = u.Union(leafCov[i])
+			}
+		}
+		return u
+	}
+	root := rootLevel(p)
+	for l := 2; l <= root; l++ {
+		for host := 0; host < p; host++ {
+			if !hostsNode(host, l) {
+				continue
+			}
+			m := managers[host]
+			m.mu.Lock()
+			st, err := m.itemLocked(id)
+			if err != nil {
+				m.mu.Unlock()
+				return err
+			}
+			s := st.index[l]
+			var left, right dataitem.Region = st.typ.EmptyRegion(), st.typ.EmptyRegion()
+			if s != nil {
+				left, right = s.left, s.right
+			}
+			m.mu.Unlock()
+
+			childSpan := 1 << uint(l-2)
+			wantLeft := unionOf(host, host+childSpan)
+			if wantLeft == nil {
+				wantLeft = left // no processes: vacuous
+			}
+			if !left.Equal(wantLeft) {
+				return fmt.Errorf("dim: index node (%d,%d) left = %v, want %v", host, l, left, wantLeft)
+			}
+			rc := rightChildHost(host, l)
+			if rc < p {
+				wantRight := unionOf(rc, rc+childSpan)
+				if !right.Equal(wantRight) {
+					return fmt.Errorf("dim: index node (%d,%d) right = %v, want %v", host, l, right, wantRight)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSystemInvariants validates the Section 2.5 safety properties
+// on the live system state of one item across all managers of a
+// system (one per rank):
+//
+//   - satisfied requirements: every locked region is locally present;
+//   - exclusive writes: a write-locked region has no copy on any
+//     other rank.
+//
+// It is intended for quiescent or read-mostly points; checking while
+// migrations are in flight can report transient multi-copy states of
+// unlocked data (which the model permits).
+func CheckSystemInvariants(managers []*Manager, id ItemID) error {
+	type lockInfo struct {
+		rank   int
+		region dataitem.Region
+	}
+	var writes []lockInfo
+	covs := make([]dataitem.Region, len(managers))
+	for rank, m := range managers {
+		cov, err := m.Coverage(id)
+		if err != nil {
+			return err
+		}
+		covs[rank] = cov
+		read, write, err := m.LockedRegions(id)
+		if err != nil {
+			return err
+		}
+		for _, r := range append(read, write...) {
+			if !r.Difference(cov).IsEmpty() {
+				return fmt.Errorf("dim: rank %d holds lock on absent region %v (satisfied requirements)", rank, r.Difference(cov))
+			}
+		}
+		for _, w := range write {
+			writes = append(writes, lockInfo{rank: rank, region: w})
+		}
+	}
+	for _, w := range writes {
+		for rank, cov := range covs {
+			if rank == w.rank {
+				continue
+			}
+			if inter := cov.Intersect(w.region); !inter.IsEmpty() {
+				return fmt.Errorf("dim: write-locked region %v of rank %d replicated at rank %d (exclusive writes)", inter, w.rank, rank)
+			}
+		}
+	}
+	return nil
+}

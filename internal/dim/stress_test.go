@@ -1,0 +1,173 @@
+package dim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"allscale/internal/dataitem"
+	"allscale/internal/region"
+)
+
+// TestRandomizedAcquireReleaseKeepsInvariants drives the manager
+// fleet with random concurrent acquisitions (disjoint writes per
+// round, arbitrary reads) and checks after every round:
+//
+//   - the index invariant of Fig. 5 (VerifyIndex);
+//   - exclusive writes: after a write acquisition the region has one
+//     owner;
+//   - value preservation: a counter value written per region survives
+//     every migration/replication round.
+func TestRandomizedAcquireReleaseKeepsInvariants(t *testing.T) {
+	const (
+		p      = 4
+		rounds = 25
+		bands  = 8
+		w      = 4 // band width
+	)
+	typ := dataitem.NewGridType[int]("stress.field", region.Point{bands * w, 8})
+	ts := newTestSystem(t, p, typ)
+	id, err := ts.managers[0].CreateItem(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bandRegion := func(b int) dataitem.GridRegion {
+		return dataitem.GridRegionFromTo(region.Point{b * w, 0}, region.Point{(b + 1) * w, 8})
+	}
+
+	// Initialize: rank b%p first-touches band b and stamps it.
+	value := make([]int, bands)
+	for b := 0; b < bands; b++ {
+		rank := b % p
+		tok := uint64(1000 + b)
+		if err := ts.managers[rank].Acquire(tok, []Requirement{{Item: id, Region: bandRegion(b), Mode: Write}}); err != nil {
+			t.Fatal(err)
+		}
+		frag, _ := ts.managers[rank].Fragment(id)
+		value[b] = b * 100
+		frag.(*dataitem.GridFragment[int]).Set(region.Point{b * w, 0}, value[b])
+		ts.managers[rank].Release(tok)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < rounds; round++ {
+		// Assign each band a random writer rank; also issue some
+		// random concurrent readers.
+		writer := make([]int, bands)
+		for b := range writer {
+			writer[b] = rng.Intn(p)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, bands*2)
+		for b := 0; b < bands; b++ {
+			b := b
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tok := uint64(round*10000 + b + 1)
+				m := ts.managers[writer[b]]
+				if err := m.Acquire(tok, []Requirement{{Item: id, Region: bandRegion(b), Mode: Write}}); err != nil {
+					errs <- fmt.Errorf("round %d band %d write: %w", round, b, err)
+					return
+				}
+				frag, _ := m.Fragment(id)
+				g := frag.(*dataitem.GridFragment[int])
+				at := region.Point{b * w, 0}
+				if got := g.At(at); got != value[b] {
+					errs <- fmt.Errorf("round %d band %d: value %d, want %d (data lost in migration)", round, b, got, value[b])
+				}
+				g.Set(at, value[b]+1)
+				m.Release(tok)
+			}()
+			// Occasionally read a random band concurrently.
+			if rng.Intn(2) == 0 {
+				rb := rng.Intn(bands)
+				reader := rng.Intn(p)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					tok := uint64(round*10000 + 5000 + rb + 1)
+					m := ts.managers[reader]
+					if err := m.Acquire(tok, []Requirement{{Item: id, Region: bandRegion(rb), Mode: Read}}); err != nil {
+						errs <- fmt.Errorf("round %d band %d read: %w", round, rb, err)
+						return
+					}
+					m.Release(tok)
+				}()
+			}
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		for b := range value {
+			value[b]++
+		}
+
+		// Invariants after the round.
+		if err := VerifyIndex(ts.managers, id); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for b := 0; b < bands; b++ {
+			owners, err := ts.managers[0].Owners(id, bandRegion(b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			primary := map[int]bool{}
+			for _, o := range owners {
+				primary[o.Rank] = true
+			}
+			if !primary[writer[b]] {
+				t.Fatalf("round %d: band %d not owned by last writer %d (owners %v)", round, b, writer[b], owners)
+			}
+		}
+	}
+
+	// Final totals: all bands present exactly with their final values.
+	for b := 0; b < bands; b++ {
+		tok := uint64(777000 + b)
+		m := ts.managers[0]
+		if err := m.Acquire(tok, []Requirement{{Item: id, Region: bandRegion(b), Mode: Read}}); err != nil {
+			t.Fatal(err)
+		}
+		frag, _ := m.Fragment(id)
+		if got := frag.(*dataitem.GridFragment[int]).At(region.Point{b * w, 0}); got != value[b] {
+			t.Fatalf("band %d final value %d, want %d", b, got, value[b])
+		}
+		m.Release(tok)
+	}
+}
+
+// TestVerifyIndexDetectsCorruption ensures the checker itself works.
+func TestVerifyIndexDetectsCorruption(t *testing.T) {
+	typ := dataitem.NewGridType[int]("vi.field", region.Point{16, 4})
+	ts := newTestSystem(t, 4, typ)
+	id, _ := ts.managers[0].CreateItem(typ)
+	r := dataitem.GridRegionFromTo(region.Point{0, 0}, region.Point{8, 4})
+	if err := ts.managers[1].Acquire(1, []Requirement{{Item: id, Region: r, Mode: Write}}); err != nil {
+		t.Fatal(err)
+	}
+	ts.managers[1].Release(1)
+	if err := VerifyIndex(ts.managers, id); err != nil {
+		t.Fatalf("clean index flagged: %v", err)
+	}
+	// Corrupt an inner node's stored coverage.
+	m := ts.managers[0]
+	m.mu.Lock()
+	st := m.items[id]
+	if s := st.index[2]; s != nil {
+		s.left = dataitem.GridRegionFromTo(region.Point{0, 0}, region.Point{1, 1})
+	} else {
+		st.index[2] = &sides{
+			left:  dataitem.GridRegionFromTo(region.Point{0, 0}, region.Point{1, 1}),
+			right: typ.EmptyRegion(),
+		}
+	}
+	m.mu.Unlock()
+	if err := VerifyIndex(ts.managers, id); err == nil {
+		t.Fatal("corrupted index not detected")
+	}
+}

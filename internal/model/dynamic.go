@@ -1,0 +1,173 @@
+package model
+
+import "fmt"
+
+// This file formulates the extension the paper explicitly defers
+// (Section 2.4): "Extension of our model covering dynamic
+// environments where compute nodes may join or leave (crash) can be
+// formulated, but exceed[s] the scope of this paper." Two additional
+// runtime-controlled transitions are added:
+//
+//   - (join): a new node — one address space plus its compute units —
+//     appears; no state other than the architecture changes.
+//   - (crash): a node disappears; its address space's data D|m and
+//     any locks on it vanish, and variants running or blocked on its
+//     compute units are lost. Tasks whose variants were lost revert to
+//     Q so another variant can be started elsewhere (re-execution, the
+//     recovery discipline of the resilience manager).
+//
+// Properties (checked in dynamic_test.go):
+//
+//   - crash-preservation: data replicated in at least one surviving
+//     address space survives a crash — the formal justification for
+//     replication-based resilience;
+//   - re-executability: after a crash, a terminating program still
+//     terminates, provided lost data elements are re-initializable
+//     (the (init) rule applies again because the crash removed the
+//     last copy).
+
+// JoinNode applies the (join) rule: extend the architecture by a new
+// address space with the given number of compute units, returning the
+// new MemSpace. Mutating the architecture is safe because Arch is
+// owned by the state's program run.
+func (s *State) JoinNode(cores int) (MemSpace, error) {
+	if cores <= 0 {
+		return 0, fmt.Errorf("join: need at least one compute unit")
+	}
+	maxMem := MemSpace(-1)
+	for _, m := range s.Arch.Mems {
+		if m > maxMem {
+			maxMem = m
+		}
+	}
+	m := maxMem + 1
+	s.Arch.Mems = append(s.Arch.Mems, m)
+	maxCU := ComputeUnit(-1)
+	for _, c := range s.Arch.Units {
+		if c > maxCU {
+			maxCU = c
+		}
+	}
+	for i := 0; i < cores; i++ {
+		c := maxCU + 1 + ComputeUnit(i)
+		s.Arch.Units = append(s.Arch.Units, c)
+		if s.Arch.Links == nil {
+			s.Arch.Links = make(map[ComputeUnit]map[MemSpace]bool)
+		}
+		s.Arch.Links[c] = map[MemSpace]bool{m: true}
+	}
+	return m, nil
+}
+
+// CrashReport summarizes the effects of a (crash) transition.
+type CrashReport struct {
+	// LostElems lists data elements whose last copy was on the
+	// crashed node (survivors elsewhere do not count as lost).
+	LostElems []struct {
+		Item ItemID
+		Elem Elem
+	}
+	// RequeuedTasks lists tasks whose running/blocked variants were
+	// lost and that were re-enqueued.
+	RequeuedTasks []TaskID
+}
+
+// CrashNode applies the (crash) rule: remove address space m and its
+// exclusively-linked compute units. Data present only in m is lost;
+// variants on the removed compute units disappear and their tasks are
+// re-enqueued.
+func (s *State) CrashNode(m MemSpace) (*CrashReport, error) {
+	found := false
+	for _, mm := range s.Arch.Mems {
+		if mm == m {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("crash: unknown address space m%d", m)
+	}
+	if len(s.Arch.Mems) == 1 {
+		return nil, fmt.Errorf("crash: cannot remove the last address space")
+	}
+	rep := &CrashReport{}
+
+	// Record elements whose last copy lives on m.
+	for d, elems := range s.D[m] {
+		for e := range elems {
+			if len(s.CopiesOf(d, e)) == 1 {
+				rep.LostElems = append(rep.LostElems, struct {
+					Item ItemID
+					Elem Elem
+				}{d, e})
+			}
+		}
+	}
+	// Drop the address space's data.
+	delete(s.D, m)
+	// Drop locks referring to m.
+	for k := range s.Lr {
+		if k.M == m {
+			delete(s.Lr, k)
+		}
+	}
+	for k := range s.Lw {
+		if k.M == m {
+			delete(s.Lw, k)
+		}
+	}
+
+	// Identify compute units that only link to m; they go down with
+	// the node.
+	gone := map[ComputeUnit]bool{}
+	var unitsLeft []ComputeUnit
+	for _, c := range s.Arch.Units {
+		links := s.Arch.Links[c]
+		if links[m] && len(links) == 1 {
+			gone[c] = true
+			delete(s.Arch.Links, c)
+			continue
+		}
+		delete(links, m)
+		unitsLeft = append(unitsLeft, c)
+	}
+	s.Arch.Units = unitsLeft
+	var memsLeft []MemSpace
+	for _, mm := range s.Arch.Mems {
+		if mm != m {
+			memsLeft = append(memsLeft, mm)
+		}
+	}
+	s.Arch.Mems = memsLeft
+
+	// Lose variants on dead compute units; re-enqueue their tasks and
+	// release the remaining locks of the lost variants.
+	requeue := func(v VariantID) {
+		t := s.Prog.Variants[v].Task
+		s.Q[t] = true
+		rep.RequeuedTasks = append(rep.RequeuedTasks, t)
+		for k := range s.Lr {
+			if k.V == v {
+				delete(s.Lr, k)
+			}
+		}
+		for k := range s.Lw {
+			if k.V == v {
+				delete(s.Lw, k)
+			}
+		}
+	}
+	for v, e := range s.R {
+		if gone[e.CU] {
+			delete(s.R, v)
+			requeue(v)
+		}
+	}
+	for v, e := range s.B {
+		if gone[e.CU] {
+			delete(s.B, v)
+			requeue(v)
+		}
+	}
+	return rep, nil
+}

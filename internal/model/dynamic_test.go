@@ -1,0 +1,160 @@
+package model
+
+import "testing"
+
+func TestJoinNodeExtendsArchitecture(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(1, 2))
+	m, err := s.JoinNode(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 {
+		t.Fatalf("new mem = %d", m)
+	}
+	if len(s.Arch.Mems) != 2 || len(s.Arch.Units) != 6 {
+		t.Fatalf("arch = %d mems %d units", len(s.Arch.Mems), len(s.Arch.Units))
+	}
+	// The new node is usable: init data there after create.
+	driveEntry(t, s)
+	if err := s.Init(m, 0, []Elem{3}); err != nil {
+		t.Fatalf("init on joined node: %v", err)
+	}
+	if !s.Present(m, 0, 3) {
+		t.Fatal("element missing on joined node")
+	}
+	if _, err := s.JoinNode(0); err == nil {
+		t.Fatal("join with zero cores must fail")
+	}
+}
+
+func TestCrashPreservesReplicatedData(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(3, 1))
+	driveEntry(t, s)
+	s.Init(0, 0, []Elem{5})
+	if err := s.Replicate(0, 1, 0, []Elem{5}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.CrashNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LostElems) != 0 {
+		t.Fatalf("replicated element reported lost: %+v", rep.LostElems)
+	}
+	if copies := s.CopiesOf(0, 5); len(copies) != 1 || copies[0] != 1 {
+		t.Fatalf("copies after crash = %v", copies)
+	}
+}
+
+func TestCrashLosesSoleCopy(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(2, 1))
+	driveEntry(t, s)
+	s.Init(0, 0, []Elem{5})
+	rep, err := s.CrashNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.LostElems) != 1 || rep.LostElems[0].Elem != 5 {
+		t.Fatalf("lost = %+v", rep.LostElems)
+	}
+	if len(s.CopiesOf(0, 5)) != 0 {
+		t.Fatal("lost element still present")
+	}
+	// The element can be re-initialized on a survivor ((init) applies
+	// again because the last copy is gone).
+	if err := s.Init(1, 0, []Elem{5}); err != nil {
+		t.Fatalf("re-init after loss: %v", err)
+	}
+}
+
+func TestCrashRequeuesRunningTasksAndProgramTerminates(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(2, 1))
+	s.Strict = true
+	driveEntry(t, s)
+	s.Progress(0) // spawn sum
+	// Start the sequential sum variant on node 1 with its data there.
+	elems := make([]Elem, 20)
+	for i := range elems {
+		elems[i] = Elem(i)
+	}
+	if err := s.Init(1, 0, elems); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(1, 1, 1, Placement{0: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 crashes mid-execution: the task reverts to Q, its data
+	// is lost, locks are gone.
+	rep, err := s.CrashNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RequeuedTasks) != 1 || rep.RequeuedTasks[0] != 1 {
+		t.Fatalf("requeued = %v", rep.RequeuedTasks)
+	}
+	if len(s.Lr)+len(s.Lw) != 0 {
+		t.Fatal("locks of lost variant survived the crash")
+	}
+	if err := s.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery: re-init the lost data on node 0 and restart the task
+	// there; the program then runs to termination.
+	if err := s.Init(0, 0, elems); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(1, 1, 0, Placement{0: 0}); err != nil {
+		t.Fatalf("restart after crash: %v", err)
+	}
+	if rule, err := s.Progress(1); err != nil || rule != "end" {
+		t.Fatalf("end: %q %v", rule, err)
+	}
+	// Entry syncs, destroys, ends.
+	if rule, err := s.Progress(0); err != nil || rule != "sync" {
+		t.Fatalf("sync: %q %v", rule, err)
+	}
+	if err := s.Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	s.Progress(0) // destroy
+	s.Progress(0) // end
+	if !s.Terminal() {
+		t.Fatalf("program did not terminate after crash recovery: %v", s)
+	}
+}
+
+func TestCrashGuards(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(1, 1))
+	if _, err := s.CrashNode(0); err == nil {
+		t.Fatal("crashing the last node must fail")
+	}
+	if _, err := s.CrashNode(9); err == nil {
+		t.Fatal("crashing an unknown node must fail")
+	}
+}
+
+func TestCrashRemovesOnlyExclusiveUnits(t *testing.T) {
+	// A compute unit linked to two address spaces survives the crash
+	// of one of them.
+	a := NewCluster(2, 1)
+	a.Links[0][1] = true // core 0 also reaches memory 1
+	s := NewState(sumProgram(), a)
+	if _, err := s.CrashNode(1); err != nil {
+		t.Fatal(err)
+	}
+	foundCore0 := false
+	for _, c := range s.Arch.Units {
+		if c == 0 {
+			foundCore0 = true
+		}
+	}
+	if !foundCore0 {
+		t.Fatal("multi-homed compute unit removed")
+	}
+	if s.Arch.Linked(0, 1) {
+		t.Fatal("link to crashed memory survived")
+	}
+	if !s.Arch.Linked(0, 0) {
+		t.Fatal("surviving link removed")
+	}
+}

@@ -1,0 +1,227 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements bounded exhaustive exploration of the
+// transition system: starting from s0, every enabled transition of
+// every reachable state is expanded (breadth-first, with state
+// deduplication via canonical encoding), checking the Section 2.5
+// safety invariants in every reachable state. For small programs this
+// verifies the properties over ALL schedules rather than sampled
+// ones — the strongest evidence short of a mechanized proof.
+//
+// To keep the state space finite and meaningful, the runtime's
+// degrees of freedom are restricted the way the prototype restricts
+// them: data operations (init/migrate/replicate) are explored at
+// requirement-region granularity (whole read/write sets of variants)
+// rather than per element, and starts use the enabler that stages
+// exactly the data the chosen variant needs.
+
+// ExhaustiveResult summarizes one exploration.
+type ExhaustiveResult struct {
+	States      int // distinct states visited
+	Transitions int // transitions expanded
+	Terminal    int // distinct terminal states
+	Deadlocks   int // non-terminal states without enabled transitions
+}
+
+// canonical returns a deterministic string encoding of the dynamic
+// state components (architecture is constant during exploration).
+func (s *State) canonical() string {
+	var b strings.Builder
+	ids := make([]int, 0, len(s.Q))
+	for t := range s.Q {
+		ids = append(ids, int(t))
+	}
+	sort.Ints(ids)
+	fmt.Fprintf(&b, "Q%v|R", ids)
+	type rline struct {
+		v VariantID
+		e RunEntry
+	}
+	var rs []rline
+	for v, e := range s.R {
+		rs = append(rs, rline{v, e})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].v < rs[j].v })
+	for _, r := range rs {
+		fmt.Fprintf(&b, "(%d,%d,%d)", r.v, r.e.CU, r.e.PC)
+	}
+	b.WriteString("|B")
+	type bline struct {
+		v VariantID
+		e BlockEntry
+	}
+	var bs []bline
+	for v, e := range s.B {
+		bs = append(bs, bline{v, e})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].v < bs[j].v })
+	for _, x := range bs {
+		fmt.Fprintf(&b, "(%d,%d,%d,%d)", x.v, x.e.CU, x.e.PC, x.e.Waiting)
+	}
+	b.WriteString("|D")
+	var ds []string
+	for m, items := range s.D {
+		for d, elems := range items {
+			for e := range elems {
+				ds = append(ds, fmt.Sprintf("(%d,%d,%d)", m, d, e))
+			}
+		}
+	}
+	sort.Strings(ds)
+	b.WriteString(strings.Join(ds, ""))
+	b.WriteString("|L")
+	var ls []string
+	for k := range s.Lr {
+		ls = append(ls, fmt.Sprintf("r(%d,%d,%d,%d)", k.V, k.M, k.D, k.E))
+	}
+	for k := range s.Lw {
+		ls = append(ls, fmt.Sprintf("w(%d,%d,%d,%d)", k.V, k.M, k.D, k.E))
+	}
+	sort.Strings(ls)
+	b.WriteString(strings.Join(ls, ""))
+	b.WriteString("|C")
+	var cs []int
+	for d := range s.created {
+		cs = append(cs, int(d))
+	}
+	sort.Ints(cs)
+	fmt.Fprintf(&b, "%v", cs)
+	return b.String()
+}
+
+// successors enumerates every enabled transition of s, returning the
+// successor states (each a fresh clone).
+func successors(s *State) []*State {
+	var out []*State
+	try := func(mut func(c *State) error) {
+		c := s.Clone()
+		if err := mut(c); err == nil {
+			out = append(out, c)
+		}
+	}
+
+	// Progress and continue for live variants.
+	for v := range s.R {
+		v := v
+		try(func(c *State) error { _, err := c.Progress(v); return err })
+	}
+	for v := range s.B {
+		v := v
+		try(func(c *State) error { return c.Continue(v) })
+	}
+
+	// Starts: for each enqueued task, each variant, each compute
+	// unit, each single-memory placement.
+	for t := range s.Q {
+		task := s.Prog.Tasks[t]
+		for _, v := range task.Variants {
+			vv := s.Prog.Variants[v]
+			for _, cu := range s.Arch.Units {
+				for _, m := range s.Arch.MemsOf(cu) {
+					pl := Placement{}
+					for _, rq := range vv.Reads {
+						pl[rq.Item] = m
+					}
+					for _, rq := range vv.Writes {
+						pl[rq.Item] = m
+					}
+					t, v, cu := t, v, cu
+					try(func(c *State) error { return c.Start(t, v, cu, pl) })
+				}
+			}
+		}
+	}
+
+	// Data management at requirement-region granularity: for every
+	// variant requirement and memory pair, try init, migrate and
+	// replicate of the whole region.
+	regionsOf := func() map[ItemID][][]Elem {
+		regs := make(map[ItemID][][]Elem)
+		for _, vv := range s.Prog.Variants {
+			for _, reqs := range [][]Requirement{vv.Reads, vv.Writes} {
+				for _, rq := range reqs {
+					var elems []Elem
+					rq.Each(func(e Elem) { elems = append(elems, e) })
+					if len(elems) > 0 {
+						regs[rq.Item] = append(regs[rq.Item], elems)
+					}
+				}
+			}
+		}
+		return regs
+	}
+	for d, regions := range regionsOf() {
+		for _, elems := range regions {
+			for _, m := range s.Arch.Mems {
+				d, elems, m := d, elems, m
+				try(func(c *State) error { return c.Init(m, d, elems) })
+				for _, m2 := range s.Arch.Mems {
+					if m2 == m {
+						continue
+					}
+					m2 := m2
+					try(func(c *State) error { return c.Migrate(m, m2, d, elems) })
+					try(func(c *State) error { return c.Replicate(m, m2, d, elems) })
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ExploreExhaustive performs the bounded exhaustive exploration,
+// checking the per-state invariants everywhere. maxStates bounds the
+// visited set (0 = 200k). It fails on the first invariant violation
+// or when the bound is exceeded.
+func ExploreExhaustive(p *Program, a *Arch, maxStates int) (*ExhaustiveResult, error) {
+	if maxStates <= 0 {
+		maxStates = 200000
+	}
+	s0 := NewState(p, a)
+	s0.Strict = true
+	seen := map[string]bool{s0.canonical(): true}
+	queue := []*State{s0}
+	res := &ExhaustiveResult{States: 1}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if err := cur.CheckAll(); err != nil {
+			return res, fmt.Errorf("model: invariant violated in reachable state %v: %w", cur, err)
+		}
+		// Terminal states may still have enabled data-management
+		// transitions (replicas can be shuffled forever); count them
+		// as terminal regardless, and keep expanding — deduplication
+		// keeps the space finite.
+		if cur.Terminal() {
+			res.Terminal++
+		}
+		succ := successors(cur)
+		res.Transitions += len(succ)
+		if len(succ) == 0 {
+			if !cur.Terminal() {
+				res.Deadlocks++
+			}
+			continue
+		}
+		for _, nxt := range succ {
+			key := nxt.canonical()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			res.States++
+			if res.States > maxStates {
+				return res, fmt.Errorf("model: state bound %d exceeded", maxStates)
+			}
+			queue = append(queue, nxt)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package model
+
+import "testing"
+
+// tinyProgram is a minimal fork-join with data: entry creates an
+// item, spawns two leaf tasks (one writes elements 0–2, one reads
+// element 1 after the writer — no, concurrently; regions overlap on
+// nothing: writer takes 0..2, reader takes 2..4 read-only), syncs and
+// destroys.
+func tinyProgram() *Program {
+	return &Program{
+		Entry: 0,
+		Tasks: map[TaskID]*Task{
+			0: {ID: 0, Variants: []VariantID{0}},
+			1: {ID: 1, Variants: []VariantID{1}},
+			2: {ID: 2, Variants: []VariantID{2}},
+		},
+		Variants: map[VariantID]*Variant{
+			0: {ID: 0, Task: 0, Script: []Action{
+				{Kind: ActCreate, Item: 0},
+				{Kind: ActSpawn, Task: 1},
+				{Kind: ActSpawn, Task: 2},
+				{Kind: ActSync, Task: 1},
+				{Kind: ActSync, Task: 2},
+				{Kind: ActDestroy, Item: 0},
+				{Kind: ActEnd},
+			}},
+			1: {ID: 1, Task: 1,
+				Script: []Action{{Kind: ActEnd}},
+				Writes: []Requirement{{Item: 0, Ranges: []ElemRange{{0, 2}}}},
+			},
+			2: {ID: 2, Task: 2,
+				Script: []Action{{Kind: ActEnd}},
+				Reads:  []Requirement{{Item: 0, Ranges: []ElemRange{{2, 4}}}},
+			},
+		},
+		Items: map[ItemID]Elem{0: 4},
+	}
+}
+
+// TestExhaustiveExplorationHoldsInvariants verifies the Section 2.5
+// safety properties over EVERY reachable state of a small program on
+// a 2-node cluster — all interleavings of task scheduling and data
+// management, not a random sample.
+func TestExhaustiveExplorationHoldsInvariants(t *testing.T) {
+	p := tinyProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ExploreExhaustive(p, NewCluster(2, 1), 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d states, %d transitions, %d terminal", res.States, res.Transitions, res.Terminal)
+	if res.States < 100 {
+		t.Fatalf("suspiciously small state space: %d", res.States)
+	}
+	if res.Terminal == 0 {
+		t.Fatal("no terminal state reachable")
+	}
+	if res.Deadlocks != 0 {
+		t.Fatalf("%d deadlocked states found", res.Deadlocks)
+	}
+}
+
+// TestExhaustiveSingleNode explores the degenerate 1-node cluster,
+// where no migration or replication is possible.
+func TestExhaustiveSingleNode(t *testing.T) {
+	res, err := ExploreExhaustive(tinyProgram(), NewCluster(1, 2), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminal == 0 || res.Deadlocks != 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+// TestExhaustiveBoundSurfaces ensures the state bound errors rather
+// than exploring forever.
+func TestExhaustiveBoundSurfaces(t *testing.T) {
+	if _, err := ExploreExhaustive(tinyProgram(), NewCluster(2, 1), 10); err == nil {
+		t.Fatal("tiny bound must be exceeded")
+	}
+}

@@ -1,0 +1,307 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Explorer drives a program to termination by repeatedly picking an
+// enabled transition at random, acting as an adversarial scheduler
+// for the property tests. It plays both roles of the model: the
+// application (progress transitions) and the runtime system (start,
+// continue, init, migrate, replicate).
+type Explorer struct {
+	S     *State
+	Rand  *rand.Rand
+	Trace []TraceRecord
+	// MaxSteps bounds the exploration to guard against bugs that
+	// would loop forever; well-formed programs terminate long before.
+	MaxSteps int
+	// DataOpBias is the probability in [0,1) of attempting a
+	// spontaneous runtime data operation (migrate/replicate of some
+	// unlocked region) before each scheduling decision, exercising the
+	// runtime's freedom under the (migrate)/(replicate) rules.
+	DataOpBias float64
+	// CheckEveryStep enables invariant checking after each transition.
+	CheckEveryStep bool
+}
+
+// NewExplorer creates an explorer over a fresh initial state in
+// strict (conflict-free scheduling) mode.
+func NewExplorer(p *Program, a *Arch, seed int64) *Explorer {
+	s := NewState(p, a)
+	s.Strict = true
+	return &Explorer{
+		S:              s,
+		Rand:           rand.New(rand.NewSource(seed)),
+		MaxSteps:       100000,
+		DataOpBias:     0.3,
+		CheckEveryStep: true,
+	}
+}
+
+// Run explores until the state is terminal, no transition is enabled
+// (deadlock), or the step budget is exhausted. It returns an error on
+// invariant violation, deadlock, or budget exhaustion.
+func (x *Explorer) Run() error {
+	for step := 0; ; step++ {
+		if x.S.Terminal() {
+			return nil
+		}
+		if step >= x.MaxSteps {
+			return fmt.Errorf("explorer: step budget %d exhausted in %v", x.MaxSteps, x.S)
+		}
+		before := x.S.CurrentFootprint()
+		rule, rec, err := x.step()
+		if err != nil {
+			return err
+		}
+		if rule == "" {
+			return fmt.Errorf("explorer: deadlock in %v", x.S)
+		}
+		x.Trace = append(x.Trace, rec)
+		if x.CheckEveryStep {
+			if err := x.S.CheckAll(); err != nil {
+				return fmt.Errorf("after %s: %w", rule, err)
+			}
+			destroyed := ItemID(-1)
+			if rule == "destroy" {
+				destroyed = rec.Item
+			}
+			if err := CheckDataPreservation(before, x.S.CurrentFootprint(), rule, destroyed); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// step picks and applies one enabled transition. The empty rule name
+// signals that nothing is enabled.
+func (x *Explorer) step() (string, TraceRecord, error) {
+	// Occasionally act as the runtime: move or replicate unlocked data.
+	if x.Rand.Float64() < x.DataOpBias {
+		if rule, rec, ok := x.tryRandomDataOp(); ok {
+			return rule, rec, nil
+		}
+	}
+
+	type choice struct {
+		rule  string
+		apply func() (TraceRecord, error)
+	}
+	var choices []choice
+
+	// Progress or continue existing variants.
+	for _, v := range sortedVariants(x.S.R) {
+		v := v
+		choices = append(choices, choice{"progress", func() (TraceRecord, error) {
+			a, _ := x.S.NextAction(v)
+			rule, err := x.S.Progress(v)
+			rec := TraceRecord{Rule: rule, Variant: v}
+			switch a.Kind {
+			case ActSpawn, ActSync:
+				rec.Task = a.Task
+			case ActCreate, ActDestroy:
+				rec.Item = a.Item
+			}
+			return rec, err
+		}})
+	}
+	for _, v := range sortedBlocked(x.S.B) {
+		v := v
+		if x.S.TaskCompleted(x.S.B[v].Waiting) {
+			choices = append(choices, choice{"continue", func() (TraceRecord, error) {
+				return TraceRecord{Rule: "continue", Variant: v}, x.S.Continue(v)
+			}})
+		}
+	}
+	// Start enqueued tasks; the enabler stages data first if needed.
+	for _, t := range sortedTasks(x.S.Q) {
+		t := t
+		task := x.S.Prog.Tasks[t]
+		for _, v := range task.Variants {
+			v := v
+			choices = append(choices, choice{"start", func() (TraceRecord, error) {
+				return x.enableAndStart(t, v)
+			}})
+		}
+	}
+
+	x.Rand.Shuffle(len(choices), func(i, j int) { choices[i], choices[j] = choices[j], choices[i] })
+	for _, c := range choices {
+		rec, err := c.apply()
+		if err == nil {
+			return rec.Rule, rec, nil
+		}
+		if c.rule == "progress" || c.rule == "continue" {
+			// These must not fail once selected; surface the bug.
+			return "", TraceRecord{}, err
+		}
+		// start may legitimately fail (e.g. data locked); try another.
+	}
+	return "", TraceRecord{}, nil
+}
+
+// enableAndStart stages the data requirements of (t, v) on a random
+// suitable compute unit using init/replicate/migrate transitions, then
+// applies (start). Any staging transition it performs is legal on its
+// own, so a subsequent failure leaves a consistent state.
+func (x *Explorer) enableAndStart(t TaskID, v VariantID) (TraceRecord, error) {
+	vv := x.S.Prog.Variants[v]
+	units := append([]ComputeUnit(nil), x.S.Arch.Units...)
+	x.Rand.Shuffle(len(units), func(i, j int) { units[i], units[j] = units[j], units[i] })
+	var lastErr error
+	for _, c := range units {
+		mems := x.S.Arch.MemsOf(c)
+		if len(mems) == 0 {
+			continue
+		}
+		m := mems[x.Rand.Intn(len(mems))]
+		pl := Placement{}
+		ok := true
+		stage := func(rq Requirement, write bool) {
+			if !ok {
+				return
+			}
+			pl[rq.Item] = m
+			if !x.S.Created(rq.Item) {
+				ok = false // creator task has not run yet
+				return
+			}
+			rq.Each(func(e Elem) {
+				if !ok || x.S.Present(m, rq.Item, e) {
+					if write && ok {
+						// remove replicas elsewhere via migrate of the foreign copy
+						ok = x.consolidate(rq.Item, e, m)
+					}
+					return
+				}
+				copies := x.S.CopiesOf(rq.Item, e)
+				if len(copies) == 0 {
+					ok = x.S.Init(m, rq.Item, []Elem{e}) == nil
+					return
+				}
+				src := copies[0]
+				if write {
+					// single copy must end up at m: migrate.
+					if x.S.Migrate(src, m, rq.Item, []Elem{e}) != nil {
+						ok = false
+						return
+					}
+					ok = x.consolidate(rq.Item, e, m)
+				} else {
+					ok = x.S.Replicate(src, m, rq.Item, []Elem{e}) == nil
+				}
+			})
+		}
+		for _, rq := range vv.Reads {
+			stage(rq, false)
+		}
+		for _, rq := range vv.Writes {
+			stage(rq, true)
+		}
+		if !ok {
+			lastErr = fmt.Errorf("start: could not stage data for v%d at m%d", v, m)
+			continue
+		}
+		if err := x.S.Start(t, v, c, pl); err != nil {
+			lastErr = err
+			continue
+		}
+		return TraceRecord{Rule: "start", Task: t, Variant: v}, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("start: no compute unit available for t%d", t)
+	}
+	return TraceRecord{}, lastErr
+}
+
+// consolidate removes all copies of (d, e) other than the one at keep,
+// by migrating them onto keep (the formal way to drop a replica,
+// Appendix A.2.5). It reports success.
+func (x *Explorer) consolidate(d ItemID, e Elem, keep MemSpace) bool {
+	for _, m := range x.S.CopiesOf(d, e) {
+		if m == keep {
+			continue
+		}
+		if x.S.Migrate(m, keep, d, []Elem{e}) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// tryRandomDataOp performs a random legal migrate or replicate of a
+// single unlocked element, modelling spontaneous runtime data
+// management.
+func (x *Explorer) tryRandomDataOp() (string, TraceRecord, bool) {
+	// Collect present (m, d, e) triples.
+	type triple struct {
+		m MemSpace
+		d ItemID
+		e Elem
+	}
+	var all []triple
+	for m, items := range x.S.D {
+		for d, elems := range items {
+			for e := range elems {
+				all = append(all, triple{m, d, e})
+			}
+		}
+	}
+	if len(all) == 0 || len(x.S.Arch.Mems) < 2 {
+		return "", TraceRecord{}, false
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].m != all[j].m {
+			return all[i].m < all[j].m
+		}
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].e < all[j].e
+	})
+	tr := all[x.Rand.Intn(len(all))]
+	md := x.S.Arch.Mems[x.Rand.Intn(len(x.S.Arch.Mems))]
+	if md == tr.m {
+		return "", TraceRecord{}, false
+	}
+	if x.Rand.Intn(2) == 0 {
+		if x.S.Migrate(tr.m, md, tr.d, []Elem{tr.e}) == nil {
+			return "migrate", TraceRecord{Rule: "migrate", Item: tr.d}, true
+		}
+	} else {
+		if x.S.Replicate(tr.m, md, tr.d, []Elem{tr.e}) == nil {
+			return "replicate", TraceRecord{Rule: "replicate", Item: tr.d}, true
+		}
+	}
+	return "", TraceRecord{}, false
+}
+
+func sortedVariants(m map[VariantID]RunEntry) []VariantID {
+	out := make([]VariantID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedBlocked(m map[VariantID]BlockEntry) []VariantID {
+	out := make([]VariantID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedTasks(m map[TaskID]bool) []TaskID {
+	out := make([]TaskID, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

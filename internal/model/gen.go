@@ -1,0 +1,212 @@
+package model
+
+import "math/rand"
+
+// GenConfig parameterises RandomProgram.
+type GenConfig struct {
+	// MaxDepth bounds the spawn hierarchy depth (Lemma A.1 requires a
+	// finite hierarchy).
+	MaxDepth int
+	// MaxFanout bounds the number of children a task spawns.
+	MaxFanout int
+	// Items is the number of data items the entry task creates.
+	Items int
+	// ItemSize is the element count per item.
+	ItemSize Elem
+	// SharedReads adds a dedicated read-only item that leaf tasks read
+	// concurrently, exercising replication.
+	SharedReads bool
+	// VariantsPerTask in [1..n]; additional variants of the same task
+	// are behaviourally equivalent copies (computational equivalence
+	// assumption of Section 2.2).
+	VariantsPerTask int
+}
+
+// DefaultGenConfig returns a configuration that yields small but
+// structurally rich programs.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		MaxDepth:        3,
+		MaxFanout:       3,
+		Items:           2,
+		ItemSize:        16,
+		SharedReads:     true,
+		VariantsPerTask: 2,
+	}
+}
+
+// RandomProgram generates a well-formed, deadlock-free random program:
+// a fork-join task tree in which the entry task creates all data
+// items, inner tasks only spawn and sync, and leaf tasks read/write
+// element ranges partitioned so that no two concurrently live tasks
+// have conflicting requirements. This mirrors the structure the
+// AllScale compiler emits for prec-based programs and satisfies all
+// assumptions of Section 2 (unique spawn points, disjoint variants,
+// finite task hierarchy, termination).
+func RandomProgram(rng *rand.Rand, cfg GenConfig) *Program {
+	p := &Program{
+		Tasks:    make(map[TaskID]*Task),
+		Variants: make(map[VariantID]*Variant),
+		Items:    make(map[ItemID]Elem),
+	}
+	nextTask := TaskID(0)
+	nextVariant := VariantID(0)
+
+	sharedItem := ItemID(-1)
+	for i := 0; i < cfg.Items; i++ {
+		p.Items[ItemID(i)] = cfg.ItemSize
+	}
+	if cfg.SharedReads {
+		sharedItem = ItemID(cfg.Items)
+		p.Items[sharedItem] = cfg.ItemSize
+	}
+
+	// Partition the element space of each item among the leaves. We
+	// first build the tree shape, then assign slices.
+	type node struct {
+		id       TaskID
+		children []*node
+		leaf     bool
+	}
+	var build func(depth int) *node
+	build = func(depth int) *node {
+		n := &node{id: nextTask}
+		nextTask++
+		if depth >= cfg.MaxDepth || rng.Intn(3) == 0 {
+			n.leaf = true
+			return n
+		}
+		fanout := 1 + rng.Intn(cfg.MaxFanout)
+		for i := 0; i < fanout; i++ {
+			n.children = append(n.children, build(depth+1))
+		}
+		return n
+	}
+	root := build(0)
+
+	var leaves []*node
+	var collect func(n *node)
+	collect = func(n *node) {
+		if n.leaf {
+			leaves = append(leaves, n)
+			return
+		}
+		for _, c := range n.children {
+			collect(c)
+		}
+	}
+	collect(root)
+
+	// Assign each leaf a disjoint slice of each writable item.
+	slice := func(item ItemID, idx, total int) []ElemRange {
+		n := p.Items[item]
+		lo := Elem(int64(n) * int64(idx) / int64(total))
+		hi := Elem(int64(n) * int64(idx+1) / int64(total))
+		if lo >= hi {
+			return nil
+		}
+		return []ElemRange{{lo, hi}}
+	}
+
+	mkVariants := func(n *node, script []Action, reads, writes []Requirement) {
+		t := &Task{ID: n.id}
+		nv := 1
+		if cfg.VariantsPerTask > 1 {
+			nv = 1 + rng.Intn(cfg.VariantsPerTask)
+		}
+		for i := 0; i < nv; i++ {
+			v := &Variant{
+				ID:     nextVariant,
+				Task:   n.id,
+				Script: script,
+				Reads:  reads,
+				Writes: writes,
+			}
+			p.Variants[v.ID] = v
+			t.Variants = append(t.Variants, v.ID)
+			nextVariant++
+		}
+		p.Tasks[n.id] = t
+	}
+
+	var emit func(n *node, leafIdx *int)
+	emit = func(n *node, leafIdx *int) {
+		if n.leaf {
+			idx := *leafIdx
+			*leafIdx++
+			var reads, writes []Requirement
+			for i := 0; i < cfg.Items; i++ {
+				item := ItemID(i)
+				rs := slice(item, idx, len(leaves))
+				if len(rs) == 0 {
+					continue
+				}
+				switch rng.Intn(3) {
+				case 0:
+					writes = append(writes, Requirement{Item: item, Ranges: rs})
+				case 1:
+					reads = append(reads, Requirement{Item: item, Ranges: rs})
+				default:
+					// Read and write the same private slice.
+					writes = append(writes, Requirement{Item: item, Ranges: rs})
+					reads = append(reads, Requirement{Item: item, Ranges: rs})
+				}
+			}
+			if sharedItem >= 0 && rng.Intn(2) == 0 {
+				reads = append(reads, Requirement{Item: sharedItem, Ranges: []ElemRange{{0, p.Items[sharedItem] / 2}}})
+			}
+			mkVariants(n, []Action{{Kind: ActEnd}}, reads, writes)
+			return
+		}
+		var script []Action
+		for _, c := range n.children {
+			script = append(script, Action{Kind: ActSpawn, Task: c.id})
+		}
+		// Sync in random order over children.
+		order := rng.Perm(len(n.children))
+		for _, i := range order {
+			script = append(script, Action{Kind: ActSync, Task: n.children[i].id})
+		}
+		script = append(script, Action{Kind: ActEnd})
+		mkVariants(n, script, nil, nil)
+		for _, c := range n.children {
+			emit(c, leafIdx)
+		}
+	}
+
+	if root.leaf {
+		// Degenerate single-task program: still create/destroy items.
+		var script []Action
+		for d := range p.Items {
+			script = append(script, Action{Kind: ActCreate, Item: d})
+		}
+		script = append(script, Action{Kind: ActEnd})
+		mkVariants(root, script, nil, nil)
+	} else {
+		// Entry creates all items up front, spawns/syncs children,
+		// then destroys a random subset of items.
+		var script []Action
+		for d := Elem(0); int(d) < len(p.Items); d++ {
+			script = append(script, Action{Kind: ActCreate, Item: ItemID(d)})
+		}
+		for _, c := range root.children {
+			script = append(script, Action{Kind: ActSpawn, Task: c.id})
+		}
+		for _, c := range root.children {
+			script = append(script, Action{Kind: ActSync, Task: c.id})
+		}
+		for d := Elem(0); int(d) < len(p.Items); d++ {
+			if rng.Intn(2) == 0 {
+				script = append(script, Action{Kind: ActDestroy, Item: ItemID(d)})
+			}
+		}
+		script = append(script, Action{Kind: ActEnd})
+		mkVariants(root, script, nil, nil)
+		leafIdx := 0
+		for _, c := range root.children {
+			emit(c, &leafIdx)
+		}
+	}
+	p.Entry = root.id
+	return p
+}

@@ -1,0 +1,142 @@
+package model
+
+import "fmt"
+
+// CheckSatisfiedRequirements verifies the "satisfied requirements"
+// property of Section 2.5 on a single state: every lock held by a
+// running or blocked variant refers to data present in the locked
+// address space, and that space is linked to the variant's compute
+// unit — required data is available for the duration of processing.
+func (s *State) CheckSatisfiedRequirements() error {
+	cuOf := func(v VariantID) (ComputeUnit, bool) {
+		if e, ok := s.R[v]; ok {
+			return e.CU, true
+		}
+		if e, ok := s.B[v]; ok {
+			return e.CU, true
+		}
+		return 0, false
+	}
+	for _, locks := range []map[LockKey]bool{s.Lr, s.Lw} {
+		for k := range locks {
+			if !s.Present(k.M, k.D, k.E) {
+				return fmt.Errorf("satisfied-requirements: lock %+v on absent data", k)
+			}
+			if cu, live := cuOf(k.V); live {
+				if !s.Arch.Linked(cu, k.M) {
+					return fmt.Errorf("satisfied-requirements: v%d on c%d holds lock in unlinked m%d", k.V, cu, k.M)
+				}
+			} else {
+				return fmt.Errorf("satisfied-requirements: lock %+v held by non-live variant", k)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckExclusiveWrites verifies the "exclusive writes" property of
+// Section 2.5 on a single state: a write-locked data element exists in
+// exactly one address space — the locked one.
+func (s *State) CheckExclusiveWrites() error {
+	for k := range s.Lw {
+		copies := s.CopiesOf(k.D, k.E)
+		if len(copies) != 1 || copies[0] != k.M {
+			return fmt.Errorf("exclusive-writes: write-locked (d%d,e%d) present in %v, lock at m%d", k.D, k.E, copies, k.M)
+		}
+	}
+	return nil
+}
+
+// Footprint summarises which (item, element) pairs are allocated
+// anywhere in the system, for the data-preservation trace check.
+type Footprint map[ItemID]map[Elem]bool
+
+// CurrentFootprint captures the allocated pairs of the state.
+func (s *State) CurrentFootprint() Footprint {
+	fp := make(Footprint)
+	for _, items := range s.D {
+		for d, elems := range items {
+			if fp[d] == nil {
+				fp[d] = make(map[Elem]bool)
+			}
+			for e := range elems {
+				fp[d][e] = true
+			}
+		}
+	}
+	return fp
+}
+
+// CheckDataPreservation verifies the "data preservation" property of
+// Section 2.5 across one transition: every (item, element) pair
+// allocated before the transition is still allocated somewhere after
+// it, unless the transition was a (destroy) of that item. Replicas
+// may disappear; the last copy may not.
+func CheckDataPreservation(before, after Footprint, rule string, destroyed ItemID) error {
+	for d, elems := range before {
+		if rule == "destroy" && d == destroyed {
+			continue
+		}
+		for e := range elems {
+			if !after[d][e] {
+				return fmt.Errorf("data-preservation: (d%d,e%d) lost by rule %q", d, e, rule)
+			}
+		}
+	}
+	return nil
+}
+
+// TraceRecord documents one applied transition for trace-level
+// property checks.
+type TraceRecord struct {
+	Rule    string
+	Task    TaskID    // for start
+	Variant VariantID // for start/progress/continue
+	Item    ItemID    // for init/migrate/replicate/destroy
+}
+
+// CheckSingleExecution verifies the "single-execution" property of
+// Section 2.5 on a finished trace: exactly one variant per reachable
+// task was started, exactly once. started maps each started task to
+// the number of (start) transitions and the set of distinct variants.
+func CheckSingleExecution(trace []TraceRecord, terminal bool) error {
+	starts := make(map[TaskID]int)
+	variants := make(map[TaskID]map[VariantID]bool)
+	spawned := map[TaskID]bool{}
+	for _, r := range trace {
+		switch r.Rule {
+		case "start":
+			starts[r.Task]++
+			if variants[r.Task] == nil {
+				variants[r.Task] = make(map[VariantID]bool)
+			}
+			variants[r.Task][r.Variant] = true
+		case "spawn":
+			spawned[r.Task] = true
+		}
+	}
+	for t, n := range starts {
+		if n != 1 {
+			return fmt.Errorf("single-execution: task t%d started %d times", t, n)
+		}
+		if len(variants[t]) != 1 {
+			return fmt.Errorf("single-execution: task t%d processed via %d variants", t, len(variants[t]))
+		}
+	}
+	if terminal {
+		for t := range spawned {
+			if starts[t] != 1 {
+				return fmt.Errorf("single-execution: spawned task t%d started %d times in terminating trace", t, starts[t])
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll runs the per-state invariants.
+func (s *State) CheckAll() error {
+	if err := s.CheckSatisfiedRequirements(); err != nil {
+		return err
+	}
+	return s.CheckExclusiveWrites()
+}

@@ -1,0 +1,290 @@
+// Package model is an executable rendition of the formal AllScale
+// application model of Section 2 of the paper: the data model
+// (Definitions 2.1–2.2), the task model (Definitions 2.3–2.7), the
+// architecture model (Definition 2.8), and the execution model — the
+// system state of Definition 2.9 and the ten state-transition rules of
+// Figs. 2 and 3 (Definition 2.10).
+//
+// The package serves as the specification for the implementation
+// packages and as a harness to machine-check the model properties of
+// Section 2.5 (single-execution, termination, satisfied requirements,
+// exclusive writes, data preservation) on randomized programs; see the
+// property tests.
+package model
+
+import "fmt"
+
+// TaskID identifies a task (an element of the set T, Definition 2.3).
+type TaskID int
+
+// VariantID identifies a task variant (an element of the set V).
+// Tasks never share variants (Section 2.2, disjointness assumption).
+type VariantID int
+
+// ItemID identifies a data item (an element of the set D,
+// Definition 2.1).
+type ItemID int
+
+// Elem is the logical address of a data element within a data item
+// (an element of the set E). Addresses are logical, not physical
+// (Section 2.1).
+type Elem int64
+
+// ComputeUnit identifies a compute unit (an element of C,
+// Definition 2.8).
+type ComputeUnit int
+
+// MemSpace identifies a memory address space (an element of M).
+type MemSpace int
+
+// ActionKind enumerates the actions of Definition 2.5.
+type ActionKind int
+
+const (
+	// ActSpawn requests the runtime to schedule a new task.
+	ActSpawn ActionKind = iota
+	// ActSync suspends the current task until another completes.
+	ActSync
+	// ActCreate introduces a new data item to the runtime.
+	ActCreate
+	// ActDestroy requests the destruction of a data item.
+	ActDestroy
+	// ActEnd signals the termination of the current task.
+	ActEnd
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActSpawn:
+		return "spawn"
+	case ActSync:
+		return "sync"
+	case ActCreate:
+		return "create"
+	case ActDestroy:
+		return "destroy"
+	case ActEnd:
+		return "end"
+	}
+	return fmt.Sprintf("action(%d)", int(k))
+}
+
+// Action is a service request toward the runtime system triggered by
+// a task (Definition 2.5). Task is meaningful for spawn/sync, Item
+// for create/destroy.
+type Action struct {
+	Kind ActionKind
+	Task TaskID
+	Item ItemID
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case ActSpawn, ActSync:
+		return fmt.Sprintf("%v(t%d)", a.Kind, a.Task)
+	case ActCreate, ActDestroy:
+		return fmt.Sprintf("%v(d%d)", a.Kind, a.Item)
+	}
+	return a.Kind.String()
+}
+
+// ElemRange is a contiguous set of element addresses [Lo, Hi) within
+// one data item; requirement sets are unions of ranges.
+type ElemRange struct {
+	Lo, Hi Elem
+}
+
+// Contains reports whether e lies in the range.
+func (r ElemRange) Contains(e Elem) bool { return r.Lo <= e && e < r.Hi }
+
+// Each calls fn for every element of the range.
+func (r ElemRange) Each(fn func(Elem)) {
+	for e := r.Lo; e < r.Hi; e++ {
+		fn(e)
+	}
+}
+
+// Requirement is one data requirement of a variant (Definition 2.7):
+// the elements of one data item read or written during execution.
+type Requirement struct {
+	Item   ItemID
+	Ranges []ElemRange
+}
+
+// Each calls fn for every required element.
+func (rq Requirement) Each(fn func(Elem)) {
+	for _, r := range rq.Ranges {
+		r.Each(fn)
+	}
+}
+
+// Variant is one implementation alternative of a task
+// (Definition 2.3). Its behaviour is a finite script of actions: the
+// task-local state (Definition 2.6) is the program counter, init maps
+// to pc 0, and step(v, pc) = (pc+1, Script[pc]). Every script ends
+// with ActEnd; the model checks this at program construction.
+type Variant struct {
+	ID     VariantID
+	Task   TaskID
+	Script []Action
+	Reads  []Requirement // read(v, ·), Definition 2.7
+	Writes []Requirement // write(v, ·)
+}
+
+// Task groups its implementation variants (Definition 2.3,
+// var: T → 2^V \ ∅).
+type Task struct {
+	ID       TaskID
+	Variants []VariantID
+}
+
+// Program is an entry-point task together with the closed universe of
+// tasks, variants and data items it may reach (Definition 2.4).
+type Program struct {
+	Entry    TaskID
+	Tasks    map[TaskID]*Task
+	Variants map[VariantID]*Variant
+	// Items assigns each data item its element universe elems(d)
+	// (Definition 2.1), given as the count of addressable elements
+	// 0..N-1.
+	Items map[ItemID]Elem
+}
+
+// Validate checks the well-formedness restrictions the paper imposes:
+// non-empty variant sets, scripts ending in end with no interior end,
+// variant/task cross-references, disjoint variant ownership, unique
+// spawn points for every non-entry task, and requirements within the
+// element universe of their item.
+func (p *Program) Validate() error {
+	if _, ok := p.Tasks[p.Entry]; !ok {
+		return fmt.Errorf("model: entry task t%d undefined", p.Entry)
+	}
+	owner := make(map[VariantID]TaskID)
+	for tid, t := range p.Tasks {
+		if t.ID != tid {
+			return fmt.Errorf("model: task map key t%d does not match ID t%d", tid, t.ID)
+		}
+		if len(t.Variants) == 0 {
+			return fmt.Errorf("model: task t%d has no variants (var must be non-empty)", tid)
+		}
+		for _, vid := range t.Variants {
+			if prev, dup := owner[vid]; dup {
+				return fmt.Errorf("model: variant v%d shared by tasks t%d and t%d", vid, prev, tid)
+			}
+			owner[vid] = tid
+			v, ok := p.Variants[vid]
+			if !ok {
+				return fmt.Errorf("model: task t%d references undefined variant v%d", tid, vid)
+			}
+			if v.Task != tid {
+				return fmt.Errorf("model: variant v%d back-reference t%d, want t%d", vid, v.Task, tid)
+			}
+		}
+	}
+	spawnPoints := make(map[TaskID]int)
+	for vid, v := range p.Variants {
+		if v.ID != vid {
+			return fmt.Errorf("model: variant map key v%d does not match ID v%d", vid, v.ID)
+		}
+		if len(v.Script) == 0 || v.Script[len(v.Script)-1].Kind != ActEnd {
+			return fmt.Errorf("model: variant v%d script must end with end", vid)
+		}
+		for i, a := range v.Script {
+			if a.Kind == ActEnd && i != len(v.Script)-1 {
+				return fmt.Errorf("model: variant v%d has interior end at step %d", vid, i)
+			}
+			switch a.Kind {
+			case ActSpawn:
+				if a.Task == p.Entry {
+					return fmt.Errorf("model: variant v%d spawns the entry point", vid)
+				}
+				if _, ok := p.Tasks[a.Task]; !ok {
+					return fmt.Errorf("model: variant v%d spawns undefined task t%d", vid, a.Task)
+				}
+				spawnPoints[a.Task]++
+			case ActSync:
+				if _, ok := p.Tasks[a.Task]; !ok {
+					return fmt.Errorf("model: variant v%d syncs on undefined task t%d", vid, a.Task)
+				}
+			case ActCreate, ActDestroy:
+				if _, ok := p.Items[a.Item]; !ok {
+					return fmt.Errorf("model: variant v%d uses undefined item d%d", vid, a.Item)
+				}
+			}
+		}
+		for _, reqs := range [][]Requirement{v.Reads, v.Writes} {
+			for _, rq := range reqs {
+				n, ok := p.Items[rq.Item]
+				if !ok {
+					return fmt.Errorf("model: variant v%d requires undefined item d%d", vid, rq.Item)
+				}
+				for _, r := range rq.Ranges {
+					if r.Lo < 0 || r.Hi > n {
+						return fmt.Errorf("model: variant v%d requirement [%d,%d) outside elems(d%d)=[0,%d)", vid, r.Lo, r.Hi, rq.Item, n)
+					}
+				}
+			}
+		}
+	}
+	// Unique spawn points (Section 2.2): tolerate multiple variants of
+	// the same parent spawning the same child, since only one variant
+	// of the parent ever executes (single-execution); but a child
+	// spawned from variants of two different tasks is rejected.
+	spawners := make(map[TaskID]map[TaskID]bool)
+	for vid, v := range p.Variants {
+		for _, a := range v.Script {
+			if a.Kind == ActSpawn {
+				if spawners[a.Task] == nil {
+					spawners[a.Task] = make(map[TaskID]bool)
+				}
+				spawners[a.Task][p.Variants[vid].Task] = true
+			}
+		}
+	}
+	for child, parents := range spawners {
+		if len(parents) > 1 {
+			return fmt.Errorf("model: task t%d has spawn points in %d distinct tasks", child, len(parents))
+		}
+	}
+	return nil
+}
+
+// Arch is the bipartite architecture graph (C ⊎ M, L) of
+// Definition 2.8.
+type Arch struct {
+	Units []ComputeUnit
+	Mems  []MemSpace
+	// Links holds the edge set L ⊆ C × M.
+	Links map[ComputeUnit]map[MemSpace]bool
+}
+
+// NewCluster models the distributed-memory system of Example 2.4: n
+// nodes, each forming its own address space with coresPerNode cores
+// linked only to the local memory.
+func NewCluster(n, coresPerNode int) *Arch {
+	a := &Arch{Links: make(map[ComputeUnit]map[MemSpace]bool)}
+	for node := 0; node < n; node++ {
+		m := MemSpace(node)
+		a.Mems = append(a.Mems, m)
+		for core := 0; core < coresPerNode; core++ {
+			c := ComputeUnit(node*coresPerNode + core)
+			a.Units = append(a.Units, c)
+			a.Links[c] = map[MemSpace]bool{m: true}
+		}
+	}
+	return a
+}
+
+// Linked reports whether compute unit c can access address space m.
+func (a *Arch) Linked(c ComputeUnit, m MemSpace) bool { return a.Links[c][m] }
+
+// MemsOf returns the address spaces accessible from c.
+func (a *Arch) MemsOf(c ComputeUnit) []MemSpace {
+	var out []MemSpace
+	for _, m := range a.Mems {
+		if a.Links[c][m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}

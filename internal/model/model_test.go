@@ -1,0 +1,496 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// sumProgram builds the task of Example 2.3 embedded in a minimal
+// program: an entry task creating an array item, spawning a sum task
+// with a sequential and a "parallel" variant, syncing, and ending.
+func sumProgram() *Program {
+	const (
+		entry  = TaskID(0)
+		sum    = TaskID(1)
+		sub1   = TaskID(2)
+		sub2   = TaskID(3)
+		array  = ItemID(0)
+		vEntry = VariantID(0)
+		vSeq   = VariantID(1)
+		vPar   = VariantID(2)
+		vSub1  = VariantID(3)
+		vSub2  = VariantID(4)
+	)
+	return &Program{
+		Entry: entry,
+		Tasks: map[TaskID]*Task{
+			entry: {ID: entry, Variants: []VariantID{vEntry}},
+			sum:   {ID: sum, Variants: []VariantID{vSeq, vPar}},
+			sub1:  {ID: sub1, Variants: []VariantID{vSub1}},
+			sub2:  {ID: sub2, Variants: []VariantID{vSub2}},
+		},
+		Variants: map[VariantID]*Variant{
+			vEntry: {ID: vEntry, Task: entry, Script: []Action{
+				{Kind: ActCreate, Item: array},
+				{Kind: ActSpawn, Task: sum},
+				{Kind: ActSync, Task: sum},
+				{Kind: ActDestroy, Item: array},
+				{Kind: ActEnd},
+			}},
+			vSeq: {ID: vSeq, Task: sum,
+				Script: []Action{{Kind: ActEnd}},
+				Reads:  []Requirement{{Item: array, Ranges: []ElemRange{{0, 20}}}},
+			},
+			vPar: {ID: vPar, Task: sum,
+				Script: []Action{
+					{Kind: ActSpawn, Task: sub1},
+					{Kind: ActSpawn, Task: sub2},
+					{Kind: ActSync, Task: sub1},
+					{Kind: ActSync, Task: sub2},
+					{Kind: ActEnd},
+				},
+			},
+			vSub1: {ID: vSub1, Task: sub1,
+				Script: []Action{{Kind: ActEnd}},
+				Reads:  []Requirement{{Item: array, Ranges: []ElemRange{{0, 10}}}},
+			},
+			vSub2: {ID: vSub2, Task: sub2,
+				Script: []Action{{Kind: ActEnd}},
+				Reads:  []Requirement{{Item: array, Ranges: []ElemRange{{10, 20}}}},
+			},
+		},
+		Items: map[ItemID]Elem{array: 20},
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := sumProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformedPrograms(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(p *Program)
+		want   string
+	}{
+		{"missing entry", func(p *Program) { p.Entry = 99 }, "entry task"},
+		{"empty variants", func(p *Program) { p.Tasks[1].Variants = nil }, "no variants"},
+		{"script without end", func(p *Program) { p.Variants[1].Script = []Action{{Kind: ActSpawn, Task: 2}} }, "must end with end"},
+		{"interior end", func(p *Program) {
+			p.Variants[0].Script = []Action{{Kind: ActEnd}, {Kind: ActEnd}}
+		}, "interior end"},
+		{"spawn of entry", func(p *Program) {
+			p.Variants[2].Script[0] = Action{Kind: ActSpawn, Task: 0}
+		}, "spawns the entry"},
+		{"undefined spawn target", func(p *Program) {
+			p.Variants[2].Script[0] = Action{Kind: ActSpawn, Task: 42}
+		}, "undefined task"},
+		{"requirement out of range", func(p *Program) {
+			p.Variants[1].Reads = []Requirement{{Item: 0, Ranges: []ElemRange{{0, 21}}}}
+		}, "outside elems"},
+		// Depending on map iteration order this trips either the
+		// back-reference or the shared-ownership check; both mention
+		// the offending variant.
+		{"shared variant", func(p *Program) {
+			p.Tasks[2].Variants = append(p.Tasks[2].Variants, 4)
+		}, "v4"},
+		{"two spawn points", func(p *Program) {
+			p.Variants[3].Script = []Action{{Kind: ActSpawn, Task: 3}, {Kind: ActEnd}}
+		}, "spawn points"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := sumProgram()
+			tc.mutate(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("mutation %q not rejected", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewClusterArch(t *testing.T) {
+	// Example 2.4: two nodes, four cores each.
+	a := NewCluster(2, 4)
+	if len(a.Units) != 8 || len(a.Mems) != 2 {
+		t.Fatalf("units=%d mems=%d", len(a.Units), len(a.Mems))
+	}
+	if !a.Linked(0, 0) || a.Linked(0, 1) {
+		t.Fatal("core 0 must link only to memory 0")
+	}
+	if !a.Linked(7, 1) || a.Linked(7, 0) {
+		t.Fatal("core 7 must link only to memory 1")
+	}
+	if got := a.MemsOf(5); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("MemsOf(5) = %v", got)
+	}
+}
+
+func TestInitialStateIsS0(t *testing.T) {
+	p := sumProgram()
+	s := NewState(p, NewCluster(1, 1))
+	if len(s.Q) != 1 || !s.Q[p.Entry] {
+		t.Fatal("s0 must enqueue exactly the entry point")
+	}
+	if len(s.R)+len(s.B)+len(s.Lr)+len(s.Lw) != 0 || s.presenceCount() != 0 {
+		t.Fatal("s0 must otherwise be empty")
+	}
+	if s.Terminal() {
+		t.Fatal("s0 with enqueued entry must not be terminal")
+	}
+}
+
+// driveEntry starts the entry variant on c0/m0 and progresses it
+// through the create action.
+func driveEntry(t *testing.T, s *State) {
+	t.Helper()
+	if err := s.Start(0, 0, 0, Placement{}); err != nil {
+		t.Fatalf("start entry: %v", err)
+	}
+	if rule, err := s.Progress(0); err != nil || rule != "create" {
+		t.Fatalf("create: rule=%q err=%v", rule, err)
+	}
+}
+
+func TestStartRequiresEnqueuedTaskAndMatchingVariant(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(1, 2))
+	if err := s.Start(1, 1, 0, Placement{}); err == nil {
+		t.Fatal("starting non-enqueued task must fail")
+	}
+	if err := s.Start(0, 1, 0, Placement{}); err == nil {
+		t.Fatal("starting with foreign variant must fail")
+	}
+}
+
+func TestStartRequiresDataPresence(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(2, 2))
+	driveEntry(t, s)
+	// Spawn sum.
+	if rule, err := s.Progress(0); err != nil || rule != "spawn" {
+		t.Fatalf("spawn: %q %v", rule, err)
+	}
+	// Starting the sequential variant without data must fail.
+	if err := s.Start(1, 1, 0, Placement{0: 0}); err == nil {
+		t.Fatal("start without present data must fail")
+	}
+	// Allocate elements 0..20 in memory 0, then it succeeds.
+	elems := make([]Elem, 20)
+	for i := range elems {
+		elems[i] = Elem(i)
+	}
+	if err := s.Init(0, 0, elems); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	// Compute unit 2 is on node 1 and cannot reach memory 0.
+	if err := s.Start(1, 1, 2, Placement{0: 0}); err == nil {
+		t.Fatal("start on unlinked compute unit must fail")
+	}
+	if err := s.Start(1, 1, 0, Placement{0: 0}); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	// All 20 elements must now be read locked.
+	if len(s.Lr) != 20 || len(s.Lw) != 0 {
+		t.Fatalf("locks: |Lr|=%d |Lw|=%d", len(s.Lr), len(s.Lw))
+	}
+	if err := s.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartRejectsReplicatedWriteTargets(t *testing.T) {
+	p := sumProgram()
+	// Make the sequential sum variant a writer.
+	p.Variants[1].Writes = p.Variants[1].Reads
+	p.Variants[1].Reads = nil
+	s := NewState(p, NewCluster(2, 1))
+	driveEntry(t, s)
+	s.Progress(0) // spawn sum
+	elems := make([]Elem, 20)
+	for i := range elems {
+		elems[i] = Elem(i)
+	}
+	if err := s.Init(0, 0, elems); err != nil {
+		t.Fatal(err)
+	}
+	// Replicate one element to memory 1; Dw ∩ D ≠ ∅ must block start.
+	if err := s.Replicate(0, 1, 0, []Elem{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(1, 1, 0, Placement{0: 0}); err == nil {
+		t.Fatal("start with replicated write element must fail")
+	}
+	// Consolidating the replica re-enables the start.
+	if err := s.Migrate(1, 0, 0, []Elem{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(1, 1, 0, Placement{0: 0}); err != nil {
+		t.Fatalf("start after consolidation: %v", err)
+	}
+	if err := s.CheckExclusiveWrites(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncBlocksAndContinueResumes(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(1, 2))
+	driveEntry(t, s)
+	s.Progress(0) // spawn sum
+	// Entry now syncs on sum.
+	if rule, err := s.Progress(0); err != nil || rule != "sync" {
+		t.Fatalf("sync: %q %v", rule, err)
+	}
+	if _, running := s.R[0]; running {
+		t.Fatal("variant must have left R")
+	}
+	if b, ok := s.B[0]; !ok || b.Waiting != 1 {
+		t.Fatalf("blocked entry wrong: %+v", b)
+	}
+	// sum is still enqueued: continue must fail.
+	if err := s.Continue(0); err == nil {
+		t.Fatal("continue before completion must succeed only after completion")
+	}
+	// Run sum's parallel variant: spawns two subtasks, syncs, ends.
+	if err := s.Start(1, 2, 1, Placement{}); err != nil {
+		t.Fatalf("start sum par: %v", err)
+	}
+	s.Progress(2) // spawn sub1
+	s.Progress(2) // spawn sub2
+	s.Progress(2) // sync sub1 -> blocked
+	// Provide data for the subtasks.
+	elems := make([]Elem, 20)
+	for i := range elems {
+		elems[i] = Elem(i)
+	}
+	if err := s.Init(0, 0, elems); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(2, 3, 0, Placement{0: 0}); err != nil {
+		t.Fatalf("start sub1: %v", err)
+	}
+	if rule, err := s.Progress(3); err != nil || rule != "end" {
+		t.Fatalf("end sub1: %q %v", rule, err)
+	}
+	if err := s.Continue(2); err != nil {
+		t.Fatalf("continue sum: %v", err)
+	}
+	s.Progress(2) // sync sub2 -> blocked
+	if err := s.Start(3, 4, 0, Placement{0: 0}); err != nil {
+		t.Fatalf("start sub2: %v", err)
+	}
+	s.Progress(4) // end sub2
+	if err := s.Continue(2); err != nil {
+		t.Fatal(err)
+	}
+	if rule, err := s.Progress(2); err != nil || rule != "end" {
+		t.Fatalf("end sum: %q %v", rule, err)
+	}
+	// Entry resumes, destroys the item, ends.
+	if err := s.Continue(0); err != nil {
+		t.Fatal(err)
+	}
+	if rule, err := s.Progress(0); err != nil || rule != "destroy" {
+		t.Fatalf("destroy: %q %v", rule, err)
+	}
+	if rule, err := s.Progress(0); err != nil || rule != "end" {
+		t.Fatalf("end entry: %q %v", rule, err)
+	}
+	if !s.Terminal() {
+		t.Fatalf("trace must have terminated: %v", s)
+	}
+	if s.presenceCount() != 0 {
+		t.Fatal("destroy must have removed all data")
+	}
+}
+
+func TestEndReleasesLocks(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(1, 1))
+	driveEntry(t, s)
+	s.Progress(0) // spawn
+	elems := []Elem{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19}
+	s.Init(0, 0, elems)
+	if err := s.Start(1, 1, 0, Placement{0: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Lr) == 0 {
+		t.Fatal("start must acquire locks")
+	}
+	if rule, err := s.Progress(1); err != nil || rule != "end" {
+		t.Fatalf("end: %q %v", rule, err)
+	}
+	if len(s.Lr)+len(s.Lw) != 0 {
+		t.Fatal("end must release all locks")
+	}
+}
+
+func TestInitRules(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(2, 1))
+	if err := s.Init(0, 0, []Elem{0}); err == nil {
+		t.Fatal("init before create must fail")
+	}
+	driveEntry(t, s)
+	if err := s.Init(0, 0, nil); err == nil {
+		t.Fatal("init with empty set must fail")
+	}
+	if err := s.Init(0, 0, []Elem{25}); err == nil {
+		t.Fatal("init outside elems(d) must fail")
+	}
+	if err := s.Init(0, 0, []Elem{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Init(1, 0, []Elem{3}); err == nil {
+		t.Fatal("re-init of allocated element must fail")
+	}
+	if !s.Present(0, 0, 3) {
+		t.Fatal("element missing after init")
+	}
+}
+
+func TestMigrateAndReplicateLockPreconditions(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(2, 1))
+	driveEntry(t, s)
+	s.Progress(0) // spawn sum
+	elems := make([]Elem, 20)
+	for i := range elems {
+		elems[i] = Elem(i)
+	}
+	s.Init(0, 0, elems)
+	if err := s.Start(1, 1, 0, Placement{0: 0}); err != nil { // read locks 0..20 at m0
+		t.Fatal(err)
+	}
+	// Migrate of read-locked data must fail (either endpoint).
+	if err := s.Migrate(0, 1, 0, []Elem{5}); err == nil {
+		t.Fatal("migrate of locked source must fail")
+	}
+	if err := s.Replicate(0, 1, 0, []Elem{5}); err != nil {
+		t.Fatalf("replicate under read lock must be allowed: %v", err)
+	}
+	if err := s.Migrate(1, 0, 0, []Elem{5}); err == nil {
+		t.Fatal("migrate onto locked destination must fail")
+	}
+	// End the reader; now migration works.
+	if _, err := s.Progress(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Migrate(0, 1, 0, []Elem{5}); err != nil {
+		t.Fatalf("migrate after unlock: %v", err)
+	}
+	if got := s.CopiesOf(0, 5); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("copies after migrate = %v", got)
+	}
+}
+
+func TestReplicateRejectsWriteLockedSource(t *testing.T) {
+	p := sumProgram()
+	p.Variants[1].Writes = p.Variants[1].Reads
+	p.Variants[1].Reads = nil
+	s := NewState(p, NewCluster(2, 1))
+	driveEntry(t, s)
+	s.Progress(0)
+	elems := make([]Elem, 20)
+	for i := range elems {
+		elems[i] = Elem(i)
+	}
+	s.Init(0, 0, elems)
+	if err := s.Start(1, 1, 0, Placement{0: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replicate(0, 1, 0, []Elem{5}); err == nil {
+		t.Fatal("replicate from write-locked source must fail")
+	}
+}
+
+func TestReplicateRequiresSourcePresence(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(2, 1))
+	driveEntry(t, s)
+	if err := s.Replicate(0, 1, 0, []Elem{5}); err == nil {
+		t.Fatal("replicate of absent element must fail")
+	}
+}
+
+func TestStrictModeBlocksConflictingStarts(t *testing.T) {
+	p := sumProgram()
+	// Both subtasks write the same range.
+	p.Variants[3].Writes = []Requirement{{Item: 0, Ranges: []ElemRange{{0, 10}}}}
+	p.Variants[3].Reads = nil
+	p.Variants[4].Writes = []Requirement{{Item: 0, Ranges: []ElemRange{{0, 10}}}}
+	p.Variants[4].Reads = nil
+	s := NewState(p, NewCluster(1, 4))
+	s.Strict = true
+	driveEntry(t, s)
+	s.Progress(0) // spawn sum
+	if err := s.Start(1, 2, 0, Placement{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Progress(2) // spawn sub1
+	s.Progress(2) // spawn sub2
+	elems := make([]Elem, 20)
+	for i := range elems {
+		elems[i] = Elem(i)
+	}
+	s.Init(0, 0, elems)
+	if err := s.Start(2, 3, 1, Placement{0: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(3, 4, 2, Placement{0: 0}); err == nil {
+		t.Fatal("strict mode must reject write-write conflicting start")
+	}
+	// After the first writer ends, the second may start.
+	if _, err := s.Progress(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(3, 4, 2, Placement{0: 0}); err != nil {
+		t.Fatalf("start after conflict cleared: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(1, 1))
+	driveEntry(t, s)
+	s.Init(0, 0, []Elem{1, 2})
+	c := s.Clone()
+	s.Init(0, 0, []Elem{3})
+	if c.Present(0, 0, 3) {
+		t.Fatal("clone shares presence map")
+	}
+	s.Progress(0) // spawn in original
+	if len(c.Q) != 0 {
+		t.Fatal("clone shares queue")
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	cases := map[string]Action{
+		"spawn(t3)":   {Kind: ActSpawn, Task: 3},
+		"sync(t1)":    {Kind: ActSync, Task: 1},
+		"create(d2)":  {Kind: ActCreate, Item: 2},
+		"destroy(d0)": {Kind: ActDestroy, Item: 0},
+		"end":         {Kind: ActEnd},
+	}
+	for want, a := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestStrictMigrateRequiresSourcePresence(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(2, 1))
+	s.Strict = true
+	driveEntry(t, s)
+	s.Init(0, 0, []Elem{1})
+	// Faithful mode would permit this; strict mode must not let a
+	// migration materialize element 2 at the destination.
+	if err := s.Migrate(0, 1, 0, []Elem{2}); err == nil {
+		t.Fatal("strict migrate of absent element must fail")
+	}
+	if err := s.Migrate(0, 1, 0, []Elem{1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestModelPropertiesOnRandomPrograms machine-checks the Section 2.5
+// properties on randomized programs driven by an adversarial random
+// scheduler:
+//
+//   - satisfied requirements and exclusive writes hold in every state,
+//   - data preservation holds across every transition,
+//   - single-execution holds over every finished trace,
+//   - every trace terminates within a finite progress-step budget
+//     (termination).
+func TestModelPropertiesOnRandomPrograms(t *testing.T) {
+	const runs = 60
+	for seed := int64(0); seed < runs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomProgram(rng, DefaultGenConfig())
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid program: %v", seed, err)
+		}
+		arch := NewCluster(1+rng.Intn(4), 1+rng.Intn(4))
+		x := NewExplorer(p, arch, seed*7919+1)
+		if err := x.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !x.S.Terminal() {
+			t.Fatalf("seed %d: trace did not terminate", seed)
+		}
+		if err := CheckSingleExecution(x.Trace, true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestSameProgramManySchedules checks schedule-independence of
+// termination (the termination property quantifies over all traces):
+// one fixed program must terminate under many different random
+// schedules, and every schedule must start each task exactly once.
+func TestSameProgramManySchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := RandomProgram(rng, GenConfig{
+		MaxDepth: 3, MaxFanout: 3, Items: 2, ItemSize: 12,
+		SharedReads: true, VariantsPerTask: 2,
+	})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	arch := NewCluster(3, 2)
+	var firstStarted map[TaskID]bool
+	for schedule := int64(0); schedule < 25; schedule++ {
+		x := NewExplorer(p, arch, schedule)
+		if err := x.Run(); err != nil {
+			t.Fatalf("schedule %d: %v", schedule, err)
+		}
+		started := make(map[TaskID]bool)
+		for _, r := range x.Trace {
+			if r.Rule == "start" {
+				started[r.Task] = true
+			}
+		}
+		if firstStarted == nil {
+			firstStarted = started
+		} else if len(started) != len(firstStarted) {
+			// All schedules must process the same set of tasks
+			// (single-execution + computational equivalence).
+			t.Fatalf("schedule %d started %d tasks, first schedule %d",
+				schedule, len(started), len(firstStarted))
+		}
+	}
+}
+
+// TestTerminationBound verifies the proof idea of Theorem A.3: the
+// number of progress transitions of any full trace is bounded by the
+// total script length of one variant per reachable task.
+func TestTerminationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := RandomProgram(rng, DefaultGenConfig())
+	arch := NewCluster(2, 2)
+
+	// Upper bound: longest variant script per task (each sync step
+	// additionally costs one continue transition), plus one start
+	// transition per task, summed.
+	bound := 0
+	for _, task := range p.Tasks {
+		longest := 0
+		for _, v := range task.Variants {
+			n := len(p.Variants[v].Script)
+			for _, a := range p.Variants[v].Script {
+				if a.Kind == ActSync {
+					n++
+				}
+			}
+			if n > longest {
+				longest = n
+			}
+		}
+		bound += longest + 1
+	}
+
+	for schedule := int64(0); schedule < 10; schedule++ {
+		x := NewExplorer(p, arch, 1000+schedule)
+		if err := x.Run(); err != nil {
+			t.Fatal(err)
+		}
+		progress := 0
+		for _, r := range x.Trace {
+			switch r.Rule {
+			case "start", "spawn", "sync", "continue", "end", "create", "destroy":
+				progress++
+			}
+		}
+		if progress > bound {
+			t.Fatalf("schedule %d used %d progress steps, bound %d", schedule, progress, bound)
+		}
+	}
+}
+
+// TestDataPreservationAllowsReplicaRemoval reproduces the worked
+// example of Appendix A.2.5: a replicated element can be dropped via
+// a (migrate) onto the surviving copy, while the last copy can never
+// disappear.
+func TestDataPreservationAllowsReplicaRemoval(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(2, 1))
+	driveEntry(t, s)
+	s.Init(0, 0, []Elem{7})
+	if err := s.Replicate(0, 1, 0, []Elem{7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.CopiesOf(0, 7)); got != 2 {
+		t.Fatalf("copies = %d, want 2", got)
+	}
+	before := s.CurrentFootprint()
+	// Eliminate the copy in m0 by migrating it onto m1.
+	if err := s.Migrate(0, 1, 0, []Elem{7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CopiesOf(0, 7); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("copies after removal = %v", got)
+	}
+	if err := CheckDataPreservation(before, s.CurrentFootprint(), "migrate", -1); err != nil {
+		t.Fatalf("replica removal must preserve data: %v", err)
+	}
+}
+
+func BenchmarkExplorerTrace(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := RandomProgram(rng, DefaultGenConfig())
+	arch := NewCluster(4, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := NewExplorer(p, arch, int64(i))
+		x.CheckEveryStep = false
+		if err := x.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

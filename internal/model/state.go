@@ -1,0 +1,549 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunEntry is an element of the running set R ⊆ C × V × S
+// (Definition 2.9): variant v executing on compute unit c with
+// task-local state pc.
+type RunEntry struct {
+	CU ComputeUnit
+	PC int
+}
+
+// BlockEntry is an element of the blocked set B ⊆ C × V × S × T: a
+// suspended variant waiting for the completion of task Waiting.
+type BlockEntry struct {
+	CU      ComputeUnit
+	PC      int
+	Waiting TaskID
+}
+
+// LockKey identifies one entry of the lock relations Lr, Lw ⊆
+// V × M × D × E.
+type LockKey struct {
+	V VariantID
+	M MemSpace
+	D ItemID
+	E Elem
+}
+
+// Placement is the mapping m: D → M chosen by the (start) rule,
+// restricted to the data items the variant actually requires.
+type Placement map[ItemID]MemSpace
+
+// State is the system state tuple (Q, R, B, D, Lr, Lw, (C ⊎ M, L)) of
+// Definition 2.9, bound to the program it executes. All transition
+// methods mutate the state in place after validating the rule's
+// premises, and return an error when a premise is violated (in which
+// case the state is unchanged).
+type State struct {
+	Prog *Program
+	Arch *Arch
+
+	Q map[TaskID]bool        // enqueued, not yet started tasks
+	R map[VariantID]RunEntry // running variant executions
+	B map[VariantID]BlockEntry
+	// D is the data distribution: D[m][d] is the set of elements of
+	// item d present in address space m.
+	D  map[MemSpace]map[ItemID]map[Elem]bool
+	Lr map[LockKey]bool
+	Lw map[LockKey]bool
+
+	// created tracks data items introduced by (create) and not yet
+	// destroyed; (init), (migrate) and (replicate) are implementation-
+	// restricted to such live items.
+	created map[ItemID]bool
+
+	// Strict enables the conflict-free start discipline implemented by
+	// the real runtime (Section 3.2): a (start) additionally requires
+	// that its fresh locks do not conflict with locks already held by
+	// other variants (write–write or read–write on the same element).
+	// The bare formal rules of Fig. 2 do not demand this; schedulers
+	// are expected to provide it.
+	Strict bool
+}
+
+// NewState returns the initial state s0 of a trace (Definition 2.11):
+// only the entry point enqueued, everything else empty.
+func NewState(p *Program, a *Arch) *State {
+	return &State{
+		Prog:    p,
+		Arch:    a,
+		Q:       map[TaskID]bool{p.Entry: true},
+		R:       make(map[VariantID]RunEntry),
+		B:       make(map[VariantID]BlockEntry),
+		D:       make(map[MemSpace]map[ItemID]map[Elem]bool),
+		Lr:      make(map[LockKey]bool),
+		Lw:      make(map[LockKey]bool),
+		created: make(map[ItemID]bool),
+	}
+}
+
+// Clone returns a deep copy sharing only the immutable program and
+// architecture.
+func (s *State) Clone() *State {
+	c := &State{
+		Prog:    s.Prog,
+		Arch:    s.Arch,
+		Q:       make(map[TaskID]bool, len(s.Q)),
+		R:       make(map[VariantID]RunEntry, len(s.R)),
+		B:       make(map[VariantID]BlockEntry, len(s.B)),
+		D:       make(map[MemSpace]map[ItemID]map[Elem]bool, len(s.D)),
+		Lr:      make(map[LockKey]bool, len(s.Lr)),
+		Lw:      make(map[LockKey]bool, len(s.Lw)),
+		created: make(map[ItemID]bool, len(s.created)),
+		Strict:  s.Strict,
+	}
+	for k, v := range s.Q {
+		c.Q[k] = v
+	}
+	for k, v := range s.R {
+		c.R[k] = v
+	}
+	for k, v := range s.B {
+		c.B[k] = v
+	}
+	for m, items := range s.D {
+		c.D[m] = make(map[ItemID]map[Elem]bool, len(items))
+		for d, elems := range items {
+			ec := make(map[Elem]bool, len(elems))
+			for e := range elems {
+				ec[e] = true
+			}
+			c.D[m][d] = ec
+		}
+	}
+	for k := range s.Lr {
+		c.Lr[k] = true
+	}
+	for k := range s.Lw {
+		c.Lw[k] = true
+	}
+	for k := range s.created {
+		c.created[k] = true
+	}
+	return c
+}
+
+// Terminal reports whether the state is a terminal trace state
+// (Definition 2.11): Q, R, B and both lock sets empty.
+func (s *State) Terminal() bool {
+	return len(s.Q) == 0 && len(s.R) == 0 && len(s.B) == 0 && len(s.Lr) == 0 && len(s.Lw) == 0
+}
+
+// Present reports whether element e of item d is present in space m.
+func (s *State) Present(m MemSpace, d ItemID, e Elem) bool {
+	return s.D[m][d][e]
+}
+
+// Created reports whether item d is live (created and not destroyed).
+func (s *State) Created(d ItemID) bool { return s.created[d] }
+
+// CopiesOf returns the address spaces holding element e of item d, in
+// ascending order.
+func (s *State) CopiesOf(d ItemID, e Elem) []MemSpace {
+	var out []MemSpace
+	for m, items := range s.D {
+		if items[d][e] {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *State) addPresence(m MemSpace, d ItemID, e Elem) {
+	if s.D[m] == nil {
+		s.D[m] = make(map[ItemID]map[Elem]bool)
+	}
+	if s.D[m][d] == nil {
+		s.D[m][d] = make(map[Elem]bool)
+	}
+	s.D[m][d][e] = true
+}
+
+func (s *State) removePresence(m MemSpace, d ItemID, e Elem) {
+	if s.D[m] != nil && s.D[m][d] != nil {
+		delete(s.D[m][d], e)
+		if len(s.D[m][d]) == 0 {
+			delete(s.D[m], d)
+		}
+		if len(s.D[m]) == 0 {
+			delete(s.D, m)
+		}
+	}
+}
+
+// lockedBy reports whether any variant other than v holds a lock from
+// the given lock relation on (m, d, e).
+func lockedByOther(locks map[LockKey]bool, v VariantID, m MemSpace, d ItemID, e Elem) bool {
+	for k := range locks {
+		if k.M == m && k.D == d && k.E == e && k.V != v {
+			return true
+		}
+	}
+	return false
+}
+
+// anyLock reports whether any variant holds a lock from locks on
+// (m, d, e).
+func anyLock(locks map[LockKey]bool, m MemSpace, d ItemID, e Elem) bool {
+	for k := range locks {
+		if k.M == m && k.D == d && k.E == e {
+			return true
+		}
+	}
+	return false
+}
+
+// variantOf resolves v or fails.
+func (s *State) variantOf(v VariantID) (*Variant, error) {
+	vv, ok := s.Prog.Variants[v]
+	if !ok {
+		return nil, fmt.Errorf("model: unknown variant v%d", v)
+	}
+	return vv, nil
+}
+
+// ---------------------------------------------------------------
+// Task-related transition rules (Fig. 2)
+// ---------------------------------------------------------------
+
+// Start applies the (start) rule: take task t from Q, pick variant
+// v ∈ var(t), and start it on compute unit c under the data placement
+// pl, locking all elements it accesses. Premises checked:
+//
+//   - t ∈ Q and v ∈ var(t);
+//   - for every required item d: (c, pl(d)) ∈ L and every read/write
+//     element of d is present in pl(d);
+//   - D ∩ Dw = ∅ — no write-required element has a copy in any other
+//     address space than pl(d);
+//   - in Strict mode additionally: fresh locks conflict with no lock
+//     held by another variant.
+func (s *State) Start(t TaskID, v VariantID, c ComputeUnit, pl Placement) error {
+	if !s.Q[t] {
+		return fmt.Errorf("start: task t%d not enqueued", t)
+	}
+	task := s.Prog.Tasks[t]
+	vv, err := s.variantOf(v)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, cand := range task.Variants {
+		if cand == v {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("start: v%d not a variant of t%d", v, t)
+	}
+	// Check data requirements under the placement.
+	check := func(reqs []Requirement, write bool) error {
+		for _, rq := range reqs {
+			m, ok := pl[rq.Item]
+			if !ok {
+				return fmt.Errorf("start: placement misses item d%d", rq.Item)
+			}
+			if !s.Arch.Linked(c, m) {
+				return fmt.Errorf("start: compute unit c%d not linked to m%d", c, m)
+			}
+			var fail error
+			rq.Each(func(e Elem) {
+				if fail != nil {
+					return
+				}
+				if !s.Present(m, rq.Item, e) {
+					fail = fmt.Errorf("start: element (m%d,d%d,e%d) not present", m, rq.Item, e)
+					return
+				}
+				if write {
+					// D ∩ Dw = ∅: no copy elsewhere.
+					for _, other := range s.CopiesOf(rq.Item, e) {
+						if other != m {
+							fail = fmt.Errorf("start: write element (d%d,e%d) replicated in m%d", rq.Item, e, other)
+							return
+						}
+					}
+				}
+				if s.Strict {
+					if lockedByOther(s.Lw, v, m, rq.Item, e) {
+						fail = fmt.Errorf("start: (m%d,d%d,e%d) write-locked by another variant", m, rq.Item, e)
+						return
+					}
+					if write && lockedByOther(s.Lr, v, m, rq.Item, e) {
+						fail = fmt.Errorf("start: (m%d,d%d,e%d) read-locked by another variant", m, rq.Item, e)
+						return
+					}
+				}
+			})
+			if fail != nil {
+				return fail
+			}
+		}
+		return nil
+	}
+	if err := check(vv.Reads, false); err != nil {
+		return err
+	}
+	if err := check(vv.Writes, true); err != nil {
+		return err
+	}
+	// Apply.
+	delete(s.Q, t)
+	s.R[v] = RunEntry{CU: c, PC: 0} // init(v) = pc 0
+	for _, rq := range vv.Reads {
+		m := pl[rq.Item]
+		rq.Each(func(e Elem) { s.Lr[LockKey{v, m, rq.Item, e}] = true })
+	}
+	for _, rq := range vv.Writes {
+		m := pl[rq.Item]
+		rq.Each(func(e Elem) { s.Lw[LockKey{v, m, rq.Item, e}] = true })
+	}
+	return nil
+}
+
+// NextAction returns the action the running variant v will issue on
+// its next progress step.
+func (s *State) NextAction(v VariantID) (Action, error) {
+	entry, ok := s.R[v]
+	if !ok {
+		return Action{}, fmt.Errorf("model: variant v%d not running", v)
+	}
+	vv, err := s.variantOf(v)
+	if err != nil {
+		return Action{}, err
+	}
+	if entry.PC >= len(vv.Script) {
+		return Action{}, fmt.Errorf("model: variant v%d ran past its script", v)
+	}
+	return vv.Script[entry.PC], nil
+}
+
+// Progress performs one execution step of running variant v,
+// dispatching to the rule matching the variant's next action:
+// (spawn), (sync), (end), (create) or (destroy). It returns the name
+// of the applied rule.
+func (s *State) Progress(v VariantID) (string, error) {
+	a, err := s.NextAction(v)
+	if err != nil {
+		return "", err
+	}
+	entry := s.R[v]
+	switch a.Kind {
+	case ActSpawn:
+		// (spawn): enqueue the new task, advance the variant.
+		if s.Q[a.Task] {
+			return "", fmt.Errorf("spawn: task t%d already enqueued", a.Task)
+		}
+		s.Q[a.Task] = true
+		entry.PC++
+		s.R[v] = entry
+		return "spawn", nil
+
+	case ActSync:
+		// (sync): move the variant from R to B, waiting on a.Task.
+		delete(s.R, v)
+		s.B[v] = BlockEntry{CU: entry.CU, PC: entry.PC + 1, Waiting: a.Task}
+		return "sync", nil
+
+	case ActCreate:
+		// (create): introduce a new data item; no locks granted, no
+		// memory allocated.
+		if s.created[a.Item] {
+			return "", fmt.Errorf("create: item d%d already live", a.Item)
+		}
+		s.created[a.Item] = true
+		entry.PC++
+		s.R[v] = entry
+		return "create", nil
+
+	case ActDestroy:
+		// (destroy): delete all data elements and locks of the item.
+		if !s.created[a.Item] {
+			return "", fmt.Errorf("destroy: item d%d not live", a.Item)
+		}
+		delete(s.created, a.Item)
+		for m := range s.D {
+			delete(s.D[m], a.Item)
+			if len(s.D[m]) == 0 {
+				delete(s.D, m)
+			}
+		}
+		for k := range s.Lr {
+			if k.D == a.Item {
+				delete(s.Lr, k)
+			}
+		}
+		for k := range s.Lw {
+			if k.D == a.Item {
+				delete(s.Lw, k)
+			}
+		}
+		entry.PC++
+		s.R[v] = entry
+		return "destroy", nil
+
+	case ActEnd:
+		// (end): discard state, release all locks held by v.
+		delete(s.R, v)
+		for k := range s.Lr {
+			if k.V == v {
+				delete(s.Lr, k)
+			}
+		}
+		for k := range s.Lw {
+			if k.V == v {
+				delete(s.Lw, k)
+			}
+		}
+		return "end", nil
+	}
+	return "", fmt.Errorf("model: unknown action %v", a)
+}
+
+// TaskCompleted reports the (continue) rule's completion condition
+// for task t: t ∉ Q and no variant of t is running or blocked.
+func (s *State) TaskCompleted(t TaskID) bool {
+	if s.Q[t] {
+		return false
+	}
+	task, ok := s.Prog.Tasks[t]
+	if !ok {
+		return true
+	}
+	for _, v := range task.Variants {
+		if _, running := s.R[v]; running {
+			return false
+		}
+		if _, blocked := s.B[v]; blocked {
+			return false
+		}
+	}
+	return true
+}
+
+// Continue applies the (continue) rule: resume blocked variant v if
+// the task it waits on has been completed.
+func (s *State) Continue(v VariantID) error {
+	entry, ok := s.B[v]
+	if !ok {
+		return fmt.Errorf("continue: variant v%d not blocked", v)
+	}
+	if !s.TaskCompleted(entry.Waiting) {
+		return fmt.Errorf("continue: task t%d not completed", entry.Waiting)
+	}
+	delete(s.B, v)
+	s.R[v] = RunEntry{CU: entry.CU, PC: entry.PC}
+	return nil
+}
+
+// ---------------------------------------------------------------
+// Data-related transition rules (Fig. 3)
+// ---------------------------------------------------------------
+
+// Init applies the (init) rule: allocate elements E of item d in
+// address space m, provided none of them is allocated anywhere in the
+// system yet.
+func (s *State) Init(m MemSpace, d ItemID, elems []Elem) error {
+	if len(elems) == 0 {
+		return fmt.Errorf("init: empty element set")
+	}
+	if !s.created[d] {
+		return fmt.Errorf("init: item d%d not live", d)
+	}
+	n := s.Prog.Items[d]
+	for _, e := range elems {
+		if e < 0 || e >= n {
+			return fmt.Errorf("init: element e%d outside elems(d%d)", e, d)
+		}
+		if len(s.CopiesOf(d, e)) > 0 {
+			return fmt.Errorf("init: element (d%d,e%d) already allocated", d, e)
+		}
+	}
+	for _, e := range elems {
+		s.addPresence(m, d, e)
+	}
+	return nil
+}
+
+// Migrate applies the (migrate) rule: move elements E of item d from
+// space ms to space md, provided no locks are held on the affected
+// elements in either space.
+//
+// Note a subtlety of the formal rule: its effect formula
+// (D ∖ ({ms}×{d}×E)) ∪ ({md}×{d}×E) adds E at the destination even
+// for elements not present at the source — the bare rules would let
+// a migration materialize data. Strict mode additionally requires
+// source presence, which is what any implementation does and what the
+// data-preservation proof (Appendix A.2.5) implicitly assumes.
+func (s *State) Migrate(ms, md MemSpace, d ItemID, elems []Elem) error {
+	if len(elems) == 0 {
+		return fmt.Errorf("migrate: empty element set")
+	}
+	if !s.created[d] {
+		return fmt.Errorf("migrate: item d%d not live", d)
+	}
+	for _, e := range elems {
+		if s.Strict && !s.Present(ms, d, e) {
+			return fmt.Errorf("migrate: (m%d,d%d,e%d) not present at source", ms, d, e)
+		}
+		for _, m := range []MemSpace{ms, md} {
+			if anyLock(s.Lr, m, d, e) || anyLock(s.Lw, m, d, e) {
+				return fmt.Errorf("migrate: (m%d,d%d,e%d) is locked", m, d, e)
+			}
+		}
+	}
+	for _, e := range elems {
+		s.removePresence(ms, d, e)
+		s.addPresence(md, d, e)
+	}
+	return nil
+}
+
+// Replicate applies the (replicate) rule: copy elements E of item d
+// from ms to md, provided no write lock is held at the source and no
+// lock at all at the destination.
+func (s *State) Replicate(ms, md MemSpace, d ItemID, elems []Elem) error {
+	if len(elems) == 0 {
+		return fmt.Errorf("replicate: empty element set")
+	}
+	if !s.created[d] {
+		return fmt.Errorf("replicate: item d%d not live", d)
+	}
+	for _, e := range elems {
+		if !s.Present(ms, d, e) {
+			return fmt.Errorf("replicate: (m%d,d%d,e%d) not present at source", ms, d, e)
+		}
+		if anyLock(s.Lw, ms, d, e) {
+			return fmt.Errorf("replicate: (m%d,d%d,e%d) write-locked at source", ms, d, e)
+		}
+		if anyLock(s.Lr, md, d, e) || anyLock(s.Lw, md, d, e) {
+			return fmt.Errorf("replicate: (m%d,d%d,e%d) locked at destination", md, d, e)
+		}
+	}
+	for _, e := range elems {
+		s.addPresence(md, d, e)
+	}
+	return nil
+}
+
+// String renders a compact summary of the state tuple.
+func (s *State) String() string {
+	return fmt.Sprintf("state{|Q|=%d |R|=%d |B|=%d |D|=%d |Lr|=%d |Lw|=%d}",
+		len(s.Q), len(s.R), len(s.B), s.presenceCount(), len(s.Lr), len(s.Lw))
+}
+
+func (s *State) presenceCount() int {
+	n := 0
+	for _, items := range s.D {
+		for _, elems := range items {
+			n += len(elems)
+		}
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+// Package monitor implements the on-demand monitoring infrastructure
+// the AllScale runtime prototype extends HPX with (Section 3.2,
+// deliverable D5.2): periodic sampling of per-locality scheduler
+// load, task counters, transport traffic and data item coverage, kept
+// in bounded time-series rings. The load-balancing and resilience
+// services consume its snapshots; the paper lists both as services
+// enabled by the runtime's control over data distribution.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"allscale/internal/core"
+	"allscale/internal/dim"
+)
+
+// Sample is one observation of one locality.
+type Sample struct {
+	When     time.Time
+	Rank     int
+	Load     int64 // queued + running tasks
+	Spawned  uint64
+	Executed uint64
+	MsgsSent uint64
+	// Coverage maps each live data item to the element count of the
+	// locality's fragment.
+	Coverage map[dim.ItemID]int64
+}
+
+// Monitor samples a core.System periodically.
+type Monitor struct {
+	sys      *core.System
+	interval time.Duration
+	keep     int
+
+	mu      sync.Mutex
+	history [][]Sample // per rank, ring of recent samples
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// Start begins sampling the system every interval, keeping the last
+// `keep` samples per locality (default 64).
+func Start(sys *core.System, interval time.Duration, keep int) *Monitor {
+	if keep <= 0 {
+		keep = 64
+	}
+	m := &Monitor{
+		sys:      sys,
+		interval: interval,
+		keep:     keep,
+		history:  make([][]Sample, sys.Size()),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go m.loop()
+	return m
+}
+
+// Stop ends sampling; it is idempotent and waits for the sampler to
+// exit.
+func (m *Monitor) Stop() {
+	m.once.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	m.SampleNow()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.SampleNow()
+		}
+	}
+}
+
+// SampleNow takes one sample of every locality immediately.
+func (m *Monitor) SampleNow() {
+	now := time.Now()
+	samples := make([]Sample, m.sys.Size())
+	for rank := 0; rank < m.sys.Size(); rank++ {
+		sc := m.sys.Scheduler(rank)
+		mgr := m.sys.Manager(rank)
+		st := sc.Stats()
+		s := Sample{
+			When:     now,
+			Rank:     rank,
+			Load:     sc.Load(),
+			Spawned:  st.Spawned,
+			Executed: st.Executed,
+			Coverage: make(map[dim.ItemID]int64),
+		}
+		for _, id := range mgr.Items() {
+			if n, err := mgr.CoverageSize(id); err == nil {
+				s.Coverage[id] = n
+			}
+		}
+		samples[rank] = s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for rank, s := range samples {
+		h := append(m.history[rank], s)
+		if len(h) > m.keep {
+			h = h[len(h)-m.keep:]
+		}
+		m.history[rank] = h
+	}
+}
+
+// Latest returns the most recent sample of every locality, in rank
+// order; the second result is false before the first sampling round.
+func (m *Monitor) Latest() ([]Sample, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Sample, 0, len(m.history))
+	for _, h := range m.history {
+		if len(h) == 0 {
+			return nil, false
+		}
+		out = append(out, h[len(h)-1])
+	}
+	return out, true
+}
+
+// History returns the retained samples of one locality, oldest first.
+func (m *Monitor) History(rank int) []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Sample, len(m.history[rank]))
+	copy(out, m.history[rank])
+	return out
+}
+
+// CoverageImbalance returns max/mean of the per-locality coverage of
+// one item (1.0 = perfectly balanced; 0 when the item is empty).
+func (m *Monitor) CoverageImbalance(id dim.ItemID) float64 {
+	latest, ok := m.Latest()
+	if !ok {
+		return 0
+	}
+	var max, total int64
+	for _, s := range latest {
+		n := s.Coverage[id]
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(latest))
+	return float64(max) / mean
+}
+
+// Report renders the latest snapshot as a text table.
+func (m *Monitor) Report() string {
+	latest, ok := m.Latest()
+	if !ok {
+		return "monitor: no samples yet\n"
+	}
+	var b strings.Builder
+	b.WriteString("locality  load  spawned  executed  coverage-per-item\n")
+	for _, s := range latest {
+		var items []string
+		ids := make([]dim.ItemID, 0, len(s.Coverage))
+		for id := range s.Coverage {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			items = append(items, fmt.Sprintf("%v:%d", id, s.Coverage[id]))
+		}
+		fmt.Fprintf(&b, "%8d  %4d  %7d  %8d  %s\n",
+			s.Rank, s.Load, s.Spawned, s.Executed, strings.Join(items, " "))
+	}
+	return b.String()
+}

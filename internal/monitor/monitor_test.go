@@ -1,0 +1,120 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"allscale/internal/core"
+	"allscale/internal/dim"
+	"allscale/internal/region"
+	"allscale/internal/sched"
+)
+
+func buildSystem(t *testing.T) (*core.System, *core.Grid[int]) {
+	t.Helper()
+	sys := core.NewSystem(core.Config{Localities: 4})
+	grid := core.DefineGrid[int](sys, "mon.grid", region.Point{64, 8})
+	core.RegisterPFor(sys, core.PForSpec{
+		Name:     "mon.init",
+		MinGrain: 32,
+		Body: func(ctx *sched.Ctx, p region.Point, _ []byte) {
+			grid.Local(ctx).Set(p, 1)
+		},
+		Reqs: func(r core.Range, _ []byte) []dim.Requirement {
+			return []dim.Requirement{{Item: grid.Item(), Region: grid.Region(r.Lo, r.Hi), Mode: dim.Write}}
+		},
+	})
+	sys.Start()
+	if err := grid.Create(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return sys, grid
+}
+
+func TestMonitorSamplesCoverageAndLoad(t *testing.T) {
+	sys, grid := buildSystem(t)
+	mon := Start(sys, 5*time.Millisecond, 8)
+	defer mon.Stop()
+
+	if err := sys.PFor("mon.init", region.Point{0, 0}, region.Point{64, 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mon.SampleNow()
+
+	latest, ok := mon.Latest()
+	if !ok || len(latest) != 4 {
+		t.Fatalf("latest = %v ok=%v", latest, ok)
+	}
+	var total int64
+	for _, s := range latest {
+		total += s.Coverage[grid.Item()]
+	}
+	if total < 64*8 {
+		t.Fatalf("sampled coverage %d < %d", total, 64*8)
+	}
+	// The initialization spread data: imbalance should be modest.
+	if imb := mon.CoverageImbalance(grid.Item()); imb <= 0 || imb > 3 {
+		t.Fatalf("imbalance = %v", imb)
+	}
+	// Executed counters must be visible.
+	execSeen := uint64(0)
+	for _, s := range latest {
+		execSeen += s.Executed
+	}
+	if execSeen == 0 {
+		t.Fatal("no executions sampled")
+	}
+}
+
+func TestMonitorHistoryRing(t *testing.T) {
+	sys, _ := buildSystem(t)
+	mon := Start(sys, time.Hour, 3) // no automatic ticks within the test
+	defer mon.Stop()
+	for i := 0; i < 5; i++ {
+		mon.SampleNow()
+	}
+	h := mon.History(0)
+	if len(h) != 3 {
+		t.Fatalf("ring kept %d samples, want 3", len(h))
+	}
+	if !h[0].When.Before(h[2].When) && h[0].When != h[2].When {
+		t.Fatal("history not oldest-first")
+	}
+}
+
+func TestMonitorReport(t *testing.T) {
+	sys, grid := buildSystem(t)
+	if err := sys.PFor("mon.init", region.Point{0, 0}, region.Point{64, 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mon := Start(sys, time.Hour, 4)
+	defer mon.Stop()
+	mon.SampleNow()
+	out := mon.Report()
+	if !strings.Contains(out, "locality") || !strings.Contains(out, grid.Item().String()) {
+		t.Fatalf("report lacks expected fields:\n%s", out)
+	}
+}
+
+func TestMonitorStopIsIdempotent(t *testing.T) {
+	sys, _ := buildSystem(t)
+	mon := Start(sys, time.Millisecond, 4)
+	mon.Stop()
+	mon.Stop()
+	if _, ok := mon.Latest(); !ok {
+		t.Fatal("initial sample missing")
+	}
+}
+
+func TestCoverageImbalanceEmptyItem(t *testing.T) {
+	sys, grid := buildSystem(t)
+	mon := Start(sys, time.Hour, 4)
+	defer mon.Stop()
+	mon.SampleNow()
+	// Nothing initialized: imbalance reports 0 for an empty item.
+	if imb := mon.CoverageImbalance(grid.Item()); imb != 0 {
+		t.Fatalf("imbalance of empty item = %v", imb)
+	}
+}

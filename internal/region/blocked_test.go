@@ -1,0 +1,178 @@
+package region
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockedTreeRegionGeometry(t *testing.T) {
+	// Fig. 4c: tree divided into one root tree of height h and 2^h
+	// subtrees; a bit mask of length 2^h + 1 models regions.
+	r := NewBlockedTreeRegion(5, 2)
+	if got := r.Blocks(); got != 5 { // 2^2 + 1
+		t.Fatalf("Blocks = %d, want 5", got)
+	}
+	if !r.IsEmpty() {
+		t.Fatal("fresh region must be empty")
+	}
+	root, lv := r.BlockRoot(0)
+	if root != Root || lv != 2 {
+		t.Fatalf("block 0 root = %v levels=%d", root, lv)
+	}
+	n1, lv1 := r.BlockRoot(1)
+	if n1 != NodeID(4) || lv1 != 3 {
+		t.Fatalf("block 1 root = %v levels=%d, want n4/3", n1, lv1)
+	}
+	n4, _ := r.BlockRoot(4)
+	if n4 != NodeID(7) {
+		t.Fatalf("block 4 root = %v, want n7", n4)
+	}
+}
+
+func TestBlockedTreeRegionSizeAndContains(t *testing.T) {
+	r := NewBlockedTreeRegion(5, 2).WithBlock(0).WithBlock(3)
+	// root tree: 2^2-1 = 3 nodes; one subtree: 2^3-1 = 7 nodes.
+	if got := r.Size(); got != 10 {
+		t.Fatalf("Size = %d, want 10", got)
+	}
+	if !r.Contains(Root) || !r.Contains(2) || !r.Contains(3) {
+		t.Fatal("root tree nodes missing")
+	}
+	if r.Contains(4) { // block 1 not selected
+		t.Fatal("node 4 must not be contained")
+	}
+	if !r.Contains(6) || !r.Contains(13) { // block 3 root = node 6
+		t.Fatal("block 3 nodes missing")
+	}
+	if r.Contains(NodeID(1) << 5) {
+		t.Fatal("node outside tree height must not be contained")
+	}
+}
+
+func TestBlockedTreeRegionBlockOf(t *testing.T) {
+	r := NewBlockedTreeRegion(5, 2)
+	cases := map[NodeID]int{1: 0, 2: 0, 3: 0, 4: 1, 5: 2, 6: 3, 7: 4, 9: 1, 13: 3, 31: 4}
+	for id, want := range cases {
+		if got := r.BlockOf(id); got != want {
+			t.Errorf("BlockOf(%v) = %d, want %d", id, got, want)
+		}
+	}
+	if r.BlockOf(NodeID(0)) != -1 || r.BlockOf(NodeID(1)<<5) != -1 {
+		t.Error("out-of-tree nodes must map to -1")
+	}
+}
+
+func TestBlockedTreeRegionOps(t *testing.T) {
+	a := NewBlockedTreeRegion(6, 3).WithBlock(0).WithBlock(1).WithBlock(2)
+	b := NewBlockedTreeRegion(6, 3).WithBlock(2).WithBlock(3)
+
+	u := a.Union(b)
+	if u.PopCount() != 4 {
+		t.Fatalf("union pop = %d, want 4", u.PopCount())
+	}
+	i := a.Intersect(b)
+	if i.PopCount() != 1 || !i.HasBlock(2) {
+		t.Fatalf("intersect wrong: %v", i)
+	}
+	d := a.Difference(b)
+	if d.PopCount() != 2 || !d.HasBlock(0) || !d.HasBlock(1) || d.HasBlock(2) {
+		t.Fatalf("difference wrong: %v", d)
+	}
+}
+
+func TestBlockedTreeRegionZeroValue(t *testing.T) {
+	var zero BlockedTreeRegion
+	if !zero.IsEmpty() || zero.Size() != 0 {
+		t.Fatal("zero value must be empty")
+	}
+	r := NewBlockedTreeRegion(4, 2).WithBlock(1)
+	if !zero.Union(r).Equal(r) {
+		t.Fatal("zero ∪ r must equal r")
+	}
+	if !r.Intersect(zero).IsEmpty() {
+		t.Fatal("r ∩ zero must be empty")
+	}
+	if !zero.Union(zero).IsEmpty() {
+		t.Fatal("zero ∪ zero must be empty")
+	}
+}
+
+func TestBlockedTreeRegionToTreeRegion(t *testing.T) {
+	r := NewBlockedTreeRegion(5, 2).WithBlock(0).WithBlock(3)
+	tr := r.ToTreeRegion()
+	if tr.Size() != r.Size() {
+		t.Fatalf("converted size = %d, want %d", tr.Size(), r.Size())
+	}
+	for id := NodeID(1); id < NodeID(1)<<5; id++ {
+		if r.Contains(id) != tr.Contains(id) {
+			t.Fatalf("conversion disagrees at %v", id)
+		}
+	}
+	full := FullBlockedTreeRegion(5, 2)
+	if !full.ToTreeRegion().Equal(FullTreeRegion(5)) {
+		t.Fatal("full conversion wrong")
+	}
+}
+
+func TestBlockedTreeRegionInvalidGeometry(t *testing.T) {
+	for _, c := range []struct{ h, b int }{{3, 0}, {3, 4}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry (%d,%d) must panic", c.h, c.b)
+				}
+			}()
+			NewBlockedTreeRegion(c.h, c.b)
+		}()
+	}
+}
+
+type blockedPair struct{ A, B BlockedTreeRegion }
+
+func (blockedPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	h := 3 + r.Intn(3)
+	bh := 1 + r.Intn(h)
+	mk := func() BlockedTreeRegion {
+		out := NewBlockedTreeRegion(h, bh)
+		for i := 0; i < out.Blocks(); i++ {
+			if r.Intn(2) == 0 {
+				out = out.WithBlock(i)
+			}
+		}
+		return out
+	}
+	return reflect.ValueOf(blockedPair{A: mk(), B: mk()})
+}
+
+// TestBlockedAgainstTreeRegion cross-checks blocked-region algebra
+// against the flexible representation.
+func TestBlockedAgainstTreeRegion(t *testing.T) {
+	f := func(p blockedPair) bool {
+		au, bu := p.A.ToTreeRegion(), p.B.ToTreeRegion()
+		return p.A.Union(p.B).ToTreeRegion().Equal(au.Union(bu)) &&
+			p.A.Intersect(p.B).ToTreeRegion().Equal(au.Intersect(bu)) &&
+			p.A.Difference(p.B).ToTreeRegion().Equal(au.Difference(bu)) &&
+			p.A.Size() == au.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockedTreeRegionAlgebraicLaws(t *testing.T) {
+	f := func(p blockedPair) bool {
+		a, b := p.A, p.B
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		return union.Equal(b.Union(a)) &&
+			inter.Equal(b.Intersect(a)) &&
+			a.Difference(b).Intersect(b).IsEmpty() &&
+			a.Difference(b).Union(inter).Equal(a) &&
+			union.Size() == a.Size()+b.Size()-inter.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package region
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(Point{10, 10, 10}, Point{21, 21, 21})
+	if b.IsEmpty() {
+		t.Fatal("non-empty box reported empty")
+	}
+	if got := b.Size(); got != 11*11*11 {
+		t.Fatalf("Size = %d, want %d", got, 11*11*11)
+	}
+	if !b.Contains(Point{10, 10, 10}) || b.Contains(Point{21, 10, 10}) {
+		t.Fatal("half-open containment wrong")
+	}
+	if !NewBox(Point{0, 0}, Point{0, 5}).IsEmpty() {
+		t.Fatal("zero-width box must be empty")
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	a := NewBox(Point{0, 0}, Point{10, 10})
+	b := NewBox(Point{5, 5}, Point{15, 15})
+	in := a.Intersect(b)
+	want := NewBox(Point{5, 5}, Point{10, 10})
+	if !in.Min.Equal(want.Min) || !in.Max.Equal(want.Max) {
+		t.Fatalf("Intersect = %v, want %v", in, want)
+	}
+	c := NewBox(Point{20, 20}, Point{30, 30})
+	if !a.Intersect(c).IsEmpty() {
+		t.Fatal("disjoint boxes must have empty intersection")
+	}
+}
+
+func TestBoxSubtract(t *testing.T) {
+	a := NewBox(Point{0, 0}, Point{10, 10})
+	b := NewBox(Point{3, 3}, Point{7, 7})
+	pieces := a.subtract(b)
+	var total int64
+	for i, p := range pieces {
+		total += p.Size()
+		if p.Intersects(b) {
+			t.Fatalf("piece %v intersects subtracted box", p)
+		}
+		for j, q := range pieces {
+			if i != j && p.Intersects(q) {
+				t.Fatalf("pieces %v and %v overlap", p, q)
+			}
+		}
+	}
+	if total != a.Size()-b.Size() {
+		t.Fatalf("subtract volume = %d, want %d", total, a.Size()-b.Size())
+	}
+	// Subtracting a disjoint box leaves the original.
+	pieces = a.subtract(NewBox(Point{50, 50}, Point{60, 60}))
+	if len(pieces) != 1 || pieces[0].Size() != a.Size() {
+		t.Fatalf("disjoint subtract changed box: %v", pieces)
+	}
+}
+
+func TestBoxSetDisjointInvariant(t *testing.T) {
+	s := NewBoxSet(
+		NewBox(Point{0, 0}, Point{10, 10}),
+		NewBox(Point{5, 5}, Point{15, 15}),
+		NewBox(Point{0, 0}, Point{3, 3}),
+	)
+	boxes := s.Boxes()
+	var total int64
+	for i, a := range boxes {
+		total += a.Size()
+		for j, b := range boxes {
+			if i != j && a.Intersects(b) {
+				t.Fatalf("stored boxes %v and %v overlap", a, b)
+			}
+		}
+	}
+	// |A ∪ B| with A=10x10, B=10x10 overlapping 5x5 = 100+100-25 = 175.
+	if total != 175 {
+		t.Fatalf("union size = %d, want 175", total)
+	}
+	if s.Size() != 175 {
+		t.Fatalf("Size = %d, want 175", s.Size())
+	}
+}
+
+func TestBoxSetOps2D(t *testing.T) {
+	a := BoxFromTo(Point{0, 0}, Point{10, 10})
+	b := BoxFromTo(Point{5, 0}, Point{15, 10})
+
+	if got := a.Union(b).Size(); got != 150 {
+		t.Fatalf("Union size = %d, want 150", got)
+	}
+	if got := a.Intersect(b).Size(); got != 50 {
+		t.Fatalf("Intersect size = %d, want 50", got)
+	}
+	if got := a.Difference(b).Size(); got != 50 {
+		t.Fatalf("Difference size = %d, want 50", got)
+	}
+	if !a.Difference(b).Equal(BoxFromTo(Point{0, 0}, Point{5, 10})) {
+		t.Fatal("Difference region wrong")
+	}
+}
+
+func TestBoxSetEqualExtensional(t *testing.T) {
+	// The same region decomposed two different ways must be Equal.
+	a := NewBoxSet(
+		NewBox(Point{0, 0}, Point{5, 10}),
+		NewBox(Point{5, 0}, Point{10, 10}),
+	)
+	b := NewBoxSet(
+		NewBox(Point{0, 0}, Point{10, 5}),
+		NewBox(Point{0, 5}, Point{10, 10}),
+	)
+	if !a.Equal(b) {
+		t.Fatal("extensionally equal box sets reported unequal")
+	}
+	if a.Equal(b.Difference(BoxFromTo(Point{3, 3}, Point{4, 4}))) {
+		t.Fatal("unequal box sets reported equal")
+	}
+}
+
+func TestBoxSetForEachPoint(t *testing.T) {
+	s := NewBoxSet(NewBox(Point{0, 0}, Point{2, 2}), NewBox(Point{10, 10}, Point{11, 12}))
+	var pts []string
+	s.ForEachPoint(func(p Point) { pts = append(pts, p.String()) })
+	want := []string{"(0,0)", "(0,1)", "(1,0)", "(1,1)", "(10,10)", "(10,11)"}
+	if !reflect.DeepEqual(pts, want) {
+		t.Fatalf("points = %v, want %v", pts, want)
+	}
+}
+
+func TestBoxSetBoundingBox(t *testing.T) {
+	s := NewBoxSet(NewBox(Point{5, 1}, Point{6, 2}), NewBox(Point{0, 8}, Point{2, 9}))
+	bb, ok := s.BoundingBox()
+	if !ok {
+		t.Fatal("bounding box of non-empty set missing")
+	}
+	if !bb.Min.Equal(Point{0, 1}) || !bb.Max.Equal(Point{6, 9}) {
+		t.Fatalf("bounding box = %v", bb)
+	}
+	if _, ok := (BoxSet{}).BoundingBox(); ok {
+		t.Fatal("empty set must have no bounding box")
+	}
+}
+
+// boxRef converts a BoxSet to an explicit point set for ground truth.
+func boxRef(s BoxSet) ElemSet[string] {
+	var elems []string
+	s.ForEachPoint(func(p Point) { elems = append(elems, p.String()) })
+	return NewElemSet(elems...)
+}
+
+func randomBoxSet(r *rand.Rand, dims int) BoxSet {
+	n := r.Intn(4)
+	boxes := make([]Box, n)
+	for i := range boxes {
+		min := make(Point, dims)
+		max := make(Point, dims)
+		for d := 0; d < dims; d++ {
+			min[d] = r.Intn(8)
+			max[d] = min[d] + r.Intn(5)
+		}
+		boxes[i] = Box{Min: min, Max: max}
+	}
+	return NewBoxSet(boxes...)
+}
+
+type boxPair struct{ A, B BoxSet }
+
+func (boxPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	dims := 1 + r.Intn(3)
+	return reflect.ValueOf(boxPair{A: randomBoxSet(r, dims), B: randomBoxSet(r, dims)})
+}
+
+// TestBoxSetAgainstGroundTruth property-checks all operations against
+// explicit point enumeration in 1 to 3 dimensions.
+func TestBoxSetAgainstGroundTruth(t *testing.T) {
+	f := func(p boxPair) bool {
+		ra, rb := boxRef(p.A), boxRef(p.B)
+		return boxRef(p.A.Union(p.B)).Equal(ra.Union(rb)) &&
+			boxRef(p.A.Intersect(p.B)).Equal(ra.Intersect(rb)) &&
+			boxRef(p.A.Difference(p.B)).Equal(ra.Difference(rb)) &&
+			p.A.Size() == ra.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxSetAlgebraicLaws(t *testing.T) {
+	f := func(p boxPair) bool {
+		a, b := p.A, p.B
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		return union.Equal(b.Union(a)) &&
+			inter.Equal(b.Intersect(a)) &&
+			a.Difference(b).Intersect(b).IsEmpty() &&
+			a.Difference(b).Union(inter).Equal(a) &&
+			union.Size() == a.Size()+b.Size()-inter.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxSetDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixing dimensionalities must panic")
+		}
+	}()
+	NewBoxSet(NewBox(Point{0}, Point{1}), NewBox(Point{0, 0}, Point{1, 1}))
+}
+
+func ExampleBoxSet() {
+	// The box of elements {e(i,j) | 10 <= i,j < 20} of Example 2.2.
+	r := BoxFromTo(Point{10, 10}, Point{20, 20})
+	fmt.Println(r.Size())
+	// Output: 100
+}

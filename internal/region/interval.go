@@ -1,0 +1,197 @@
+package region
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Interval is a half-open range [Lo, Hi) of 1-d element indices.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// IsEmpty reports whether the interval contains no indices.
+func (iv Interval) IsEmpty() bool { return iv.Hi <= iv.Lo }
+
+// Size returns the number of indices in the interval.
+func (iv Interval) Size() int64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Contains reports whether index i lies in the interval.
+func (iv Interval) Contains(i int64) bool { return iv.Lo <= i && i < iv.Hi }
+
+// overlapsOrTouches reports whether two intervals overlap or are
+// directly adjacent, in which case they can be merged into one.
+func (iv Interval) overlapsOrTouches(o Interval) bool {
+	return iv.Lo <= o.Hi && o.Lo <= iv.Hi
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Lo, iv.Hi) }
+
+// IntervalSet is a region over 1-d index spaces: a canonical sequence
+// of non-empty, disjoint, non-adjacent intervals in ascending order.
+// The zero value is the empty region.
+type IntervalSet struct {
+	ivs []Interval
+}
+
+var _ Region[IntervalSet] = IntervalSet{}
+
+// NewIntervalSet builds an IntervalSet from arbitrary (possibly
+// overlapping, unordered, or empty) intervals.
+func NewIntervalSet(ivs ...Interval) IntervalSet {
+	tmp := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if !iv.IsEmpty() {
+			tmp = append(tmp, iv)
+		}
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].Lo < tmp[j].Lo })
+	out := tmp[:0]
+	for _, iv := range tmp {
+		if n := len(out); n > 0 && out[n-1].overlapsOrTouches(iv) {
+			if iv.Hi > out[n-1].Hi {
+				out[n-1].Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return IntervalSet{ivs: out}
+}
+
+// Span returns the region covering the single interval [lo, hi).
+func Span(lo, hi int64) IntervalSet { return NewIntervalSet(Interval{lo, hi}) }
+
+// Intervals returns a copy of the canonical interval list.
+func (s IntervalSet) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// IsEmpty reports whether the region contains no indices.
+func (s IntervalSet) IsEmpty() bool { return len(s.ivs) == 0 }
+
+// Size returns the number of indices in the region.
+func (s IntervalSet) Size() int64 {
+	var n int64
+	for _, iv := range s.ivs {
+		n += iv.Size()
+	}
+	return n
+}
+
+// Contains reports whether index i lies in the region.
+func (s IntervalSet) Contains(i int64) bool {
+	// Binary search for the first interval with Hi > i.
+	lo, hi := 0, len(s.ivs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.ivs[mid].Hi <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.ivs) && s.ivs[lo].Contains(i)
+}
+
+// Union returns the set union of s and o.
+func (s IntervalSet) Union(o IntervalSet) IntervalSet {
+	merged := make([]Interval, 0, len(s.ivs)+len(o.ivs))
+	merged = append(merged, s.ivs...)
+	merged = append(merged, o.ivs...)
+	return NewIntervalSet(merged...)
+}
+
+// Intersect returns the set intersection of s and o.
+func (s IntervalSet) Intersect(o IntervalSet) IntervalSet {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(o.ivs) {
+		a, b := s.ivs[i], o.ivs[j]
+		lo := max64(a.Lo, b.Lo)
+		hi := min64(a.Hi, b.Hi)
+		if lo < hi {
+			out = append(out, Interval{lo, hi})
+		}
+		if a.Hi < b.Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return IntervalSet{ivs: out} // already canonical: disjoint, ordered, gaps preserved
+}
+
+// Difference returns the indices of s not in o.
+func (s IntervalSet) Difference(o IntervalSet) IntervalSet {
+	var out []Interval
+	j := 0
+	for _, a := range s.ivs {
+		lo := a.Lo
+		for j < len(o.ivs) && o.ivs[j].Hi <= lo {
+			j++
+		}
+		k := j
+		for k < len(o.ivs) && o.ivs[k].Lo < a.Hi {
+			b := o.ivs[k]
+			if b.Lo > lo {
+				out = append(out, Interval{lo, b.Lo})
+			}
+			if b.Hi > lo {
+				lo = b.Hi
+			}
+			k++
+		}
+		if lo < a.Hi {
+			out = append(out, Interval{lo, a.Hi})
+		}
+	}
+	return NewIntervalSet(out...)
+}
+
+// Equal reports extensional equality. Because the representation is
+// canonical, this is a structural comparison.
+func (s IntervalSet) Equal(o IntervalSet) bool {
+	if len(s.ivs) != len(o.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != o.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s IntervalSet) String() string {
+	if s.IsEmpty() {
+		return "{}"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

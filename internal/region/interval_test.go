@@ -1,0 +1,145 @@
+package region
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{3, 7}
+	if iv.IsEmpty() {
+		t.Fatal("non-empty interval reported empty")
+	}
+	if got := iv.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+	if !iv.Contains(3) || iv.Contains(7) || iv.Contains(2) {
+		t.Fatal("half-open containment wrong")
+	}
+	if !(Interval{5, 5}).IsEmpty() || !(Interval{6, 5}).IsEmpty() {
+		t.Fatal("degenerate intervals must be empty")
+	}
+}
+
+func TestIntervalSetCanonicalization(t *testing.T) {
+	s := NewIntervalSet(Interval{5, 10}, Interval{0, 5}, Interval{20, 30}, Interval{8, 12}, Interval{15, 15})
+	want := []Interval{{0, 12}, {20, 30}}
+	if got := s.Intervals(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("canonical form = %v, want %v", got, want)
+	}
+	if got := s.Size(); got != 22 {
+		t.Fatalf("Size = %d, want 22", got)
+	}
+}
+
+func TestIntervalSetEmpty(t *testing.T) {
+	var zero IntervalSet
+	if !zero.IsEmpty() {
+		t.Fatal("zero value must be empty")
+	}
+	if !zero.Union(zero).IsEmpty() || !zero.Intersect(Span(0, 10)).IsEmpty() {
+		t.Fatal("operations on empty sets broken")
+	}
+	if !Span(0, 10).Difference(Span(0, 10)).IsEmpty() {
+		t.Fatal("self-difference must be empty")
+	}
+	if !zero.Equal(NewIntervalSet()) {
+		t.Fatal("two empty sets must be equal")
+	}
+}
+
+func TestIntervalSetOps(t *testing.T) {
+	a := NewIntervalSet(Interval{0, 10}, Interval{20, 30})
+	b := NewIntervalSet(Interval{5, 25})
+
+	if got, want := a.Union(b), NewIntervalSet(Interval{0, 30}); !got.Equal(want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b), NewIntervalSet(Interval{5, 10}, Interval{20, 25}); !got.Equal(want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Difference(b), NewIntervalSet(Interval{0, 5}, Interval{25, 30}); !got.Equal(want) {
+		t.Fatalf("Difference = %v, want %v", got, want)
+	}
+	if got, want := b.Difference(a), NewIntervalSet(Interval{10, 20}); !got.Equal(want) {
+		t.Fatalf("reverse Difference = %v, want %v", got, want)
+	}
+}
+
+func TestIntervalSetContains(t *testing.T) {
+	s := NewIntervalSet(Interval{0, 4}, Interval{10, 14}, Interval{100, 101})
+	for _, i := range []int64{0, 3, 10, 13, 100} {
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false, want true", i)
+		}
+	}
+	for _, i := range []int64{-1, 4, 9, 14, 99, 101, 1000} {
+		if s.Contains(i) {
+			t.Errorf("Contains(%d) = true, want false", i)
+		}
+	}
+}
+
+// refSet converts an IntervalSet to an explicit element set for
+// ground-truth comparison.
+func refSet(s IntervalSet) ElemSet[int64] {
+	var elems []int64
+	for _, iv := range s.ivs {
+		for i := iv.Lo; i < iv.Hi; i++ {
+			elems = append(elems, i)
+		}
+	}
+	return NewElemSet(elems...)
+}
+
+// randomIntervalSet generates a bounded random interval set.
+func randomIntervalSet(r *rand.Rand) IntervalSet {
+	n := r.Intn(5)
+	ivs := make([]Interval, n)
+	for i := range ivs {
+		lo := int64(r.Intn(40))
+		ivs[i] = Interval{lo, lo + int64(r.Intn(10))}
+	}
+	return NewIntervalSet(ivs...)
+}
+
+type ivPair struct{ A, B IntervalSet }
+
+func (ivPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(ivPair{A: randomIntervalSet(r), B: randomIntervalSet(r)})
+}
+
+// TestIntervalSetAgainstGroundTruth checks, via testing/quick, that
+// all three set operations agree with explicit element enumeration.
+func TestIntervalSetAgainstGroundTruth(t *testing.T) {
+	f := func(p ivPair) bool {
+		ra, rb := refSet(p.A), refSet(p.B)
+		return refSet(p.A.Union(p.B)).Equal(ra.Union(rb)) &&
+			refSet(p.A.Intersect(p.B)).Equal(ra.Intersect(rb)) &&
+			refSet(p.A.Difference(p.B)).Equal(ra.Difference(rb)) &&
+			p.A.Size() == ra.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntervalSetAlgebraicLaws checks closure-algebra identities
+// required by Section 3.1.
+func TestIntervalSetAlgebraicLaws(t *testing.T) {
+	f := func(p ivPair) bool {
+		a, b := p.A, p.B
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		return union.Equal(b.Union(a)) && // commutativity
+			inter.Equal(b.Intersect(a)) &&
+			a.Difference(b).Intersect(b).IsEmpty() && // disjointness
+			a.Difference(b).Union(inter).Equal(a) && // partition of a
+			union.Size() == a.Size()+b.Size()-inter.Size() // inclusion-exclusion
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package region
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ElemSet is the reference region type: an explicit enumeration of
+// element addresses. It is technically sound but impractical for
+// large data items (Section 3.1); the package uses it as ground truth
+// in property tests and the executable formal model uses it to
+// represent arbitrary element sets (Definition 2.1/2.2).
+type ElemSet[E comparable] struct {
+	elems map[E]struct{}
+}
+
+// NewElemSet builds a set from the given elements.
+func NewElemSet[E comparable](elems ...E) ElemSet[E] {
+	s := ElemSet[E]{elems: make(map[E]struct{}, len(elems))}
+	for _, e := range elems {
+		s.elems[e] = struct{}{}
+	}
+	return s
+}
+
+// Union returns the set union of s and o.
+func (s ElemSet[E]) Union(o ElemSet[E]) ElemSet[E] {
+	out := ElemSet[E]{elems: make(map[E]struct{}, len(s.elems)+len(o.elems))}
+	for e := range s.elems {
+		out.elems[e] = struct{}{}
+	}
+	for e := range o.elems {
+		out.elems[e] = struct{}{}
+	}
+	return out
+}
+
+// Intersect returns the set intersection of s and o.
+func (s ElemSet[E]) Intersect(o ElemSet[E]) ElemSet[E] {
+	out := ElemSet[E]{elems: make(map[E]struct{})}
+	small, large := s.elems, o.elems
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for e := range small {
+		if _, ok := large[e]; ok {
+			out.elems[e] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Difference returns the elements of s not in o.
+func (s ElemSet[E]) Difference(o ElemSet[E]) ElemSet[E] {
+	out := ElemSet[E]{elems: make(map[E]struct{})}
+	for e := range s.elems {
+		if _, ok := o.elems[e]; !ok {
+			out.elems[e] = struct{}{}
+		}
+	}
+	return out
+}
+
+// IsEmpty reports whether the set contains no elements.
+func (s ElemSet[E]) IsEmpty() bool { return len(s.elems) == 0 }
+
+// Equal reports whether both sets contain the same elements.
+func (s ElemSet[E]) Equal(o ElemSet[E]) bool {
+	if len(s.elems) != len(o.elems) {
+		return false
+	}
+	for e := range s.elems {
+		if _, ok := o.elems[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the number of elements in the set.
+func (s ElemSet[E]) Size() int64 { return int64(len(s.elems)) }
+
+// Contains reports whether e is in the set.
+func (s ElemSet[E]) Contains(e E) bool {
+	_, ok := s.elems[e]
+	return ok
+}
+
+// Elems returns the elements in unspecified order.
+func (s ElemSet[E]) Elems() []E {
+	out := make([]E, 0, len(s.elems))
+	for e := range s.elems {
+		out = append(out, e)
+	}
+	return out
+}
+
+// ForEach calls fn for every element in unspecified order.
+func (s ElemSet[E]) ForEach(fn func(E)) {
+	for e := range s.elems {
+		fn(e)
+	}
+}
+
+func (s ElemSet[E]) String() string {
+	parts := make([]string, 0, len(s.elems))
+	for e := range s.elems {
+		parts = append(parts, fmt.Sprint(e))
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, " ") + "}"
+}

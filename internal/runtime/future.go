@@ -1,0 +1,124 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Future is the consumption side of a promise: a single value (a
+// gob-encoded task result) delivered exactly once, possibly from a
+// remote locality. Futures model the treeture-style task results of
+// the AllScale API.
+type Future struct {
+	once  sync.Once
+	ch    chan struct{}
+	value []byte
+	err   error
+}
+
+// newFuture returns an unfulfilled future.
+func newFuture() *Future {
+	return &Future{ch: make(chan struct{})}
+}
+
+// fulfill delivers the value; subsequent calls are ignored.
+func (f *Future) fulfill(value []byte, err error) {
+	f.once.Do(func() {
+		f.value = value
+		f.err = err
+		close(f.ch)
+	})
+}
+
+// Wait blocks until the future is fulfilled and returns the raw
+// encoded value.
+func (f *Future) Wait() ([]byte, error) {
+	<-f.ch
+	return f.value, f.err
+}
+
+// Done reports fulfilment without blocking.
+func (f *Future) Done() bool {
+	select {
+	case <-f.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitInto decodes the fulfilled value into out.
+func (f *Future) WaitInto(out any) error {
+	v, err := f.Wait()
+	if err != nil {
+		return err
+	}
+	return decode(v, out)
+}
+
+// PromiseID globally names a promise: the locality that owns it plus
+// a locality-unique sequence number.
+type PromiseID struct {
+	Owner int
+	Seq   uint64
+}
+
+func (id PromiseID) String() string { return fmt.Sprintf("p%d.%d", id.Owner, id.Seq) }
+
+// NewPromise allocates a future owned by this locality. Any locality
+// may fulfill it by calling FulfillRemote with its PromiseID.
+func (l *Locality) NewPromise() (PromiseID, *Future) {
+	id := PromiseID{Owner: l.Rank(), Seq: l.nextPromise.Add(1)}
+	f := newFuture()
+	l.promises.Store(id.Seq, f)
+	return id, f
+}
+
+// fulfillLocal resolves a promise owned by this locality.
+func (l *Locality) fulfillLocal(seq uint64, value []byte, errStr string) {
+	if v, ok := l.promises.LoadAndDelete(seq); ok {
+		var err error
+		if errStr != "" {
+			err = fmt.Errorf("%s", errStr)
+		}
+		v.(*Future).fulfill(value, err)
+	}
+}
+
+type fulfillMsg struct {
+	Seq   uint64
+	Value []byte
+	Err   string
+}
+
+const methodFulfill = "runtime.fulfill"
+
+// RegisterPromiseService installs the promise-fulfilment message
+// handler; Systems do this automatically.
+func (l *Locality) RegisterPromiseService() {
+	l.HandleOneWay(methodFulfill, func(_ int, body []byte) {
+		var m fulfillMsg
+		if err := decode(body, &m); err != nil {
+			return
+		}
+		l.fulfillLocal(m.Seq, m.Value, m.Err)
+	})
+}
+
+// FulfillRemote resolves the promise id (owned by any locality) with
+// the given value; err, when non-nil, is transported as a string.
+func (l *Locality) FulfillRemote(id PromiseID, value any, err error) error {
+	body, encErr := encode(value)
+	if encErr != nil {
+		return encErr
+	}
+	errStr := ""
+	if err != nil {
+		errStr = err.Error()
+	}
+	if id.Owner == l.Rank() {
+		l.fulfillLocal(id.Seq, body, errStr)
+		return nil
+	}
+	return l.Send(id.Owner, methodFulfill, &fulfillMsg{Seq: id.Seq, Value: body, Err: errStr})
+}

@@ -1,0 +1,263 @@
+// Package runtime provides the HPX-like substrate the AllScale
+// runtime prototype builds on (Section 3.2): runtime processes
+// ("localities"), globally addressable services via remote procedure
+// calls, one-way service messages, and promises/futures for task
+// completion. By default a System hosts one locality per simulated
+// cluster node inside a single OS process over the in-process
+// transport; the same Locality type runs over the TCP transport for
+// genuinely distributed operation.
+package runtime
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"allscale/internal/transport"
+)
+
+// Method is a named RPC handler: it receives the caller's rank and
+// the gob-encoded request body and returns the gob-encoded reply.
+type Method func(from int, body []byte) ([]byte, error)
+
+// OneWay is a named fire-and-forget message handler.
+type OneWay func(from int, body []byte)
+
+const (
+	kindRequest  = "rpc.req"
+	kindResponse = "rpc.rsp"
+	kindOneWay   = "msg"
+)
+
+type rpcRequest struct {
+	ID     uint64
+	Method string
+	Body   []byte
+}
+
+type rpcResponse struct {
+	ID   uint64
+	Body []byte
+	Err  string
+}
+
+type oneWayMsg struct {
+	Method string
+	Body   []byte
+}
+
+// Locality is one runtime process: the unit that owns an address
+// space in the application model. It multiplexes RPC methods, one-way
+// messages and promises over a single transport endpoint.
+type Locality struct {
+	ep transport.Endpoint
+
+	mu       sync.RWMutex
+	methods  map[string]Method
+	oneWays  map[string]OneWay
+	nextCall atomic.Uint64
+	calls    sync.Map // call id -> chan rpcResponse
+
+	nextPromise atomic.Uint64
+	promises    sync.Map // promise id -> *Future
+
+	closed atomic.Bool
+}
+
+// NewLocality wraps a transport endpoint. The caller must install all
+// methods before traffic starts (for the in-process fabric: before
+// Fabric.Start).
+func NewLocality(ep transport.Endpoint) *Locality {
+	l := &Locality{
+		ep:      ep,
+		methods: make(map[string]Method),
+		oneWays: make(map[string]OneWay),
+	}
+	ep.SetHandler(l.dispatch)
+	return l
+}
+
+// Rank returns the locality's process rank.
+func (l *Locality) Rank() int { return l.ep.Rank() }
+
+// Size returns the number of localities in the system.
+func (l *Locality) Size() int { return l.ep.Size() }
+
+// Stats returns transport traffic counters.
+func (l *Locality) Stats() transport.Stats { return l.ep.Stats() }
+
+// Handle registers the RPC method name.
+func (l *Locality) Handle(name string, m Method) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.methods[name]; dup {
+		panic(fmt.Sprintf("runtime: method %q registered twice", name))
+	}
+	l.methods[name] = m
+}
+
+// HandleOneWay registers the one-way message handler name.
+func (l *Locality) HandleOneWay(name string, h OneWay) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.oneWays[name]; dup {
+		panic(fmt.Sprintf("runtime: one-way %q registered twice", name))
+	}
+	l.oneWays[name] = h
+}
+
+// dispatch runs on the transport delivery goroutine; every message is
+// handed to its own goroutine so that a blocking handler can never
+// stall delivery (and in particular never deadlock an RPC cycle).
+func (l *Locality) dispatch(msg transport.Message) {
+	switch msg.Kind {
+	case kindRequest:
+		go l.serveRequest(msg)
+	case kindResponse:
+		var rsp rpcResponse
+		if err := decode(msg.Payload, &rsp); err != nil {
+			return
+		}
+		if ch, ok := l.calls.LoadAndDelete(rsp.ID); ok {
+			ch.(chan rpcResponse) <- rsp
+		}
+	case kindOneWay:
+		go l.serveOneWay(msg)
+	}
+}
+
+func (l *Locality) serveRequest(msg transport.Message) {
+	var req rpcRequest
+	if err := decode(msg.Payload, &req); err != nil {
+		return
+	}
+	l.mu.RLock()
+	m := l.methods[req.Method]
+	l.mu.RUnlock()
+	rsp := rpcResponse{ID: req.ID}
+	if m == nil {
+		rsp.Err = fmt.Sprintf("runtime: no method %q at rank %d", req.Method, l.Rank())
+	} else {
+		body, err := m(msg.From, req.Body)
+		rsp.Body = body
+		if err != nil {
+			rsp.Err = err.Error()
+		}
+	}
+	payload, err := encode(&rsp)
+	if err != nil {
+		return
+	}
+	l.ep.Send(msg.From, kindResponse, payload)
+}
+
+func (l *Locality) serveOneWay(msg transport.Message) {
+	var ow oneWayMsg
+	if err := decode(msg.Payload, &ow); err != nil {
+		return
+	}
+	l.mu.RLock()
+	h := l.oneWays[ow.Method]
+	l.mu.RUnlock()
+	if h != nil {
+		h(msg.From, ow.Body)
+	}
+}
+
+// Call invokes method at locality dst, gob-encoding args and decoding
+// the response into reply (which may be nil for methods without
+// results). Calls to the local rank short-circuit the transport but
+// still pass through encoding, keeping local and remote semantics
+// identical.
+func (l *Locality) Call(dst int, method string, args, reply any) error {
+	body, err := encode(args)
+	if err != nil {
+		return fmt.Errorf("runtime: encode args of %q: %w", method, err)
+	}
+	var rspBody []byte
+	if dst == l.Rank() {
+		l.mu.RLock()
+		m := l.methods[method]
+		l.mu.RUnlock()
+		if m == nil {
+			return fmt.Errorf("runtime: no method %q at rank %d", method, dst)
+		}
+		rspBody, err = m(l.Rank(), body)
+		if err != nil {
+			return err
+		}
+	} else {
+		id := l.nextCall.Add(1)
+		ch := make(chan rpcResponse, 1)
+		l.calls.Store(id, ch)
+		payload, err := encode(&rpcRequest{ID: id, Method: method, Body: body})
+		if err != nil {
+			l.calls.Delete(id)
+			return err
+		}
+		if err := l.ep.Send(dst, kindRequest, payload); err != nil {
+			l.calls.Delete(id)
+			return err
+		}
+		rsp := <-ch
+		if rsp.Err != "" {
+			return fmt.Errorf("%s", rsp.Err)
+		}
+		rspBody = rsp.Body
+	}
+	if reply == nil {
+		return nil
+	}
+	return decode(rspBody, reply)
+}
+
+// Send delivers a one-way message to method at locality dst.
+func (l *Locality) Send(dst int, method string, args any) error {
+	body, err := encode(args)
+	if err != nil {
+		return fmt.Errorf("runtime: encode args of %q: %w", method, err)
+	}
+	if dst == l.Rank() {
+		l.mu.RLock()
+		h := l.oneWays[method]
+		l.mu.RUnlock()
+		if h == nil {
+			return fmt.Errorf("runtime: no one-way %q at rank %d", method, dst)
+		}
+		go h(l.Rank(), body)
+		return nil
+	}
+	payload, err := encode(&oneWayMsg{Method: method, Body: body})
+	if err != nil {
+		return err
+	}
+	return l.ep.Send(dst, kindOneWay, payload)
+}
+
+// Close shuts the locality's endpoint down.
+func (l *Locality) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	return l.ep.Close()
+}
+
+func encode(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(data []byte, v any) error {
+	if v == nil {
+		return nil
+	}
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -1,0 +1,52 @@
+package runtime
+
+import (
+	"allscale/internal/transport"
+)
+
+// System hosts a whole simulated cluster — one locality per node —
+// inside a single OS process over the in-process fabric. This is the
+// default execution vehicle for the examples, tests and experiments;
+// Locality over a TCP endpoint provides the genuinely distributed
+// alternative.
+type System struct {
+	fabric     *transport.Fabric
+	localities []*Locality
+}
+
+// NewSystem creates n localities with the promise service installed.
+// Callers register their services on each locality and then call
+// Start.
+func NewSystem(n int) *System {
+	s := &System{fabric: transport.NewFabric(n)}
+	for i := 0; i < n; i++ {
+		l := NewLocality(s.fabric.Endpoint(i))
+		l.RegisterPromiseService()
+		s.localities = append(s.localities, l)
+	}
+	return s
+}
+
+// Size returns the number of localities.
+func (s *System) Size() int { return len(s.localities) }
+
+// Locality returns the locality with the given rank.
+func (s *System) Locality(rank int) *Locality { return s.localities[rank] }
+
+// Localities returns all localities in rank order.
+func (s *System) Localities() []*Locality {
+	out := make([]*Locality, len(s.localities))
+	copy(out, s.localities)
+	return out
+}
+
+// Start begins message delivery. All services must be registered.
+func (s *System) Start() { s.fabric.Start() }
+
+// Close shuts the system down.
+func (s *System) Close() error {
+	for _, l := range s.localities {
+		l.Close()
+	}
+	return s.fabric.Close()
+}

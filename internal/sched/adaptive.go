@@ -1,0 +1,77 @@
+package sched
+
+// AdaptivePolicy extends the hierarchical DefaultPolicy with the
+// load feedback the paper describes for variant selection: "This
+// policy considers the set of available variants, properties of those
+// like being sequential or spawning additional sub-tasks, as well as
+// runtime system data like task queue lengths and worker idle rates"
+// (Section 3.2, Algorithm 2 line 3).
+//
+// Beyond the baseline split depth (covering the system), the policy
+// keeps splitting while the local scheduler looks starved (few queued
+// or running tasks), up to MaxExtraDepth additional levels; a loaded
+// locality stops splitting early to avoid task-management overhead.
+type AdaptivePolicy struct {
+	// BaseExtraDepth is the guaranteed split headroom beyond
+	// log2(P); default 1.
+	BaseExtraDepth int
+	// MaxExtraDepth bounds additional load-driven splitting; default 3.
+	MaxExtraDepth int
+	// LowLoad is the queued+running threshold under which the
+	// locality counts as starved; default 2× the worker estimate (4).
+	LowLoad int64
+
+	load func() int64
+}
+
+// BindLoad gives the policy access to the hosting scheduler's load;
+// the scheduler calls this automatically at construction.
+func (p *AdaptivePolicy) BindLoad(load func() int64) { p.load = load }
+
+func (p *AdaptivePolicy) base() int {
+	if p.BaseExtraDepth == 0 {
+		return 1
+	}
+	return p.BaseExtraDepth
+}
+
+func (p *AdaptivePolicy) maxExtra() int {
+	if p.MaxExtraDepth == 0 {
+		return 3
+	}
+	return p.MaxExtraDepth
+}
+
+func (p *AdaptivePolicy) lowLoad() int64 {
+	if p.LowLoad == 0 {
+		return 4
+	}
+	return p.LowLoad
+}
+
+// PickVariant implements Policy.
+func (p *AdaptivePolicy) PickVariant(spec *TaskSpec, splittable bool, size int) Variant {
+	if !splittable {
+		return VariantProcess
+	}
+	depth := log2ceil(size) + p.base()
+	if spec.Depth < depth {
+		return VariantSplit
+	}
+	// Past the guaranteed depth: keep splitting only while starved.
+	if spec.Depth < depth+p.maxExtra() && p.load != nil && p.load() < p.lowLoad() {
+		return VariantSplit
+	}
+	return VariantProcess
+}
+
+// PickTarget implements Policy (same path-prefix spreading as
+// DefaultPolicy).
+func (p *AdaptivePolicy) PickTarget(spec *TaskSpec, size int) int {
+	return (&DefaultPolicy{}).PickTarget(spec, size)
+}
+
+// loadBinder is implemented by policies that want load feedback.
+type loadBinder interface {
+	BindLoad(func() int64)
+}

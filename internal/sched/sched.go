@@ -1,0 +1,422 @@
+// Package sched implements the data-requirement-aware task scheduler
+// of the AllScale runtime prototype (Section 3.2, Algorithm 2).
+//
+// Tasks are specified through kinds registered identically on every
+// process (the role of the AllScale compiler's generated code,
+// Section 3.3). Each kind offers up to two variants (Definition 2.3):
+// a sequential Process variant, annotated with a data-requirement
+// function (Definition 2.7), and an optional Split variant that
+// divides the task and spawns sub-tasks (the prec operator pattern).
+//
+// When a task is scheduled, a customizable policy first selects the
+// variant; the task is then dispatched to a process fulfilling all its
+// data requirements or, failing that, all its write requirements, or
+// — if neither exists — to a locality chosen by the policy
+// (Algorithm 2 lines 3–13).
+package sched
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"allscale/internal/dataitem"
+	"allscale/internal/dim"
+	"allscale/internal/runtime"
+)
+
+// Variant names the implementation alternative picked by the policy.
+type Variant int
+
+const (
+	// VariantProcess is the sequential implementation executing under
+	// acquired data requirements.
+	VariantProcess Variant = iota
+	// VariantSplit is the parallel implementation dividing the task.
+	VariantSplit
+)
+
+func (v Variant) String() string {
+	if v == VariantSplit {
+		return "split"
+	}
+	return "process"
+}
+
+// TaskSpec is the serializable description of a spawned task.
+type TaskSpec struct {
+	ID   uint64
+	Kind string
+	Args []byte
+	// Depth is the task's depth in the spawn tree, Path/PathLen its
+	// position: Path holds PathLen branch bits (0 = left), most
+	// significant first. The default policy maps path prefixes onto
+	// the process space, spreading the task tree over the cluster.
+	Depth   int
+	Path    uint64
+	PathLen int
+	Origin  int
+	Promise runtime.PromiseID
+}
+
+// Kind is one registered task type with its variants.
+type Kind struct {
+	Name string
+	// Process is the mandatory sequential variant; its result value
+	// is gob-encoded into the task's future.
+	Process func(ctx *Ctx) (any, error)
+	// Reqs computes the Process variant's data requirements from the
+	// task arguments; nil means no requirements.
+	Reqs func(args []byte) []dim.Requirement
+	// Split is the optional parallel variant.
+	Split func(ctx *Ctx) (any, error)
+	// CanSplit reports whether the task is still divisible; nil with
+	// a non-nil Split means always divisible.
+	CanSplit func(args []byte) bool
+}
+
+func (k *Kind) splittable(args []byte) bool {
+	if k.Split == nil {
+		return false
+	}
+	if k.CanSplit == nil {
+		return true
+	}
+	return k.CanSplit(args)
+}
+
+// Policy is the customizable scheduling policy of Algorithm 2.
+type Policy interface {
+	// PickVariant selects the variant to be processed (line 3).
+	PickVariant(spec *TaskSpec, splittable bool, size int) Variant
+	// PickTarget selects a locality for a task without data-placement
+	// constraints (line 12).
+	PickTarget(spec *TaskSpec, size int) int
+}
+
+// Stats aggregates per-locality scheduling counters.
+type Stats struct {
+	Spawned      uint64 // tasks spawned at this locality
+	Executed     uint64 // variants executed at this locality
+	Splits       uint64 // split variants executed
+	LocalPlaced  uint64 // tasks placed without leaving the locality
+	RemotePlaced uint64 // tasks shipped to another locality
+	CoveredAll   uint64 // placements satisfying all requirements (line 6)
+	CoveredWrite uint64 // placements satisfying write requirements (line 9)
+	PolicyPlaced uint64 // placements decided by the policy (line 13)
+}
+
+// Scheduler is the per-locality task scheduler.
+type Scheduler struct {
+	loc    *runtime.Locality
+	mgr    *dim.Manager
+	policy Policy
+
+	mu    sync.RWMutex
+	kinds map[string]*Kind
+
+	seq     atomic.Uint64
+	running atomic.Int64
+	queued  atomic.Int64
+
+	// queue, when non-nil, holds the work-stealing run queue enabled
+	// by EnableQueue (see steal.go).
+	queue *queueState
+
+	stats struct {
+		spawned, executed, splits           atomic.Uint64
+		localPlaced, remotePlaced           atomic.Uint64
+		coveredAll, coveredWrite, polPlaced atomic.Uint64
+	}
+}
+
+const methodRun = "sched.run"
+
+type runArgs struct {
+	Spec    TaskSpec
+	Variant Variant
+}
+
+// New creates the scheduler of one locality. Kinds must be registered
+// (identically everywhere) before tasks are spawned.
+func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
+	s := &Scheduler{loc: loc, mgr: mgr, policy: policy, kinds: make(map[string]*Kind)}
+	if lb, ok := policy.(loadBinder); ok {
+		lb.BindLoad(s.Load)
+	}
+	loc.HandleOneWay(methodRun, func(from int, body []byte) {
+		var args runArgs
+		if err := decodeGob(body, &args); err != nil {
+			return
+		}
+		s.execute(&args.Spec, args.Variant)
+	})
+	return s
+}
+
+// Register installs a task kind.
+func (s *Scheduler) Register(k *Kind) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.kinds[k.Name]; dup {
+		panic(fmt.Sprintf("sched: kind %q registered twice", k.Name))
+	}
+	if k.Process == nil {
+		panic(fmt.Sprintf("sched: kind %q lacks the mandatory process variant", k.Name))
+	}
+	s.kinds[k.Name] = k
+}
+
+func (s *Scheduler) kind(name string) (*Kind, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	k, ok := s.kinds[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown task kind %q at rank %d", name, s.loc.Rank())
+	}
+	return k, nil
+}
+
+// Rank returns the hosting locality's rank.
+func (s *Scheduler) Rank() int { return s.loc.Rank() }
+
+// Size returns the number of localities.
+func (s *Scheduler) Size() int { return s.loc.Size() }
+
+// Manager returns the data item manager of this locality.
+func (s *Scheduler) Manager() *dim.Manager { return s.mgr }
+
+// Stats returns a snapshot of the scheduling counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Spawned:      s.stats.spawned.Load(),
+		Executed:     s.stats.executed.Load(),
+		Splits:       s.stats.splits.Load(),
+		LocalPlaced:  s.stats.localPlaced.Load(),
+		RemotePlaced: s.stats.remotePlaced.Load(),
+		CoveredAll:   s.stats.coveredAll.Load(),
+		CoveredWrite: s.stats.coveredWrite.Load(),
+		PolicyPlaced: s.stats.polPlaced.Load(),
+	}
+}
+
+// Load returns the locality's current queued+running task count.
+func (s *Scheduler) Load() int64 { return s.queued.Load() + s.running.Load() }
+
+// Spawn schedules a new root task of the given kind ((spawn)
+// transition) and returns the future of its result.
+func (s *Scheduler) Spawn(kind string, args any) (*runtime.Future, error) {
+	return s.spawnAt(kind, args, 0, 0, 0)
+}
+
+// spawnAt schedules a task at a given position of the spawn tree.
+func (s *Scheduler) spawnAt(kind string, args any, depth int, path uint64, pathLen int) (*runtime.Future, error) {
+	body, err := encodeGob(args)
+	if err != nil {
+		return nil, fmt.Errorf("sched: encode args of %q: %w", kind, err)
+	}
+	pid, fut := s.loc.NewPromise()
+	spec := &TaskSpec{
+		ID:      uint64(s.loc.Rank())<<32 | s.seq.Add(1),
+		Kind:    kind,
+		Args:    body,
+		Depth:   depth,
+		Path:    path,
+		PathLen: pathLen,
+		Origin:  s.loc.Rank(),
+		Promise: pid,
+	}
+	s.stats.spawned.Add(1)
+	if err := s.assign(spec); err != nil {
+		return nil, err
+	}
+	return fut, nil
+}
+
+// assign implements ASSIGN_TO_NODE of Algorithm 2.
+func (s *Scheduler) assign(spec *TaskSpec) error {
+	k, err := s.kind(spec.Kind)
+	if err != nil {
+		return err
+	}
+	variant := s.policy.PickVariant(spec, k.splittable(spec.Args), s.loc.Size()) // line 3
+	if k.Split == nil {
+		variant = VariantProcess
+	}
+
+	target := -1
+	if variant == VariantProcess && k.Reqs != nil {
+		reqs := k.Reqs(spec.Args)
+		if rank := s.coveringRank(reqs, false); rank >= 0 { // line 4
+			target = rank
+			s.stats.coveredAll.Add(1)
+		} else if rank := s.coveringRank(reqs, true); rank >= 0 { // line 7
+			target = rank
+			s.stats.coveredWrite.Add(1)
+		}
+	}
+	if target < 0 {
+		target = s.policy.PickTarget(spec, s.loc.Size()) // line 12
+		s.stats.polPlaced.Add(1)
+	}
+
+	if target == s.loc.Rank() {
+		s.stats.localPlaced.Add(1)
+		go s.execute(spec, variant)
+		return nil
+	}
+	s.stats.remotePlaced.Add(1)
+	return s.loc.Send(target, methodRun, &runArgs{Spec: *spec, Variant: variant})
+}
+
+// coveringRank returns a rank whose fragments cover all (or, with
+// writeOnly, all write) requirements, or -1. Requirements with empty
+// regions impose no constraint.
+func (s *Scheduler) coveringRank(reqs []dim.Requirement, writeOnly bool) int {
+	var candidates map[int]bool
+	constrained := false
+	for _, rq := range reqs {
+		if writeOnly && rq.Mode != dim.Write {
+			continue
+		}
+		if rq.Region.IsEmpty() {
+			continue
+		}
+		constrained = true
+		owners, err := s.mgr.Owners(rq.Item, rq.Region)
+		if err != nil {
+			return -1
+		}
+		// A rank covers the requirement if the union of its segments
+		// contains the region.
+		perRank := make(map[int]dataitem.Region)
+		for _, o := range owners {
+			if cur, ok := perRank[o.Rank]; ok {
+				perRank[o.Rank] = cur.Union(o.Region)
+			} else {
+				perRank[o.Rank] = o.Region
+			}
+		}
+		covering := make(map[int]bool)
+		for rank, cov := range perRank {
+			if rq.Region.Difference(cov).IsEmpty() {
+				covering[rank] = true
+			}
+		}
+		if candidates == nil {
+			candidates = covering
+		} else {
+			for rank := range candidates {
+				if !covering[rank] {
+					delete(candidates, rank)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return -1
+		}
+	}
+	if !constrained || len(candidates) == 0 {
+		return -1
+	}
+	// Prefer the local rank, then the smallest.
+	if candidates[s.loc.Rank()] {
+		return s.loc.Rank()
+	}
+	best := -1
+	for rank := range candidates {
+		if best < 0 || rank < best {
+			best = rank
+		}
+	}
+	return best
+}
+
+// execute runs (or, with work stealing enabled, enqueues) one variant
+// of a task on this locality. Only process variants are queued and
+// stealable: split variants merely spawn and wait, and must neither
+// occupy a bounded worker nor migrate once created (their spawn-tree
+// position is locality-bound state).
+func (s *Scheduler) execute(spec *TaskSpec, variant Variant) {
+	if s.queue != nil && variant == VariantProcess {
+		s.queued.Add(1)
+		s.enqueueLocal(spec)
+		return
+	}
+	s.executeNow(spec, variant)
+}
+
+// executeNow runs one variant immediately on the calling goroutine.
+func (s *Scheduler) executeNow(spec *TaskSpec, variant Variant) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	s.stats.executed.Add(1)
+
+	k, err := s.kind(spec.Kind)
+	if err != nil {
+		s.loc.FulfillRemote(spec.Promise, nil, err)
+		return
+	}
+	ctx := &Ctx{sched: s, spec: spec}
+	var result any
+	switch variant {
+	case VariantSplit:
+		s.stats.splits.Add(1)
+		result, err = k.Split(ctx)
+	default:
+		var reqs []dim.Requirement
+		if k.Reqs != nil {
+			reqs = k.Reqs(spec.Args)
+		}
+		if len(reqs) > 0 {
+			if err := s.mgr.Acquire(spec.ID, reqs); err != nil {
+				s.loc.FulfillRemote(spec.Promise, nil, err)
+				return
+			}
+			defer s.mgr.Release(spec.ID)
+		}
+		result, err = k.Process(ctx)
+	}
+	s.loc.FulfillRemote(spec.Promise, result, err)
+}
+
+// Ctx is the execution context handed to variant bodies.
+type Ctx struct {
+	sched *Scheduler
+	spec  *TaskSpec
+}
+
+// Rank returns the executing locality's rank.
+func (c *Ctx) Rank() int { return c.sched.Rank() }
+
+// Manager returns the local data item manager, through which variant
+// bodies access their granted fragments.
+func (c *Ctx) Manager() *dim.Manager { return c.sched.mgr }
+
+// Args decodes the task arguments into out.
+func (c *Ctx) Args(out any) error { return decodeGob(c.spec.Args, out) }
+
+// Depth returns the task's spawn-tree depth.
+func (c *Ctx) Depth() int { return c.spec.Depth }
+
+// Spawn schedules a child task ((spawn) transition), assigning it the
+// given branch bit in the spawn tree. Waiting on the returned future
+// is the (sync) transition.
+func (c *Ctx) Spawn(kind string, args any, branch uint64) (*runtime.Future, error) {
+	path := c.spec.Path<<1 | (branch & 1)
+	return c.sched.spawnAt(kind, args, c.spec.Depth+1, path, c.spec.PathLen+1)
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file implements node-local task queues with inter-node work
+// stealing: "Enqueued tasks (Q) are stored within node-local queues
+// at the locality where they have been created, yet may be stolen by
+// other nodes. Running and blocked tasks (R and B) are equally
+// maintained within node-local structures, but may not be moved to
+// other nodes since their task-private state can not be migrated."
+// (Section 3.2.)
+//
+// Stealing is opt-in via EnableQueue: process-variant executions are
+// then held in a bounded-worker queue from which idle peers may steal
+// (only not-yet-started tasks move, matching the model). Split
+// variants keep running on their own goroutines — they only spawn and
+// wait, and must not occupy a worker while blocked on children.
+
+const methodSteal = "sched.steal"
+
+type stealReply struct {
+	Found bool
+	Spec  TaskSpec
+}
+
+// queueState holds the optional work-stealing run queue.
+type queueState struct {
+	mu      sync.Mutex
+	tasks   []TaskSpec
+	workers int
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	// Stolen counts tasks this locality stole from peers; StolenFrom
+	// counts tasks peers took from here.
+	stolen     uint64
+	stolenFrom uint64
+}
+
+// EnableQueue switches the scheduler from goroutine-per-task to a
+// bounded worker pool with work stealing. Must be called on every
+// scheduler of the system before Start; workers is the number of
+// executor goroutines per locality.
+func (s *Scheduler) EnableQueue(workers int) {
+	if workers <= 0 {
+		workers = 4
+	}
+	if s.queue != nil {
+		panic("sched: EnableQueue called twice")
+	}
+	q := &queueState{workers: workers, stop: make(chan struct{})}
+	s.queue = q
+	s.loc.Handle(methodSteal, func(from int, body []byte) ([]byte, error) {
+		spec, ok := s.stealLocal()
+		if !ok {
+			return encodeGob(&stealReply{})
+		}
+		q.mu.Lock()
+		q.stolenFrom++
+		q.mu.Unlock()
+		return encodeGob(&stealReply{Found: true, Spec: spec})
+	})
+	for w := 0; w < workers; w++ {
+		q.wg.Add(1)
+		go s.worker(w)
+	}
+}
+
+// StopQueue terminates the worker pool (used by tests; systems
+// normally live for the process lifetime).
+func (s *Scheduler) StopQueue() {
+	if s.queue == nil {
+		return
+	}
+	close(s.queue.stop)
+	s.queue.wg.Wait()
+}
+
+// StealStats reports (stolen-by-us, stolen-from-us).
+func (s *Scheduler) StealStats() (uint64, uint64) {
+	if s.queue == nil {
+		return 0, 0
+	}
+	s.queue.mu.Lock()
+	defer s.queue.mu.Unlock()
+	return s.queue.stolen, s.queue.stolenFrom
+}
+
+// enqueueLocal places a process-variant task into the local queue.
+func (s *Scheduler) enqueueLocal(spec *TaskSpec) {
+	q := s.queue
+	q.mu.Lock()
+	q.tasks = append(q.tasks, *spec)
+	q.mu.Unlock()
+}
+
+// dequeueLocal pops the newest local task (LIFO for locality).
+func (s *Scheduler) dequeueLocal() (TaskSpec, bool) {
+	q := s.queue
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.tasks)
+	if n == 0 {
+		return TaskSpec{}, false
+	}
+	spec := q.tasks[n-1]
+	q.tasks = q.tasks[:n-1]
+	s.queued.Add(-1)
+	return spec, true
+}
+
+// stealLocal pops the oldest local task (FIFO for thieves: old tasks
+// are likely far from this locality's working set anyway).
+func (s *Scheduler) stealLocal() (TaskSpec, bool) {
+	q := s.queue
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.tasks) == 0 {
+		return TaskSpec{}, false
+	}
+	spec := q.tasks[0]
+	q.tasks = q.tasks[1:]
+	s.queued.Add(-1)
+	return spec, true
+}
+
+// QueueLen returns the number of queued, not yet started tasks.
+func (s *Scheduler) QueueLen() int {
+	if s.queue == nil {
+		return 0
+	}
+	s.queue.mu.Lock()
+	defer s.queue.mu.Unlock()
+	return len(s.queue.tasks)
+}
+
+// worker executes queued process-variant tasks, stealing from random
+// peers when the local queue is empty.
+func (s *Scheduler) worker(seed int) {
+	q := s.queue
+	defer q.wg.Done()
+	rng := rand.New(rand.NewSource(int64(s.Rank())*1000 + int64(seed)))
+	idle := time.Duration(0)
+	for {
+		select {
+		case <-q.stop:
+			return
+		default:
+		}
+		if spec, ok := s.dequeueLocal(); ok {
+			idle = 0
+			s.executeNow(&spec, VariantProcess)
+			continue
+		}
+		// Try to steal from a random peer.
+		if s.loc.Size() > 1 {
+			victim := rng.Intn(s.loc.Size() - 1)
+			if victim >= s.Rank() {
+				victim++
+			}
+			var reply stealReply
+			if err := s.loc.Call(victim, methodSteal, struct{}{}, &reply); err == nil && reply.Found {
+				q.mu.Lock()
+				q.stolen++
+				q.mu.Unlock()
+				idle = 0
+				s.executeNow(&reply.Spec, VariantProcess)
+				continue
+			}
+		}
+		// Nothing anywhere: back off briefly.
+		if idle < 2*time.Millisecond {
+			idle += 100 * time.Microsecond
+		}
+		select {
+		case <-q.stop:
+			return
+		case <-time.After(idle):
+		}
+	}
+}

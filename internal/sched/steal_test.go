@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// newQueuedCluster builds a cluster with work-stealing queues.
+func newQueuedCluster(t *testing.T, n, workers int, policy Policy) *cluster {
+	t.Helper()
+	c := newCluster(t, n, policy)
+	for _, s := range c.scheds {
+		s.EnableQueue(workers)
+	}
+	t.Cleanup(func() {
+		for _, s := range c.scheds {
+			s.StopQueue()
+		}
+	})
+	return c
+}
+
+func TestQueuedExecutionCompletesTaskTree(t *testing.T) {
+	c := newQueuedCluster(t, 4, 2, &DefaultPolicy{ExtraDepth: 2})
+	registerSum(c)
+	c.start()
+	fut, err := c.scheds[0].Spawn("sum", &sumRange{0, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	if err := fut.WaitInto(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(1999 * 2000 / 2); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+// slowKind is a non-splittable task that takes a while, to create a
+// stealable backlog at one locality.
+func registerSlow(c *cluster, mu *sync.Mutex, ranks map[int]int) {
+	c.registerAll(func(rank int) *Kind {
+		return &Kind{
+			Name: "slow",
+			Process: func(ctx *Ctx) (any, error) {
+				time.Sleep(3 * time.Millisecond)
+				mu.Lock()
+				ranks[ctx.Rank()]++
+				mu.Unlock()
+				return nil, nil
+			},
+		}
+	})
+}
+
+func TestIdleLocalitiesStealWork(t *testing.T) {
+	// LocalPolicy dumps every task on its origin (rank 0); the other
+	// localities are idle and must steal.
+	c := newQueuedCluster(t, 4, 1, &LocalPolicy{})
+	var mu sync.Mutex
+	ranks := map[int]int{}
+	registerSlow(c, &mu, ranks)
+	c.start()
+
+	var futs []interface{ Wait() ([]byte, error) }
+	for i := 0; i < 40; i++ {
+		fut, err := c.scheds[0].Spawn("slow", struct{}{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	helpers := 0
+	for rank, n := range ranks {
+		if rank != 0 && n > 0 {
+			helpers++
+		}
+	}
+	mu.Unlock()
+	if helpers == 0 {
+		t.Fatal("no idle locality stole work")
+	}
+	stolen := uint64(0)
+	for _, s := range c.scheds {
+		a, _ := s.StealStats()
+		stolen += a
+	}
+	if stolen == 0 {
+		t.Fatal("steal statistics report no steals")
+	}
+}
+
+func TestQueueLenAndCounters(t *testing.T) {
+	c := newQueuedCluster(t, 1, 1, &DefaultPolicy{})
+	block := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	once := sync.Once{}
+	c.registerAll(func(rank int) *Kind {
+		return &Kind{
+			Name: "gate",
+			Process: func(ctx *Ctx) (any, error) {
+				once.Do(started.Done)
+				<-block
+				return nil, nil
+			},
+		}
+	})
+	c.start()
+	var futs []interface{ Wait() ([]byte, error) }
+	for i := 0; i < 5; i++ {
+		fut, err := c.scheds[0].Spawn("gate", struct{}{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+	started.Wait() // one task occupies the single worker
+	deadline := time.Now().Add(2 * time.Second)
+	for c.scheds[0].QueueLen() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue length = %d, want 4", c.scheds[0].QueueLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if load := c.scheds[0].Load(); load < 5 {
+		t.Fatalf("load = %d, want >= 5", load)
+	}
+	close(block)
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.scheds[0].QueueLen(); got != 0 {
+		t.Fatalf("queue not drained: %d", got)
+	}
+}
+
+func TestEnableQueueTwicePanics(t *testing.T) {
+	c := newCluster(t, 1, &DefaultPolicy{})
+	c.scheds[0].EnableQueue(1)
+	defer c.scheds[0].StopQueue()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second EnableQueue must panic")
+		}
+	}()
+	c.scheds[0].EnableQueue(1)
+}
+
+func TestStealStatsWithoutQueue(t *testing.T) {
+	c := newCluster(t, 1, &DefaultPolicy{})
+	a, b := c.scheds[0].StealStats()
+	if a != 0 || b != 0 {
+		t.Fatal("no-queue scheduler must report zero steals")
+	}
+	if c.scheds[0].QueueLen() != 0 {
+		t.Fatal("no-queue scheduler must report empty queue")
+	}
+	c.scheds[0].StopQueue() // no-op
+}

@@ -1,0 +1,154 @@
+// Package simtime is a deterministic discrete-event simulation engine
+// with virtual time. It is the substrate of the cluster performance
+// model (package simnet) that replays the paper's 64-node experiments
+// on a single machine: compute and communication are charged to a
+// virtual clock instead of wall time, so scaling experiments over
+// 1–64 nodes × 20 cores run in milliseconds (see DESIGN.md §4,
+// substitution for the RRZE Meggie cluster).
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in seconds.
+type Time float64
+
+// event is one scheduled callback. seq breaks ties deterministically:
+// events at equal times fire in scheduling order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)     { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+func (h eventHeap) Peek() *event    { return h[0] }
+func (h eventHeap) String() string  { return fmt.Sprintf("events(%d)", len(h)) }
+
+// Engine is a single-threaded event loop over virtual time. All
+// callbacks run on the caller's goroutine inside Run; they may
+// schedule further events.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of processed events.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, unprocessed events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after the given virtual delay; negative delays are
+// clamped to zero (fire "now", after already-queued events at the
+// current instant).
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run processes events until none remain, returning the final time.
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil processes events up to and including time t; later events
+// stay queued. The clock ends at t or at the last event, whichever is
+// later reached.
+func (e *Engine) RunUntil(t Time) Time {
+	for len(e.events) > 0 && e.events.Peek().at <= t {
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return e.now
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.events).(*event)
+	if ev.at > e.now {
+		e.now = ev.at
+	}
+	e.fired++
+	ev.fn()
+}
+
+// Resource is a FCFS server with fixed capacity (e.g. the cores of a
+// node, or a NIC serializing messages): holders occupy one unit for a
+// virtual duration, excess requests queue.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	busy     int
+	queue    []func()
+	// BusyTime accumulates occupied unit-seconds, for utilization
+	// statistics.
+	BusyTime Time
+}
+
+// NewResource creates a resource with the given capacity.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("simtime: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity}
+}
+
+// Use occupies one unit for the duration, then calls done (which may
+// be nil). If the resource is saturated the request queues FCFS.
+func (r *Resource) Use(duration Time, done func()) {
+	run := func() {
+		r.busy++
+		r.BusyTime += duration
+		r.eng.Schedule(duration, func() {
+			r.busy--
+			if len(r.queue) > 0 {
+				next := r.queue[0]
+				r.queue = r.queue[1:]
+				next()
+			}
+			if done != nil {
+				done()
+			}
+		})
+	}
+	if r.busy < r.capacity {
+		run()
+	} else {
+		r.queue = append(r.queue, run)
+	}
+}
+
+// InUse returns the currently occupied units.
+func (r *Resource) InUse() int { return r.busy }
+
+// Queued returns the queued request count.
+func (r *Resource) Queued() int { return len(r.queue) }

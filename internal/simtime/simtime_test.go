@@ -1,0 +1,109 @@
+package simtime
+
+import "testing"
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("end time = %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("fired = %d", e.Fired())
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			e.Schedule(1, recurse)
+		}
+	}
+	e.Schedule(1, recurse)
+	end := e.Run()
+	if depth != 5 || end != 5 {
+		t.Fatalf("depth=%d end=%v", depth, end)
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(10, func() { fired++ })
+	e.RunUntil(5)
+	if fired != 1 || e.Pending() != 1 {
+		t.Fatalf("fired=%d pending=%d", fired, e.Pending())
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now = %v", e.Now())
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatal("remaining event lost")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(-5, func() { ran = true })
+	if end := e.Run(); end != 0 || !ran {
+		t.Fatalf("end=%v ran=%v", end, ran)
+	}
+}
+
+func TestResourceCapacityAndQueueing(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		r.Use(10, func() { done = append(done, e.Now()) })
+	}
+	if r.InUse() != 2 || r.Queued() != 2 {
+		t.Fatalf("busy=%d queued=%d", r.InUse(), r.Queued())
+	}
+	e.Run()
+	// Two finish at t=10, two queued start at 10 and finish at 20.
+	if len(done) != 4 || done[0] != 10 || done[1] != 10 || done[2] != 20 || done[3] != 20 {
+		t.Fatalf("completion times = %v", done)
+	}
+	if r.BusyTime != 40 {
+		t.Fatalf("busy time = %v", r.BusyTime)
+	}
+}
+
+func TestResourceInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity must panic")
+		}
+	}()
+	NewResource(NewEngine(), 0)
+}

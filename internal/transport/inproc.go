@@ -1,0 +1,121 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fabric is an in-process communication fabric hosting one endpoint
+// per simulated runtime process. Delivery is via buffered channels
+// with one delivery goroutine per endpoint, preserving per-sender
+// order (all senders share the receiver's single inbox, so delivery
+// is even totally ordered per receiver).
+type Fabric struct {
+	endpoints []*inprocEndpoint
+	started   bool
+	mu        sync.Mutex
+}
+
+// NewFabric creates a fabric of n endpoints. Handlers must be
+// installed on every endpoint before calling Start.
+func NewFabric(n int) *Fabric {
+	f := &Fabric{}
+	for i := 0; i < n; i++ {
+		f.endpoints = append(f.endpoints, &inprocEndpoint{
+			fabric: f,
+			rank:   i,
+			inbox:  make(chan Message, 1024),
+			done:   make(chan struct{}),
+		})
+	}
+	return f
+}
+
+// Endpoint returns the endpoint of process rank.
+func (f *Fabric) Endpoint(rank int) Endpoint { return f.endpoints[rank] }
+
+// Start launches the delivery goroutines. It panics if an endpoint
+// has no handler, which would silently drop messages.
+func (f *Fabric) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return
+	}
+	for _, ep := range f.endpoints {
+		if ep.handler == nil {
+			panic(fmt.Sprintf("transport: endpoint %d has no handler", ep.rank))
+		}
+		go ep.deliver()
+	}
+	f.started = true
+}
+
+// Close shuts down all endpoints.
+func (f *Fabric) Close() error {
+	for _, ep := range f.endpoints {
+		ep.Close()
+	}
+	return nil
+}
+
+type inprocEndpoint struct {
+	fabric  *Fabric
+	rank    int
+	inbox   chan Message
+	handler Handler
+	done    chan struct{}
+	closed  sync.Once
+	stats   counters
+}
+
+var _ Endpoint = (*inprocEndpoint)(nil)
+
+func (e *inprocEndpoint) Rank() int { return e.rank }
+
+func (e *inprocEndpoint) Size() int { return len(e.fabric.endpoints) }
+
+func (e *inprocEndpoint) SetHandler(h Handler) { e.handler = h }
+
+func (e *inprocEndpoint) Send(to int, kind string, payload []byte) error {
+	if err := checkRank(to, e.Size()); err != nil {
+		return err
+	}
+	dst := e.fabric.endpoints[to]
+	msg := Message{From: e.rank, To: to, Kind: kind, Payload: payload}
+	select {
+	case dst.inbox <- msg:
+		e.stats.sent(len(payload))
+		return nil
+	case <-dst.done:
+		return fmt.Errorf("transport: endpoint %d closed", to)
+	}
+}
+
+func (e *inprocEndpoint) deliver() {
+	for {
+		select {
+		case msg := <-e.inbox:
+			e.stats.received(len(msg.Payload))
+			e.handler(msg)
+		case <-e.done:
+			// Drain what is already queued, then stop.
+			for {
+				select {
+				case msg := <-e.inbox:
+					e.stats.received(len(msg.Payload))
+					e.handler(msg)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *inprocEndpoint) Stats() Stats { return e.stats.snapshot() }
+
+func (e *inprocEndpoint) Close() error {
+	e.closed.Do(func() { close(e.done) })
+	return nil
+}

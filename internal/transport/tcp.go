@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPEndpoint is a plain-TCP implementation of Endpoint, mirroring
+// the "plain TCP" communication layer of the HPX substrate
+// (Section 3.2). Each process listens on its own address and lazily
+// dials peers; one TCP connection carries each ordered peer-to-peer
+// direction. Frames are length-prefixed: 4-byte big-endian sender
+// rank, 4-byte kind length, kind bytes, 4-byte payload length,
+// payload bytes.
+type TCPEndpoint struct {
+	rank  int
+	addrs []string
+
+	listener net.Listener
+	handler  Handler
+	stats    counters
+
+	mu       sync.Mutex
+	conns    map[int]*tcpConn
+	incoming map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// NewTCPEndpoint creates and starts the endpoint of process rank
+// within the process group enumerated by addrs. The handler must be
+// installed via SetHandler before peers start sending.
+func NewTCPEndpoint(rank int, addrs []string) (*TCPEndpoint, error) {
+	if err := checkRank(rank, len(addrs)); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
+	}
+	e := &TCPEndpoint{
+		rank:     rank,
+		addrs:    addrs,
+		listener: ln,
+		conns:    make(map[int]*tcpConn),
+		incoming: make(map[net.Conn]struct{}),
+		closed:   make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.accept()
+	return e, nil
+}
+
+// Addr returns the actual listen address (useful with ":0" ports).
+func (e *TCPEndpoint) Addr() string { return e.listener.Addr().String() }
+
+// SetAddrs replaces the peer address book. It exists to support
+// bootstrap with OS-assigned ports (":0"): create all endpoints, then
+// distribute the actual addresses before any Send.
+func (e *TCPEndpoint) SetAddrs(addrs []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.addrs = append([]string(nil), addrs...)
+}
+
+func (e *TCPEndpoint) Rank() int { return e.rank }
+
+func (e *TCPEndpoint) Size() int { return len(e.addrs) }
+
+func (e *TCPEndpoint) SetHandler(h Handler) { e.handler = h }
+
+func (e *TCPEndpoint) accept() {
+	defer e.wg.Done()
+	for {
+		c, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		select {
+		case <-e.closed:
+			e.mu.Unlock()
+			c.Close()
+			return
+		default:
+		}
+		e.incoming[c] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.read(c)
+	}
+}
+
+func (e *TCPEndpoint) read(c net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.incoming, c)
+		e.mu.Unlock()
+	}()
+	var hdr [4]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint32(hdr[:]), nil
+	}
+	for {
+		from, err := readU32()
+		if err != nil {
+			return
+		}
+		klen, err := readU32()
+		if err != nil {
+			return
+		}
+		kind := make([]byte, klen)
+		if _, err := io.ReadFull(c, kind); err != nil {
+			return
+		}
+		plen, err := readU32()
+		if err != nil {
+			return
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(c, payload); err != nil {
+			return
+		}
+		e.stats.received(len(payload))
+		if h := e.handler; h != nil {
+			h(Message{From: int(from), To: e.rank, Kind: string(kind), Payload: payload})
+		}
+	}
+}
+
+// dial returns the (cached) outgoing connection to peer `to`,
+// retrying briefly so that process groups may start in any order.
+func (e *TCPEndpoint) dial(to int) (*tcpConn, error) {
+	e.mu.Lock()
+	if tc, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return tc, nil
+	}
+	addr := e.addrs[to]
+	e.mu.Unlock()
+
+	var c net.Conn
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err = net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", to, addr, err)
+		}
+		select {
+		case <-e.closed:
+			return nil, fmt.Errorf("transport: endpoint closed")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if tc, ok := e.conns[to]; ok { // lost the race; keep the first
+		c.Close()
+		return tc, nil
+	}
+	tc := &tcpConn{c: c}
+	e.conns[to] = tc
+	return tc, nil
+}
+
+func (e *TCPEndpoint) Send(to int, kind string, payload []byte) error {
+	if err := checkRank(to, e.Size()); err != nil {
+		return err
+	}
+	tc, err := e.dial(to)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 12+len(kind)+len(payload))
+	var u [4]byte
+	put := func(v uint32) {
+		binary.BigEndian.PutUint32(u[:], v)
+		buf = append(buf, u[:]...)
+	}
+	put(uint32(e.rank))
+	put(uint32(len(kind)))
+	buf = append(buf, kind...)
+	put(uint32(len(payload)))
+	buf = append(buf, payload...)
+
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.c.Write(buf); err != nil {
+		return fmt.Errorf("transport: send to rank %d: %w", to, err)
+	}
+	e.stats.sent(len(payload))
+	return nil
+}
+
+func (e *TCPEndpoint) Stats() Stats { return e.stats.snapshot() }
+
+func (e *TCPEndpoint) Close() error {
+	e.once.Do(func() {
+		close(e.closed)
+		e.listener.Close()
+		e.mu.Lock()
+		for _, tc := range e.conns {
+			tc.c.Close()
+		}
+		// Close accepted connections too: their reader goroutines
+		// would otherwise block in Read until the remote side closes,
+		// deadlocking the wg.Wait below when peers close after us.
+		for c := range e.incoming {
+			c.Close()
+		}
+		e.mu.Unlock()
+	})
+	e.wg.Wait()
+	return nil
+}

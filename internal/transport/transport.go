@@ -1,0 +1,88 @@
+// Package transport provides the compact, exchangeable communication
+// layer of the AllScale runtime prototype (Section 3.2). The paper's
+// HPX substrate offers MPI, plain TCP, or libfabric implementations;
+// this package provides an in-process channel fabric (the default for
+// hosting many localities in one OS process) and a plain TCP fabric
+// (for running localities as separate processes), both behind the
+// same Endpoint interface with identical ordered, reliable semantics.
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Message is the unit of communication between runtime processes.
+// Kind selects the handler at the receiver; Payload is an opaque,
+// already-encoded body.
+type Message struct {
+	From    int
+	To      int
+	Kind    string
+	Payload []byte
+}
+
+// Handler consumes incoming messages. Handlers run on the endpoint's
+// delivery goroutine; long-running work must be handed off.
+type Handler func(msg Message)
+
+// Endpoint is one communication port of a runtime process.
+// Implementations guarantee reliable, per-sender-ordered delivery.
+type Endpoint interface {
+	// Rank returns this endpoint's process rank in [0, Size).
+	Rank() int
+	// Size returns the number of processes in the fabric.
+	Size() int
+	// Send delivers msg.Payload to process `to` asynchronously. The
+	// From/To fields of msg are set by the endpoint.
+	Send(to int, kind string, payload []byte) error
+	// SetHandler installs the message handler. Must be called before
+	// the first message arrives; the in-process fabric buffers until
+	// all handlers are installed via Fabric.Start.
+	SetHandler(h Handler)
+	// Stats returns a snapshot of the endpoint's traffic counters.
+	Stats() Stats
+	// Close shuts the endpoint down; pending sends may be dropped.
+	Close() error
+}
+
+// Stats counts an endpoint's traffic; it is the measurement substrate
+// for the communication-volume experiments.
+type Stats struct {
+	MsgsSent      uint64
+	BytesSent     uint64
+	MsgsReceived  uint64
+	BytesReceived uint64
+}
+
+// counters is an atomically updated Stats backing store shared by the
+// fabric implementations.
+type counters struct {
+	msgsSent, bytesSent, msgsRecv, bytesRecv atomic.Uint64
+}
+
+func (c *counters) sent(n int) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(uint64(n))
+}
+
+func (c *counters) received(n int) {
+	c.msgsRecv.Add(1)
+	c.bytesRecv.Add(uint64(n))
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		MsgsSent:      c.msgsSent.Load(),
+		BytesSent:     c.bytesSent.Load(),
+		MsgsReceived:  c.msgsRecv.Load(),
+		BytesReceived: c.bytesRecv.Load(),
+	}
+}
+
+func checkRank(rank, size int) error {
+	if rank < 0 || rank >= size {
+		return fmt.Errorf("transport: rank %d out of range [0,%d)", rank, size)
+	}
+	return nil
+}
