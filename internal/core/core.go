@@ -79,6 +79,10 @@ func (s *System) Manager(rank int) *dim.Manager { return s.mgrs[rank] }
 // Scheduler returns the scheduler of the given locality.
 func (s *System) Scheduler(rank int) *sched.Scheduler { return s.scheds[rank] }
 
+// Locality returns the runtime locality of the given rank, giving
+// monitoring and benchmarks access to per-rank transport counters.
+func (s *System) Locality(rank int) *runtime.Locality { return s.rsys.Locality(rank) }
+
 // RegisterType registers a data item type on every locality; must be
 // called before Start.
 func (s *System) RegisterType(typ dataitem.Type) {
@@ -142,6 +146,9 @@ func (s *System) NetStats() transport.Stats {
 		total.BytesSent += st.BytesSent
 		total.MsgsReceived += st.MsgsReceived
 		total.BytesReceived += st.BytesReceived
+		total.Reconnects += st.Reconnects
+		total.SendErrors += st.SendErrors
+		total.DroppedFrames += st.DroppedFrames
 	}
 	return total
 }

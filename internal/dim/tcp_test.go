@@ -106,4 +106,18 @@ func TestManagerOverTCP(t *testing.T) {
 	if err := managers[0].DestroyItem(id); err != nil {
 		t.Fatal(err)
 	}
+
+	// The whole protocol ran over TCP: traffic must be counted, and a
+	// healthy loopback fabric must report no failures.
+	var msgs uint64
+	for i, ep := range eps {
+		st := ep.Stats()
+		msgs += st.MsgsSent
+		if st.SendErrors != 0 || st.DroppedFrames != 0 || st.Reconnects != 0 {
+			t.Fatalf("rank %d reports transport failures on healthy loopback: %+v", i, st)
+		}
+	}
+	if msgs == 0 {
+		t.Fatal("DIM protocol over TCP sent zero messages")
+	}
 }

@@ -26,6 +26,13 @@ type Sample struct {
 	Spawned  uint64
 	Executed uint64
 	MsgsSent uint64
+	// Transport health counters (cumulative, from transport.Stats):
+	// nonzero SendErrors or DroppedFrames mark a degrading fabric,
+	// Reconnects a fabric that is recovering from broken links. The
+	// resilience service watches these to trigger early checkpoints.
+	Reconnects    uint64
+	SendErrors    uint64
+	DroppedFrames uint64
 	// Coverage maps each live data item to the element count of the
 	// locality's fragment.
 	Coverage map[dim.ItemID]int64
@@ -93,13 +100,18 @@ func (m *Monitor) SampleNow() {
 		sc := m.sys.Scheduler(rank)
 		mgr := m.sys.Manager(rank)
 		st := sc.Stats()
+		net := m.sys.Locality(rank).Stats()
 		s := Sample{
-			When:     now,
-			Rank:     rank,
-			Load:     sc.Load(),
-			Spawned:  st.Spawned,
-			Executed: st.Executed,
-			Coverage: make(map[dim.ItemID]int64),
+			When:          now,
+			Rank:          rank,
+			Load:          sc.Load(),
+			Spawned:       st.Spawned,
+			Executed:      st.Executed,
+			MsgsSent:      net.MsgsSent,
+			Reconnects:    net.Reconnects,
+			SendErrors:    net.SendErrors,
+			DroppedFrames: net.DroppedFrames,
+			Coverage:      make(map[dim.ItemID]int64),
 		}
 		for _, id := range mgr.Items() {
 			if n, err := mgr.CoverageSize(id); err == nil {
@@ -172,7 +184,7 @@ func (m *Monitor) Report() string {
 		return "monitor: no samples yet\n"
 	}
 	var b strings.Builder
-	b.WriteString("locality  load  spawned  executed  coverage-per-item\n")
+	b.WriteString("locality  load  spawned  executed  msgs  net-errs  coverage-per-item\n")
 	for _, s := range latest {
 		var items []string
 		ids := make([]dim.ItemID, 0, len(s.Coverage))
@@ -183,8 +195,9 @@ func (m *Monitor) Report() string {
 		for _, id := range ids {
 			items = append(items, fmt.Sprintf("%v:%d", id, s.Coverage[id]))
 		}
-		fmt.Fprintf(&b, "%8d  %4d  %7d  %8d  %s\n",
-			s.Rank, s.Load, s.Spawned, s.Executed, strings.Join(items, " "))
+		fmt.Fprintf(&b, "%8d  %4d  %7d  %8d  %4d  %8d  %s\n",
+			s.Rank, s.Load, s.Spawned, s.Executed, s.MsgsSent,
+			s.SendErrors+s.DroppedFrames, strings.Join(items, " "))
 	}
 	return b.String()
 }

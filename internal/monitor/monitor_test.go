@@ -118,3 +118,29 @@ func TestCoverageImbalanceEmptyItem(t *testing.T) {
 		t.Fatalf("imbalance of empty item = %v", imb)
 	}
 }
+
+func TestMonitorSamplesTransportCounters(t *testing.T) {
+	sys, _ := buildSystem(t)
+	mon := Start(sys, time.Hour, 4)
+	defer mon.Stop()
+
+	if err := sys.PFor("mon.init", region.Point{0, 0}, region.Point{64, 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mon.SampleNow()
+	latest, ok := mon.Latest()
+	if !ok {
+		t.Fatal("no samples")
+	}
+	var msgs, errs uint64
+	for _, s := range latest {
+		msgs += s.MsgsSent
+		errs += s.SendErrors + s.DroppedFrames + s.Reconnects
+	}
+	if msgs == 0 {
+		t.Fatal("pfor over 4 localities sampled zero transport messages")
+	}
+	if errs != 0 {
+		t.Fatalf("healthy in-process fabric reported %d failures", errs)
+	}
+}

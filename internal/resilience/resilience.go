@@ -20,6 +20,7 @@ import (
 
 	"allscale/internal/core"
 	"allscale/internal/dim"
+	"allscale/internal/monitor"
 )
 
 // FragmentRecord is one locality's share of one item.
@@ -117,6 +118,37 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		return nil, err
 	}
 	return &cp, nil
+}
+
+// DegradedRanks inspects monitor samples and returns the ranks whose
+// transport counters show failures — send errors or dropped frames —
+// in rank order. A degrading fabric is the early-warning signal that
+// a locality may soon be lost, i.e. the moment to checkpoint.
+func DegradedRanks(samples []monitor.Sample) []int {
+	var out []int
+	for _, s := range samples {
+		if s.SendErrors > 0 || s.DroppedFrames > 0 {
+			out = append(out, s.Rank)
+		}
+	}
+	return out
+}
+
+// CaptureIfDegraded takes a checkpoint of items (nil for all) when
+// the monitor's latest snapshot reports transport degradation on any
+// rank. It returns the checkpoint (nil when the fabric is healthy or
+// no samples exist yet) and the degraded ranks.
+func CaptureIfDegraded(sys *core.System, m *monitor.Monitor, items []dim.ItemID) (*Checkpoint, []int, error) {
+	latest, ok := m.Latest()
+	if !ok {
+		return nil, nil, nil
+	}
+	bad := DegradedRanks(latest)
+	if len(bad) == 0 {
+		return nil, nil, nil
+	}
+	cp, err := Capture(sys, items)
+	return cp, bad, err
 }
 
 // Size reports the total payload bytes of the checkpoint.

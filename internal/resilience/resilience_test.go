@@ -3,11 +3,13 @@ package resilience
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"allscale/internal/apps/stencil"
 	"allscale/internal/core"
 	"allscale/internal/dataitem"
 	"allscale/internal/dim"
+	"allscale/internal/monitor"
 	"allscale/internal/region"
 	"allscale/internal/sched"
 )
@@ -219,5 +221,38 @@ func TestCheckpointRestartMidComputation(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("cell %d = %v after restart, want %v", i, got[i], want[i])
 		}
+	}
+}
+
+func TestDegradedRanks(t *testing.T) {
+	samples := []monitor.Sample{
+		{Rank: 0},
+		{Rank: 1, SendErrors: 2},
+		{Rank: 2, Reconnects: 1}, // recovering, not degraded
+		{Rank: 3, DroppedFrames: 1},
+	}
+	got := DegradedRanks(samples)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("DegradedRanks = %v, want [1 3]", got)
+	}
+	if DegradedRanks(nil) != nil {
+		t.Fatal("no samples must yield no degraded ranks")
+	}
+}
+
+func TestCaptureIfDegraded(t *testing.T) {
+	sys, grid := buildGridSystem(t)
+	defer sys.Close()
+	mon := monitor.Start(sys, time.Hour, 4)
+	defer mon.Stop()
+	mon.SampleNow()
+
+	// Healthy in-process fabric: no checkpoint is taken.
+	cp, bad, err := CaptureIfDegraded(sys, mon, []dim.ItemID{grid.Item()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != nil || bad != nil {
+		t.Fatalf("healthy fabric triggered checkpoint of ranks %v", bad)
 	}
 }

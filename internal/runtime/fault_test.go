@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"allscale/internal/transport"
+)
+
+// newTCPLocalities builds n localities over real loopback TCP
+// endpoints with tight failure-detection budgets, returning both
+// layers so tests can sever transport connections underneath the
+// runtime.
+func newTCPLocalities(t *testing.T, n int) ([]*Locality, []*transport.TCPEndpoint) {
+	t.Helper()
+	cfg := transport.TCPConfig{
+		WriteTimeout: 500 * time.Millisecond,
+		DialTimeout:  200 * time.Millisecond,
+		RetryBudget:  300 * time.Millisecond,
+		MaxBackoff:   50 * time.Millisecond,
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	eps := make([]*transport.TCPEndpoint, n)
+	for i := range eps {
+		ep, err := transport.NewTCPEndpointConfig(i, addrs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+		t.Cleanup(func() { ep.Close() })
+	}
+	actual := make([]string, n)
+	for i, ep := range eps {
+		actual[i] = ep.Addr()
+	}
+	locs := make([]*Locality, n)
+	for i, ep := range eps {
+		ep.SetAddrs(actual)
+		locs[i] = NewLocality(ep)
+		locs[i].RegisterPromiseService()
+	}
+	return locs, eps
+}
+
+// waitErr joins a future under a bound, failing the test on a hang —
+// the core acceptance check: no RPC may wait forever on a dead peer.
+func waitErr(t *testing.T, fut *Future, bound time.Duration) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		_, err := fut.Wait()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(bound):
+		t.Fatal("future not resolved within bound: caller hangs on dead peer")
+		return nil
+	}
+}
+
+// TestCallFailsWhenPeerDiesMidRPC severs the server's socket while an
+// RPC is parked in its handler: the caller's future must fail with
+// ErrPeerFailed within a bounded time instead of hanging.
+func TestCallFailsWhenPeerDiesMidRPC(t *testing.T) {
+	locs, eps := newTCPLocalities(t, 2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	locs[1].Handle("block", func(from int, body []byte) ([]byte, error) {
+		close(started)
+		<-release // holds the RPC open until the test ends
+		return nil, nil
+	})
+
+	fut := locs[0].CallAsync(1, "block", struct{}{})
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the server")
+	}
+
+	eps[1].Close() // kill the server's sockets mid-RPC
+
+	err := waitErr(t, fut, 5*time.Second)
+	if err == nil {
+		t.Fatal("future resolved without error despite dead peer")
+	}
+	if !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("error = %v, want ErrPeerFailed", err)
+	}
+}
+
+// TestCallSyncFailsWhenPeerDies is the synchronous-Call variant of
+// the mid-RPC fault injection.
+func TestCallSyncFailsWhenPeerDies(t *testing.T) {
+	locs, eps := newTCPLocalities(t, 2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	locs[1].Handle("block", func(from int, body []byte) ([]byte, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+
+	done := make(chan error, 1)
+	go func() { done <- locs[0].Call(1, "block", struct{}{}, nil) }()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the server")
+	}
+	eps[1].Close()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Call returned nil despite dead peer")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Call still blocked 5s after peer death")
+	}
+}
+
+// TestCloseFailsOutstandingCalls shuts the *caller* down while one of
+// its calls is outstanding; the call must fail instead of stranding
+// its waiter (over the in-process fabric, which has no link failure
+// detection of its own).
+func TestCloseFailsOutstandingCalls(t *testing.T) {
+	s := NewSystem(2)
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	s.Locality(1).Handle("block", func(from int, body []byte) ([]byte, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	s.Locality(0).Handle("noop", func(int, []byte) ([]byte, error) { return nil, nil })
+	s.Start()
+	defer s.Close()
+
+	fut := s.Locality(0).CallAsync(1, "block", struct{}{})
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached rank 1")
+	}
+	s.Locality(0).Close()
+
+	if err := waitErr(t, fut, 5*time.Second); err == nil {
+		t.Fatal("outstanding call survived locality close without error")
+	}
+}
+
+// TestCallAsyncDeliversResult covers the non-failure path of the new
+// future-based call API.
+func TestCallAsyncDeliversResult(t *testing.T) {
+	s := NewSystem(2)
+	s.Locality(0).Handle("noop", func(int, []byte) ([]byte, error) { return nil, nil })
+	s.Locality(1).Handle("double", func(from int, body []byte) ([]byte, error) {
+		var x int
+		if err := decode(body, &x); err != nil {
+			return nil, err
+		}
+		return encode(2 * x)
+	})
+	s.Start()
+	defer s.Close()
+
+	fut := s.Locality(0).CallAsync(1, "double", 21)
+	var out int
+	if err := fut.WaitInto(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out != 42 {
+		t.Fatalf("double(21) = %d over CallAsync, want 42", out)
+	}
+
+	// Local destination short-circuits but keeps identical semantics.
+	fut = s.Locality(1).CallAsync(1, "double", 4)
+	if err := fut.WaitInto(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out != 8 {
+		t.Fatalf("local double(4) = %d, want 8", out)
+	}
+}

@@ -11,6 +11,7 @@ package runtime
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,19 @@ type oneWayMsg struct {
 	Body   []byte
 }
 
+// ErrPeerFailed marks RPC errors caused by the transport reporting
+// the destination rank as failed while the call was outstanding;
+// callers distinguish it from application errors via errors.Is.
+var ErrPeerFailed = errors.New("runtime: peer failed")
+
+// pendingCall is one outstanding RPC: the future its response (or
+// failure) resolves, plus the destination rank so a peer-failure
+// notification can fail exactly the calls targeting the dead rank.
+type pendingCall struct {
+	dst int
+	fut *Future
+}
+
 // Locality is one runtime process: the unit that owns an address
 // space in the application model. It multiplexes RPC methods, one-way
 // messages and promises over a single transport endpoint.
@@ -58,7 +72,7 @@ type Locality struct {
 	methods  map[string]Method
 	oneWays  map[string]OneWay
 	nextCall atomic.Uint64
-	calls    sync.Map // call id -> chan rpcResponse
+	calls    sync.Map // call id -> *pendingCall
 
 	nextPromise atomic.Uint64
 	promises    sync.Map // promise id -> *Future
@@ -76,7 +90,33 @@ func NewLocality(ep transport.Endpoint) *Locality {
 		oneWays: make(map[string]OneWay),
 	}
 	ep.SetHandler(l.dispatch)
+	ep.SetFailureHandler(l.peerFailure)
 	return l
+}
+
+// peerFailure runs on a transport goroutine when the fabric reports
+// the link to a peer as broken: every outstanding call targeting that
+// rank fails with ErrPeerFailed instead of hanging on a response that
+// will never arrive.
+func (l *Locality) peerFailure(peer int, cause error) {
+	l.failCalls(func(dst int) bool { return dst == peer },
+		fmt.Errorf("%w: rank %d: %v", ErrPeerFailed, peer, cause))
+}
+
+// failCalls resolves every outstanding call whose destination matches
+// with err. LoadAndDelete makes each call fail at most once even when
+// racing with an in-flight response (Future.fulfill is idempotent as
+// a second line of defense).
+func (l *Locality) failCalls(match func(dst int) bool, err error) {
+	l.calls.Range(func(k, v any) bool {
+		pc := v.(*pendingCall)
+		if match(pc.dst) {
+			if _, ok := l.calls.LoadAndDelete(k); ok {
+				pc.fut.fulfill(nil, err)
+			}
+		}
+		return true
+	})
 }
 
 // Rank returns the locality's process rank.
@@ -120,8 +160,13 @@ func (l *Locality) dispatch(msg transport.Message) {
 		if err := decode(msg.Payload, &rsp); err != nil {
 			return
 		}
-		if ch, ok := l.calls.LoadAndDelete(rsp.ID); ok {
-			ch.(chan rpcResponse) <- rsp
+		if v, ok := l.calls.LoadAndDelete(rsp.ID); ok {
+			pc := v.(*pendingCall)
+			var err error
+			if rsp.Err != "" {
+				err = errors.New(rsp.Err)
+			}
+			pc.fut.fulfill(rsp.Body, err)
 		}
 	case kindOneWay:
 		go l.serveOneWay(msg)
@@ -166,51 +211,62 @@ func (l *Locality) serveOneWay(msg transport.Message) {
 	}
 }
 
-// Call invokes method at locality dst, gob-encoding args and decoding
-// the response into reply (which may be nil for methods without
-// results). Calls to the local rank short-circuit the transport but
-// still pass through encoding, keeping local and remote semantics
-// identical.
-func (l *Locality) Call(dst int, method string, args, reply any) error {
+// CallAsync invokes method at locality dst and immediately returns a
+// future for the gob-encoded response. The future fails with
+// ErrPeerFailed if the transport reports dst as dead while the call
+// is outstanding, and with a close error if this locality shuts down
+// first — it never hangs on a peer that will not answer. Calls to the
+// local rank short-circuit the transport but still pass through
+// encoding, keeping local and remote semantics identical.
+func (l *Locality) CallAsync(dst int, method string, args any) *Future {
+	fut := newFuture()
 	body, err := encode(args)
 	if err != nil {
-		return fmt.Errorf("runtime: encode args of %q: %w", method, err)
+		fut.fulfill(nil, fmt.Errorf("runtime: encode args of %q: %w", method, err))
+		return fut
 	}
-	var rspBody []byte
 	if dst == l.Rank() {
 		l.mu.RLock()
 		m := l.methods[method]
 		l.mu.RUnlock()
 		if m == nil {
-			return fmt.Errorf("runtime: no method %q at rank %d", method, dst)
+			fut.fulfill(nil, fmt.Errorf("runtime: no method %q at rank %d", method, dst))
+			return fut
 		}
-		rspBody, err = m(l.Rank(), body)
-		if err != nil {
-			return err
-		}
-	} else {
-		id := l.nextCall.Add(1)
-		ch := make(chan rpcResponse, 1)
-		l.calls.Store(id, ch)
-		payload, err := encode(&rpcRequest{ID: id, Method: method, Body: body})
-		if err != nil {
-			l.calls.Delete(id)
-			return err
-		}
-		if err := l.ep.Send(dst, kindRequest, payload); err != nil {
-			l.calls.Delete(id)
-			return err
-		}
-		rsp := <-ch
-		if rsp.Err != "" {
-			return fmt.Errorf("%s", rsp.Err)
-		}
-		rspBody = rsp.Body
+		go func() {
+			rsp, err := m(l.Rank(), body)
+			fut.fulfill(rsp, err)
+		}()
+		return fut
+	}
+	id := l.nextCall.Add(1)
+	l.calls.Store(id, &pendingCall{dst: dst, fut: fut})
+	payload, err := encode(&rpcRequest{ID: id, Method: method, Body: body})
+	if err != nil {
+		l.calls.Delete(id)
+		fut.fulfill(nil, err)
+		return fut
+	}
+	if err := l.ep.Send(dst, kindRequest, payload); err != nil {
+		l.calls.Delete(id)
+		fut.fulfill(nil, err)
+	}
+	return fut
+}
+
+// Call invokes method at locality dst, gob-encoding args and decoding
+// the response into reply (which may be nil for methods without
+// results). It shares CallAsync's failure semantics: a dead peer or a
+// local shutdown fails the call with an error instead of hanging.
+func (l *Locality) Call(dst int, method string, args, reply any) error {
+	body, err := l.CallAsync(dst, method, args).Wait()
+	if err != nil {
+		return err
 	}
 	if reply == nil {
 		return nil
 	}
-	return decode(rspBody, reply)
+	return decode(body, reply)
 }
 
 // Send delivers a one-way message to method at locality dst.
@@ -236,12 +292,17 @@ func (l *Locality) Send(dst int, method string, args any) error {
 	return l.ep.Send(dst, kindOneWay, payload)
 }
 
-// Close shuts the locality's endpoint down.
+// Close shuts the locality's endpoint down and fails every still
+// outstanding call — responses can no longer arrive, so leaving them
+// pending would strand their waiters forever.
 func (l *Locality) Close() error {
 	if l.closed.Swap(true) {
 		return nil
 	}
-	return l.ep.Close()
+	err := l.ep.Close()
+	l.failCalls(func(int) bool { return true },
+		fmt.Errorf("runtime: locality %d closed with call outstanding", l.Rank()))
+	return err
 }
 
 func encode(v any) ([]byte, error) {

@@ -3,6 +3,7 @@ package sched
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,10 +35,11 @@ type queueState struct {
 	workers int
 	stop    chan struct{}
 	wg      sync.WaitGroup
-	// Stolen counts tasks this locality stole from peers; StolenFrom
-	// counts tasks peers took from here.
-	stolen     uint64
-	stolenFrom uint64
+	// stolen counts tasks this locality stole from peers; stolenFrom
+	// counts tasks peers took from here. Atomics so StealStats never
+	// contends with the hot queue lock.
+	stolen     atomic.Uint64
+	stolenFrom atomic.Uint64
 }
 
 // EnableQueue switches the scheduler from goroutine-per-task to a
@@ -58,9 +60,7 @@ func (s *Scheduler) EnableQueue(workers int) {
 		if !ok {
 			return encodeGob(&stealReply{})
 		}
-		q.mu.Lock()
-		q.stolenFrom++
-		q.mu.Unlock()
+		q.stolenFrom.Add(1)
 		return encodeGob(&stealReply{Found: true, Spec: spec})
 	})
 	for w := 0; w < workers; w++ {
@@ -84,9 +84,7 @@ func (s *Scheduler) StealStats() (uint64, uint64) {
 	if s.queue == nil {
 		return 0, 0
 	}
-	s.queue.mu.Lock()
-	defer s.queue.mu.Unlock()
-	return s.queue.stolen, s.queue.stolenFrom
+	return s.queue.stolen.Load(), s.queue.stolenFrom.Load()
 }
 
 // enqueueLocal places a process-variant task into the local queue.
@@ -107,6 +105,7 @@ func (s *Scheduler) dequeueLocal() (TaskSpec, bool) {
 		return TaskSpec{}, false
 	}
 	spec := q.tasks[n-1]
+	q.tasks[n-1] = TaskSpec{} // release references held by the popped slot
 	q.tasks = q.tasks[:n-1]
 	s.queued.Add(-1)
 	return spec, true
@@ -118,11 +117,18 @@ func (s *Scheduler) stealLocal() (TaskSpec, bool) {
 	q := s.queue
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.tasks) == 0 {
+	n := len(q.tasks)
+	if n == 0 {
 		return TaskSpec{}, false
 	}
+	// Compact in place rather than re-slicing from the front:
+	// q.tasks[1:] would pin the popped head (and everything it
+	// references) in the backing array forever. Steals are rare next
+	// to local pops, so the O(n) copy is cheap.
 	spec := q.tasks[0]
-	q.tasks = q.tasks[1:]
+	copy(q.tasks, q.tasks[1:])
+	q.tasks[n-1] = TaskSpec{}
+	q.tasks = q.tasks[:n-1]
 	s.queued.Add(-1)
 	return spec, true
 }
@@ -163,9 +169,7 @@ func (s *Scheduler) worker(seed int) {
 			}
 			var reply stealReply
 			if err := s.loc.Call(victim, methodSteal, struct{}{}, &reply); err == nil && reply.Found {
-				q.mu.Lock()
-				q.stolen++
-				q.mu.Unlock()
+				q.stolen.Add(1)
 				idle = 0
 				s.executeNow(&reply.Spec, VariantProcess)
 				continue

@@ -168,3 +168,79 @@ func TestStealStatsWithoutQueue(t *testing.T) {
 	}
 	c.scheds[0].StopQueue() // no-op
 }
+
+// TestStealLocalOrderAndCompaction checks the FIFO thief-side pop
+// directly: order is preserved and the queue drains fully (the pop
+// compacts the backing array instead of re-slicing from the front,
+// which would pin every popped head alive).
+func TestStealLocalOrderAndCompaction(t *testing.T) {
+	c := newCluster(t, 1, &DefaultPolicy{})
+	s := c.scheds[0]
+	s.EnableQueue(1)
+	defer s.StopQueue()
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		s.queued.Add(1)
+		s.enqueueLocal(&TaskSpec{ID: uint64(i + 1)})
+	}
+	for i := 0; i < n; i++ {
+		spec, ok := s.stealLocal()
+		if !ok {
+			t.Fatalf("queue empty after %d steals, want %d", i, n)
+		}
+		if spec.ID != uint64(i+1) {
+			t.Fatalf("steal %d returned task %d, want FIFO order", i, spec.ID)
+		}
+	}
+	if _, ok := s.stealLocal(); ok {
+		t.Fatal("steal from drained queue succeeded")
+	}
+	if got := s.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen = %d after drain", got)
+	}
+}
+
+// TestStealStatsConcurrent hammers StealStats (now lock-free atomics)
+// while the queue is busy; meaningful under -race.
+func TestStealStatsConcurrent(t *testing.T) {
+	c := newQueuedCluster(t, 2, 1, &LocalPolicy{})
+	var mu sync.Mutex
+	ranks := map[int]int{}
+	registerSlow(c, &mu, ranks)
+	c.start()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, s := range c.scheds {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.StealStats()
+					s.QueueLen()
+				}
+			}
+		}()
+	}
+	var futs []interface{ Wait() ([]byte, error) }
+	for i := 0; i < 30; i++ {
+		fut, err := c.scheds[0].Spawn("slow", struct{}{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Fabric is an in-process communication fabric hosting one endpoint
@@ -43,7 +44,7 @@ func (f *Fabric) Start() {
 		return
 	}
 	for _, ep := range f.endpoints {
-		if ep.handler == nil {
+		if h := ep.handler.Load(); h == nil || *h == nil {
 			panic(fmt.Sprintf("transport: endpoint %d has no handler", ep.rank))
 		}
 		go ep.deliver()
@@ -63,7 +64,8 @@ type inprocEndpoint struct {
 	fabric  *Fabric
 	rank    int
 	inbox   chan Message
-	handler Handler
+	handler atomic.Pointer[Handler]
+	failure atomic.Pointer[FailureHandler]
 	done    chan struct{}
 	closed  sync.Once
 	stats   counters
@@ -75,7 +77,9 @@ func (e *inprocEndpoint) Rank() int { return e.rank }
 
 func (e *inprocEndpoint) Size() int { return len(e.fabric.endpoints) }
 
-func (e *inprocEndpoint) SetHandler(h Handler) { e.handler = h }
+func (e *inprocEndpoint) SetHandler(h Handler) { e.handler.Store(&h) }
+
+func (e *inprocEndpoint) SetFailureHandler(h FailureHandler) { e.failure.Store(&h) }
 
 func (e *inprocEndpoint) Send(to int, kind string, payload []byte) error {
 	if err := checkRank(to, e.Size()); err != nil {
@@ -88,23 +92,32 @@ func (e *inprocEndpoint) Send(to int, kind string, payload []byte) error {
 		e.stats.sent(len(payload))
 		return nil
 	case <-dst.done:
-		return fmt.Errorf("transport: endpoint %d closed", to)
+		e.stats.sendErrors.Add(1)
+		err := fmt.Errorf("transport: endpoint %d closed", to)
+		if p := e.failure.Load(); p != nil && *p != nil {
+			(*p)(to, err)
+		}
+		return err
 	}
 }
 
 func (e *inprocEndpoint) deliver() {
+	handle := func(msg Message) {
+		e.stats.received(len(msg.Payload))
+		if p := e.handler.Load(); p != nil && *p != nil {
+			(*p)(msg)
+		}
+	}
 	for {
 		select {
 		case msg := <-e.inbox:
-			e.stats.received(len(msg.Payload))
-			e.handler(msg)
+			handle(msg)
 		case <-e.done:
 			// Drain what is already queued, then stop.
 			for {
 				select {
 				case msg := <-e.inbox:
-					e.stats.received(len(msg.Payload))
-					e.handler(msg)
+					handle(msg)
 				default:
 					return
 				}

@@ -6,8 +6,49 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// TCPConfig tunes the failure-handling behaviour of a TCPEndpoint.
+// The zero value selects production defaults; tests shrink the
+// timeouts to keep fault-injection runs fast.
+type TCPConfig struct {
+	// WriteTimeout bounds each frame write; a stalled peer makes Send
+	// fail (and evicts the connection) instead of blocking forever.
+	// Default 10s.
+	WriteTimeout time.Duration
+	// DialTimeout bounds a single dial attempt. Default 1s.
+	DialTimeout time.Duration
+	// RetryBudget bounds the total time spent redialing one peer
+	// within a single Send before giving up. Default 5s.
+	RetryBudget time.Duration
+	// MaxBackoff caps the exponential redial backoff, which starts at
+	// 20ms and doubles per failed attempt. Default 500ms.
+	MaxBackoff time.Duration
+	// MaxFrame is the sanity limit for the kind and payload length
+	// prefixes of inbound frames; a corrupt 4-byte length can
+	// otherwise trigger a multi-GB allocation. Default 64 MiB.
+	MaxFrame int
+}
+
+func (c *TCPConfig) fillDefaults() {
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 5 * time.Second
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 500 * time.Millisecond
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 64 << 20
+	}
+}
 
 // TCPEndpoint is a plain-TCP implementation of Endpoint, mirroring
 // the "plain TCP" communication layer of the HPX substrate
@@ -16,16 +57,25 @@ import (
 // direction. Frames are length-prefixed: 4-byte big-endian sender
 // rank, 4-byte kind length, kind bytes, 4-byte payload length,
 // payload bytes.
+//
+// Failure semantics: writes carry a deadline, broken connections are
+// evicted from the cache and redialed with exponential backoff under
+// a bounded budget, inbound frames beyond MaxFrame are dropped with
+// their connection, and every detected link failure is reported
+// through the FailureHandler exactly once per connection.
 type TCPEndpoint struct {
-	rank  int
-	addrs []string
+	rank int
+	cfg  TCPConfig
 
 	listener net.Listener
-	handler  Handler
+	handler  atomic.Pointer[Handler]
+	failure  atomic.Pointer[FailureHandler]
 	stats    counters
 
 	mu       sync.Mutex
+	addrs    []string
 	conns    map[int]*tcpConn
+	dialed   map[int]bool // peers that have had at least one connection
 	incoming map[net.Conn]struct{}
 
 	wg     sync.WaitGroup
@@ -38,24 +88,46 @@ type tcpConn struct {
 	c  net.Conn
 }
 
+// write sends one framed buffer under a deadline. The per-connection
+// lock serializes writers so frames never interleave.
+func (tc *tcpConn) write(buf []byte, timeout time.Duration) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if timeout > 0 {
+		tc.c.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	_, err := tc.c.Write(buf)
+	return err
+}
+
 var _ Endpoint = (*TCPEndpoint)(nil)
 
 // NewTCPEndpoint creates and starts the endpoint of process rank
-// within the process group enumerated by addrs. The handler must be
-// installed via SetHandler before peers start sending.
+// within the process group enumerated by addrs, with default
+// TCPConfig. The handler must be installed via SetHandler before
+// peers start sending.
 func NewTCPEndpoint(rank int, addrs []string) (*TCPEndpoint, error) {
+	return NewTCPEndpointConfig(rank, addrs, TCPConfig{})
+}
+
+// NewTCPEndpointConfig is NewTCPEndpoint with explicit failure-handling
+// configuration.
+func NewTCPEndpointConfig(rank int, addrs []string, cfg TCPConfig) (*TCPEndpoint, error) {
 	if err := checkRank(rank, len(addrs)); err != nil {
 		return nil, err
 	}
+	cfg.fillDefaults()
 	ln, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
 	}
 	e := &TCPEndpoint{
 		rank:     rank,
-		addrs:    addrs,
+		cfg:      cfg,
+		addrs:    append([]string(nil), addrs...),
 		listener: ln,
 		conns:    make(map[int]*tcpConn),
+		dialed:   make(map[int]bool),
 		incoming: make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
 	}
@@ -78,9 +150,26 @@ func (e *TCPEndpoint) SetAddrs(addrs []string) {
 
 func (e *TCPEndpoint) Rank() int { return e.rank }
 
-func (e *TCPEndpoint) Size() int { return len(e.addrs) }
+func (e *TCPEndpoint) Size() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.addrs)
+}
 
-func (e *TCPEndpoint) SetHandler(h Handler) { e.handler = h }
+func (e *TCPEndpoint) SetHandler(h Handler) { e.handler.Store(&h) }
+
+func (e *TCPEndpoint) SetFailureHandler(h FailureHandler) { e.failure.Store(&h) }
+
+func (e *TCPEndpoint) notifyFailure(peer int, err error) {
+	select {
+	case <-e.closed:
+		return // local shutdown, not a peer failure
+	default:
+	}
+	if p := e.failure.Load(); p != nil && *p != nil {
+		(*p)(peer, err)
+	}
+}
 
 func (e *TCPEndpoint) accept() {
 	defer e.wg.Done()
@@ -98,19 +187,28 @@ func (e *TCPEndpoint) accept() {
 		default:
 		}
 		e.incoming[c] = struct{}{}
-		e.mu.Unlock()
+		// The Add must happen under the same lock as the incoming
+		// registration: otherwise Close can observe the registered
+		// connection, run wg.Wait, and return while the read goroutine
+		// is still being started.
 		e.wg.Add(1)
+		e.mu.Unlock()
 		go e.read(c)
 	}
 }
 
 func (e *TCPEndpoint) read(c net.Conn) {
 	defer e.wg.Done()
+	from := -1 // sender rank, learned from the first valid frame
+	readErr := fmt.Errorf("connection closed")
 	defer func() {
 		c.Close()
 		e.mu.Lock()
 		delete(e.incoming, c)
 		e.mu.Unlock()
+		if from >= 0 {
+			e.notifyFailure(from, fmt.Errorf("transport: link from rank %d broken: %w", from, readErr))
+		}
 	}()
 	var hdr [4]byte
 	readU32 := func() (uint32, error) {
@@ -120,35 +218,60 @@ func (e *TCPEndpoint) read(c net.Conn) {
 		return binary.BigEndian.Uint32(hdr[:]), nil
 	}
 	for {
-		from, err := readU32()
+		f, err := readU32()
 		if err != nil {
+			readErr = err
+			return
+		}
+		if int(f) >= e.Size() {
+			e.stats.droppedFrames.Add(1)
+			readErr = fmt.Errorf("transport: frame with sender rank %d out of range", f)
 			return
 		}
 		klen, err := readU32()
 		if err != nil {
+			readErr = err
+			return
+		}
+		if int64(klen) > int64(e.cfg.MaxFrame) {
+			e.stats.droppedFrames.Add(1)
+			readErr = fmt.Errorf("transport: frame kind length %d exceeds limit %d", klen, e.cfg.MaxFrame)
+			from = int(f)
 			return
 		}
 		kind := make([]byte, klen)
 		if _, err := io.ReadFull(c, kind); err != nil {
+			readErr = err
 			return
 		}
 		plen, err := readU32()
 		if err != nil {
+			readErr = err
+			return
+		}
+		if int64(plen) > int64(e.cfg.MaxFrame) {
+			e.stats.droppedFrames.Add(1)
+			readErr = fmt.Errorf("transport: frame payload length %d exceeds limit %d", plen, e.cfg.MaxFrame)
+			from = int(f)
 			return
 		}
 		payload := make([]byte, plen)
 		if _, err := io.ReadFull(c, payload); err != nil {
+			readErr = err
 			return
 		}
+		from = int(f)
 		e.stats.received(len(payload))
-		if h := e.handler; h != nil {
-			h(Message{From: int(from), To: e.rank, Kind: string(kind), Payload: payload})
+		if p := e.handler.Load(); p != nil && *p != nil {
+			(*p)(Message{From: int(f), To: e.rank, Kind: string(kind), Payload: payload})
 		}
 	}
 }
 
 // dial returns the (cached) outgoing connection to peer `to`,
-// retrying briefly so that process groups may start in any order.
+// retrying with exponential backoff under the RetryBudget so that
+// process groups may start in any order and crashed peers may be
+// redialed after a restart.
 func (e *TCPEndpoint) dial(to int) (*tcpConn, error) {
 	e.mu.Lock()
 	if tc, ok := e.conns[to]; ok {
@@ -160,39 +283,88 @@ func (e *TCPEndpoint) dial(to int) (*tcpConn, error) {
 
 	var c net.Conn
 	var err error
-	deadline := time.Now().Add(5 * time.Second)
+	backoff := 20 * time.Millisecond
+	deadline := time.Now().Add(e.cfg.RetryBudget)
 	for {
-		c, err = net.DialTimeout("tcp", addr, time.Second)
+		c, err = net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
 		if err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", to, addr, err)
+			err = fmt.Errorf("transport: dial rank %d (%s): retry budget exhausted: %w", to, addr, err)
+			e.notifyFailure(to, err)
+			return nil, err
 		}
 		select {
 		case <-e.closed:
 			return nil, fmt.Errorf("transport: endpoint closed")
-		case <-time.After(20 * time.Millisecond):
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > e.cfg.MaxBackoff {
+			backoff = e.cfg.MaxBackoff
 		}
 	}
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	select {
+	case <-e.closed: // Close already swept the connection cache
+		e.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("transport: endpoint closed")
+	default:
+	}
 	if tc, ok := e.conns[to]; ok { // lost the race; keep the first
+		e.mu.Unlock()
 		c.Close()
 		return tc, nil
 	}
 	tc := &tcpConn{c: c}
 	e.conns[to] = tc
+	if e.dialed[to] {
+		e.stats.reconnects.Add(1)
+	}
+	e.dialed[to] = true
+	e.wg.Add(1)
+	e.mu.Unlock()
+	go e.watchOutgoing(to, tc)
 	return tc, nil
+}
+
+// watchOutgoing detects a dead outgoing link without waiting for the
+// next Send: peers never write on this side's outgoing connection, so
+// any read result — data or error — means the link is unusable. The
+// eviction keeps a dead cached connection from poisoning later sends.
+func (e *TCPEndpoint) watchOutgoing(to int, tc *tcpConn) {
+	defer e.wg.Done()
+	var one [1]byte
+	_, err := tc.c.Read(one[:])
+	if err == nil {
+		err = fmt.Errorf("unexpected inbound data")
+	}
+	if e.evict(to, tc) {
+		e.notifyFailure(to, fmt.Errorf("transport: link to rank %d broken: %w", to, err))
+	}
+}
+
+// evict closes tc and removes it from the connection cache if it is
+// still the cached connection for rank `to`. It reports whether this
+// call performed the removal, so that the concurrent detectors (Send
+// write errors and watchOutgoing) notify the failure handler at most
+// once per connection.
+func (e *TCPEndpoint) evict(to int, tc *tcpConn) bool {
+	e.mu.Lock()
+	evicted := e.conns[to] == tc
+	if evicted {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+	tc.c.Close()
+	return evicted
 }
 
 func (e *TCPEndpoint) Send(to int, kind string, payload []byte) error {
 	if err := checkRank(to, e.Size()); err != nil {
-		return err
-	}
-	tc, err := e.dial(to)
-	if err != nil {
 		return err
 	}
 	buf := make([]byte, 0, 12+len(kind)+len(payload))
@@ -207,13 +379,27 @@ func (e *TCPEndpoint) Send(to int, kind string, payload []byte) error {
 	put(uint32(len(payload)))
 	buf = append(buf, payload...)
 
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if _, err := tc.c.Write(buf); err != nil {
-		return fmt.Errorf("transport: send to rank %d: %w", to, err)
+	// A write error may just mean the cached connection died since the
+	// last send (peer restart): evict it and retry once over a fresh
+	// dial before surfacing the error.
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		var tc *tcpConn
+		tc, err = e.dial(to)
+		if err != nil {
+			e.stats.sendErrors.Add(1)
+			return err
+		}
+		if err = tc.write(buf, e.cfg.WriteTimeout); err == nil {
+			e.stats.sent(len(payload))
+			return nil
+		}
+		if e.evict(to, tc) {
+			e.notifyFailure(to, fmt.Errorf("transport: write to rank %d: %w", to, err))
+		}
 	}
-	e.stats.sent(len(payload))
-	return nil
+	e.stats.sendErrors.Add(1)
+	return fmt.Errorf("transport: send to rank %d: %w", to, err)
 }
 
 func (e *TCPEndpoint) Stats() Stats { return e.stats.snapshot() }

@@ -1,0 +1,230 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastConfig keeps fault-injection tests quick: tight budgets mean a
+// dead peer is reported in tens of milliseconds instead of seconds.
+func fastConfig() TCPConfig {
+	return TCPConfig{
+		WriteTimeout: 500 * time.Millisecond,
+		DialTimeout:  200 * time.Millisecond,
+		RetryBudget:  300 * time.Millisecond,
+		MaxBackoff:   50 * time.Millisecond,
+		MaxFrame:     1 << 20,
+	}
+}
+
+func newTCPPair(t *testing.T, cfg TCPConfig) (*TCPEndpoint, *TCPEndpoint, []string) {
+	t.Helper()
+	addrs := []string{"127.0.0.1:0", "127.0.0.1:0"}
+	a, err := NewTCPEndpointConfig(0, addrs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTCPEndpointConfig(1, addrs, cfg)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	actual := []string{a.Addr(), b.Addr()}
+	a.SetAddrs(actual)
+	b.SetAddrs(actual)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, actual
+}
+
+// TestTCPSendToCrashedPeer verifies that a Send to a peer that died
+// returns an error within a bounded time instead of hanging, that the
+// error is counted, and that the failure handler reports the rank.
+func TestTCPSendToCrashedPeer(t *testing.T) {
+	a, b, _ := newTCPPair(t, fastConfig())
+	a.SetHandler(func(Message) {})
+	b.SetHandler(func(Message) {})
+
+	var failedPeer atomic.Int64
+	failedPeer.Store(-1)
+	a.SetFailureHandler(func(peer int, err error) { failedPeer.Store(int64(peer)) })
+
+	if err := a.Send(1, "ping", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b.Close() // crash the peer
+
+	// The first sends may still land in OS buffers; within the retry
+	// budget the fabric must start surfacing errors.
+	deadline := time.Now().Add(5 * time.Second)
+	var sendErr error
+	for time.Now().Before(deadline) {
+		done := make(chan error, 1)
+		go func() { done <- a.Send(1, "ping", []byte("x")) }()
+		select {
+		case err := <-done:
+			sendErr = err
+		case <-time.After(3 * time.Second):
+			t.Fatal("Send blocked past the write deadline + retry budget")
+		}
+		if sendErr != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if sendErr == nil {
+		t.Fatal("Send to crashed peer never returned an error")
+	}
+	if got := a.Stats().SendErrors; got == 0 {
+		t.Fatalf("SendErrors = %d, want > 0", got)
+	}
+	if got := failedPeer.Load(); got != 1 {
+		t.Fatalf("failure handler saw peer %d, want 1", got)
+	}
+}
+
+// TestTCPReconnectAfterRestart severs the peer, restarts it on the
+// same address, and verifies that subsequent frames are delivered and
+// counted as a reconnect.
+func TestTCPReconnectAfterRestart(t *testing.T) {
+	cfg := fastConfig()
+	cfg.RetryBudget = 2 * time.Second // allow the restart window
+	a, b, actual := newTCPPair(t, cfg)
+
+	var got atomic.Int64
+	a.SetHandler(func(Message) {})
+	b.SetHandler(func(m Message) { got.Add(1) })
+
+	if err := a.Send(1, "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return got.Load() == 1 })
+
+	b.Close()
+	b2, err := NewTCPEndpointConfig(1, actual, cfg)
+	if err != nil {
+		t.Fatalf("restart peer on %s: %v", actual[1], err)
+	}
+	defer b2.Close()
+	var got2 atomic.Int64
+	b2.SetHandler(func(m Message) { got2.Add(1) })
+
+	// Sends may fail while the old connection is torn down; the fabric
+	// must eventually redial the restarted peer and deliver.
+	deadline := time.Now().Add(5 * time.Second)
+	for got2.Load() == 0 && time.Now().Before(deadline) {
+		a.Send(1, "ping", nil)
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got2.Load() == 0 {
+		t.Fatal("no frame delivered after peer restart")
+	}
+	if r := a.Stats().Reconnects; r == 0 {
+		t.Fatalf("Reconnects = %d, want > 0", r)
+	}
+}
+
+// TestTCPFrameSizeLimit feeds the endpoint corrupt length prefixes
+// and verifies the frames are dropped (connection closed, counter
+// bumped) rather than allocated.
+func TestTCPFrameSizeLimit(t *testing.T) {
+	a, _, _ := newTCPPair(t, fastConfig())
+	var delivered atomic.Int64
+	a.SetHandler(func(Message) { delivered.Add(1) })
+
+	send := func(frame []byte) {
+		c, err := net.Dial("tcp", a.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		// The endpoint must hang up on us.
+		c.SetReadDeadline(time.Now().Add(3 * time.Second))
+		var one [1]byte
+		_, err = c.Read(one[:])
+		if err == nil {
+			t.Fatal("unexpected data from endpoint")
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatal("endpoint kept a connection carrying a corrupt frame open")
+		}
+	}
+
+	u32 := func(v uint32) []byte {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], v)
+		return b[:]
+	}
+
+	// Payload length far beyond MaxFrame (would be a ~4 GB alloc).
+	frame := append(append(append(u32(1), u32(1)...), 'k'), u32(0xFFFFFFF0)...)
+	send(frame)
+	waitFor(t, func() bool { return a.Stats().DroppedFrames >= 1 })
+
+	// Sender rank out of range.
+	send(u32(99))
+	waitFor(t, func() bool { return a.Stats().DroppedFrames >= 2 })
+
+	// Kind length beyond MaxFrame.
+	send(append(u32(1), u32(0xFFFFFFF0)...))
+	waitFor(t, func() bool { return a.Stats().DroppedFrames >= 3 })
+
+	if delivered.Load() != 0 {
+		t.Fatalf("corrupt frames were delivered: %d", delivered.Load())
+	}
+}
+
+// TestTCPConcurrentSendSetAddrsClose races Send, SetAddrs, SetHandler,
+// Size and Close; run with -race. Errors from sends racing the close
+// are expected — the invariant is no data race and no deadlock.
+func TestTCPConcurrentSendSetAddrsClose(t *testing.T) {
+	a, b, actual := newTCPPair(t, fastConfig())
+	a.SetHandler(func(Message) {})
+	b.SetHandler(func(Message) {})
+	a.SetFailureHandler(func(int, error) {})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					a.Send(1, "k", []byte("v"))
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				a.SetAddrs(actual)
+				a.SetHandler(func(Message) {})
+				_ = a.Size()
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	b.Close()
+	time.Sleep(20 * time.Millisecond)
+	a.Close()
+	close(stop)
+	wg.Wait()
+}

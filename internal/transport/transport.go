@@ -26,6 +26,17 @@ type Message struct {
 // delivery goroutine; long-running work must be handed off.
 type Handler func(msg Message)
 
+// FailureHandler is notified when the endpoint detects that the link
+// to a peer has failed: a broken or timed-out write, a severed
+// connection, a corrupt frame, or an exhausted redial budget. Frames
+// in flight toward (or from) that peer at the moment of failure may
+// have been lost; higher layers use the callback to fail outstanding
+// request/response exchanges instead of waiting forever. The handler
+// runs on transport goroutines and must not block. A notification is
+// a per-connection event, not a permanent verdict: the fabric will
+// still redial the peer on the next Send.
+type FailureHandler func(peer int, err error)
+
 // Endpoint is one communication port of a runtime process.
 // Implementations guarantee reliable, per-sender-ordered delivery.
 type Endpoint interface {
@@ -40,6 +51,9 @@ type Endpoint interface {
 	// the first message arrives; the in-process fabric buffers until
 	// all handlers are installed via Fabric.Start.
 	SetHandler(h Handler)
+	// SetFailureHandler installs the peer-failure callback (may be
+	// nil to disable). See FailureHandler for the delivery contract.
+	SetFailureHandler(h FailureHandler)
 	// Stats returns a snapshot of the endpoint's traffic counters.
 	Stats() Stats
 	// Close shuts the endpoint down; pending sends may be dropped.
@@ -47,18 +61,30 @@ type Endpoint interface {
 }
 
 // Stats counts an endpoint's traffic; it is the measurement substrate
-// for the communication-volume experiments.
+// for the communication-volume experiments and, via the failure
+// counters, for degradation monitoring.
 type Stats struct {
 	MsgsSent      uint64
 	BytesSent     uint64
 	MsgsReceived  uint64
 	BytesReceived uint64
+	// Reconnects counts successful redials of a peer whose previous
+	// connection was evicted as broken.
+	Reconnects uint64
+	// SendErrors counts Send calls that returned an error after the
+	// fabric's own retry (eviction + one redial) was exhausted.
+	SendErrors uint64
+	// DroppedFrames counts inbound frames rejected as corrupt (frame
+	// size beyond the sanity limit or sender rank out of range); the
+	// carrying connection is closed.
+	DroppedFrames uint64
 }
 
 // counters is an atomically updated Stats backing store shared by the
 // fabric implementations.
 type counters struct {
 	msgsSent, bytesSent, msgsRecv, bytesRecv atomic.Uint64
+	reconnects, sendErrors, droppedFrames    atomic.Uint64
 }
 
 func (c *counters) sent(n int) {
@@ -77,6 +103,9 @@ func (c *counters) snapshot() Stats {
 		BytesSent:     c.bytesSent.Load(),
 		MsgsReceived:  c.msgsRecv.Load(),
 		BytesReceived: c.bytesRecv.Load(),
+		Reconnects:    c.reconnects.Load(),
+		SendErrors:    c.sendErrors.Load(),
+		DroppedFrames: c.droppedFrames.Load(),
 	}
 }
 
