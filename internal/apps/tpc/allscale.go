@@ -10,6 +10,7 @@ import (
 	"allscale/internal/region"
 	"allscale/internal/runtime"
 	"allscale/internal/sched"
+	"allscale/internal/wire"
 )
 
 // treeCache memoizes the deterministic global tree per parameter set,
@@ -346,7 +347,7 @@ func RunAllScale(localities int, p Params) ([]int64, error) {
 }
 
 func decodeArgs(data []byte, v any) error {
-	return decodeGob(data, v)
+	return wire.Decode(data, v)
 }
 
 // ScatterBlocks re-places every subtree block according to owner —

@@ -1,16 +1,10 @@
 package tpc
 
 import (
-	"bytes"
-	"encoding/gob"
-
 	"allscale/internal/mpi"
 	"allscale/internal/region"
+	"allscale/internal/wire"
 )
-
-func decodeGob(data []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
-}
 
 // RunMPI executes the hand-distributed reference version: every rank
 // holds the root block plus its statically assigned subtree blocks;
@@ -58,37 +52,39 @@ func RunMPI(ranks int, p Params) ([]int64, error) {
 				hi = len(queries)
 			}
 			// Rank 0 broadcasts the aggregated batch.
-			var buf bytes.Buffer
+			var payload []byte
 			if rank == 0 {
-				if err := gob.NewEncoder(&buf).Encode(queries[lo:hi]); err != nil {
+				var err error
+				if payload, err = wire.Encode(queries[lo:hi]); err != nil {
 					return err
 				}
 			}
-			data, err := c.Bcast(0, buf.Bytes())
+			data, err := c.Bcast(0, payload)
 			if err != nil {
 				return err
 			}
 			var qs []Point7
-			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&qs); err != nil {
+			if err := wire.Decode(data, &qs); err != nil {
 				return err
 			}
-			// Answer locally, gather partial counts at rank 0.
+			// Answer locally, gather partial counts at rank 0. The
+			// []int64 partials take the codec's bulk binary path.
 			partial := make([]int64, len(qs))
 			for i, q := range qs {
 				partial[i] = answer(q)
 			}
-			var pbuf bytes.Buffer
-			if err := gob.NewEncoder(&pbuf).Encode(partial); err != nil {
+			pdata, err := wire.Encode(partial)
+			if err != nil {
 				return err
 			}
-			parts, err := c.Gather(0, pbuf.Bytes())
+			parts, err := c.Gather(0, pdata)
 			if err != nil {
 				return err
 			}
 			if rank == 0 {
 				for _, pd := range parts {
 					var counts []int64
-					if err := gob.NewDecoder(bytes.NewReader(pd)).Decode(&counts); err != nil {
+					if err := wire.Decode(pd, &counts); err != nil {
 						return err
 					}
 					for i, cnt := range counts {

@@ -1,10 +1,9 @@
 package core
 
-import (
-	"bytes"
-	"encoding/gob"
-)
+import "allscale/internal/wire"
 
+// decodeArgs decodes task arguments produced by the scheduler's
+// shared wire codec.
 func decodeArgs(data []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+	return wire.Decode(data, v)
 }

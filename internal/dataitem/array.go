@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"allscale/internal/region"
+	"allscale/internal/wire"
 )
 
 // IntervalRegion adapts region.IntervalSet — 1-d index ranges — to
@@ -188,7 +189,8 @@ func (f *ArrayFragment[T]) Resize(r Region) error {
 	return nil
 }
 
-// arrayWire is the gob wire form of extracted array data.
+// arrayWire is the wire form of extracted array data (gob fallback;
+// bulk-encodable element types travel as two numeric blocks instead).
 type arrayWire[T any] struct {
 	Idx    []int64
 	Values []T
@@ -204,24 +206,45 @@ func (f *ArrayFragment[T]) Extract(r Region) ([]byte, error) {
 		return nil, fmt.Errorf("dataitem: extract region %v not covered by fragment %v", ir.S, f.cover)
 	}
 	var w arrayWire[T]
+	n := ir.S.Size()
+	w.Idx = make([]int64, 0, n)
+	w.Values = make([]T, 0, n)
 	for _, iv := range ir.S.Intervals() {
 		for i := iv.Lo; i < iv.Hi; i++ {
 			w.Idx = append(w.Idx, i)
 			w.Values = append(w.Values, f.vals[i])
 		}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, err
+	if wire.CanBulk[T]() && !forceGobPayload {
+		buf := make([]byte, 1, 64)
+		buf[0] = wire.FormatBinary
+		buf = wire.AppendNumeric(buf, w.Idx)
+		return wire.AppendNumeric(buf, w.Values), nil
 	}
-	return buf.Bytes(), nil
+	return gobPayload(&w)
 }
 
 // Insert implements Fragment.
 func (f *ArrayFragment[T]) Insert(data []byte) (Region, error) {
 	var w arrayWire[T]
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+	d, gobBody, err := payloadDecoder(data)
+	if err != nil {
 		return nil, err
+	}
+	if d != nil {
+		if !wire.CanBulk[T]() {
+			return nil, fmt.Errorf("dataitem: binary array payload for non-bulk element type %T", *new(T))
+		}
+		w.Idx = wire.DecodeNumeric[int64](d)
+		w.Values = wire.DecodeNumeric[T](d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+	} else if err := decodeGobPayload(gobBody, &w); err != nil {
+		return nil, err
+	}
+	if len(w.Idx) != len(w.Values) {
+		return nil, fmt.Errorf("dataitem: array insert carries %d indices but %d values", len(w.Idx), len(w.Values))
 	}
 	var ivs []region.Interval
 	for i, idx := range w.Idx {

@@ -1,11 +1,10 @@
 package dataitem
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 
 	"allscale/internal/region"
+	"allscale/internal/wire"
 )
 
 // GridType is the data item type of N-dimensional grids of elements
@@ -128,16 +127,11 @@ func (f *GridFragment[T]) Resize(r Region) error {
 	var blocks []gridBlock[T]
 	for _, box := range target.Boxes() {
 		nb := gridBlock[T]{box: box, data: make([]T, box.Size())}
-		// Copy the overlap with every old block.
+		// Copy the overlap with every old block, one contiguous
+		// innermost-dimension run at a time.
 		for oi := range f.blocks {
 			old := &f.blocks[oi]
-			inter := box.Intersect(old.box)
-			if inter.IsEmpty() {
-				continue
-			}
-			region.NewBoxSet(inter).ForEachPoint(func(p region.Point) {
-				nb.data[nb.index(p)] = old.data[old.index(p)]
-			})
+			copyRuns(nb.data, nb.box, old.data, old.box, box.Intersect(old.box))
 		}
 		blocks = append(blocks, nb)
 	}
@@ -146,13 +140,78 @@ func (f *GridFragment[T]) Resize(r Region) error {
 	return nil
 }
 
-// gridWire is the gob wire form of extracted grid data.
+// boxIndex returns the row-major offset of p within box b.
+func boxIndex(b region.Box, p region.Point) int {
+	idx := 0
+	for d := 0; d < len(p); d++ {
+		idx = idx*(b.Max[d]-b.Min[d]) + (p[d] - b.Min[d])
+	}
+	return idx
+}
+
+// copyRuns copies the elements of inter from src (row-major within
+// sbox) to dst (row-major within dbox), one contiguous innermost-
+// dimension run per iteration. Replacing the per-point closure walk
+// with memmove-sized runs is what makes fragment Extract/Insert a
+// bulk, region-wise transfer instead of an element-wise one.
+func copyRuns[T any](dst []T, dbox region.Box, src []T, sbox region.Box, inter region.Box) {
+	if inter.IsEmpty() {
+		return
+	}
+	dims := len(inter.Min)
+	last := dims - 1
+	runLen := inter.Max[last] - inter.Min[last]
+	p := inter.Min.Clone()
+	for {
+		di := boxIndex(dbox, p)
+		si := boxIndex(sbox, p)
+		copy(dst[di:di+runLen], src[si:si+runLen])
+		// Odometer over the outer dimensions; a 1-d grid has none and
+		// is fully covered by the single run above.
+		d := last - 1
+		for d >= 0 {
+			p[d]++
+			if p[d] < inter.Max[d] {
+				break
+			}
+			p[d] = inter.Min[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// extractBox gathers the elements of box (which must be covered by
+// the fragment) into dst, row-major within box.
+func (f *GridFragment[T]) extractBox(box region.Box, dst []T) {
+	for bi := range f.blocks {
+		blk := &f.blocks[bi]
+		copyRuns(dst, box, blk.data, blk.box, box.Intersect(blk.box))
+	}
+}
+
+// insertBox scatters vals (row-major within box) into the fragment's
+// blocks; box must be covered by the fragment.
+func (f *GridFragment[T]) insertBox(box region.Box, vals []T) {
+	for bi := range f.blocks {
+		blk := &f.blocks[bi]
+		copyRuns(blk.data, blk.box, vals, box, box.Intersect(blk.box))
+	}
+}
+
+// gridWire is the gob fallback wire form of extracted grid data, used
+// when the element type has no bulk binary encoding.
 type gridWire[T any] struct {
 	Boxes []region.Box
 	Data  [][]T
 }
 
-// Extract implements Fragment.
+// Extract implements Fragment. Elements are gathered box by box with
+// contiguous run copies; bulk-encodable element types are emitted in
+// the compact binary form, everything else falls back to gob. Both
+// forms carry a leading wire format tag.
 func (f *GridFragment[T]) Extract(r Region) ([]byte, error) {
 	gr, ok := r.(GridRegion)
 	if !ok {
@@ -161,44 +220,68 @@ func (f *GridFragment[T]) Extract(r Region) ([]byte, error) {
 	if !gr.B.Difference(f.cover).IsEmpty() {
 		return nil, fmt.Errorf("dataitem: extract region %v not covered by fragment %v", gr.B, f.cover)
 	}
+	boxes := gr.B.Boxes()
+	if wire.CanBulk[T]() && !forceGobPayload {
+		buf := make([]byte, 1, 64)
+		buf[0] = wire.FormatBinary
+		buf = wire.AppendUvarint(buf, uint64(len(boxes)))
+		for _, box := range boxes {
+			buf = appendBox(buf, box)
+			vals := make([]T, box.Size())
+			f.extractBox(box, vals)
+			buf = wire.AppendNumeric(buf, vals)
+		}
+		return buf, nil
+	}
 	var w gridWire[T]
-	for _, box := range gr.B.Boxes() {
-		data := make([]T, 0, box.Size())
-		region.NewBoxSet(box).ForEachPoint(func(p region.Point) {
-			b := f.blockOf(p)
-			data = append(data, b.data[b.index(p)])
-		})
+	for _, box := range boxes {
+		vals := make([]T, box.Size())
+		f.extractBox(box, vals)
 		w.Boxes = append(w.Boxes, box)
-		w.Data = append(w.Data, data)
+		w.Data = append(w.Data, vals)
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return gobPayload(&w)
 }
 
 // Insert implements Fragment.
 func (f *GridFragment[T]) Insert(data []byte) (Region, error) {
 	var w gridWire[T]
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+	d, gobBody, err := payloadDecoder(data)
+	if err != nil {
 		return nil, err
 	}
-	covered := region.BoxSet{}
+	if d != nil {
+		if !wire.CanBulk[T]() {
+			return nil, fmt.Errorf("dataitem: binary grid payload for non-bulk element type %T", *new(T))
+		}
+		n := int(d.Uvarint())
+		for i := 0; i < n && d.Err() == nil; i++ {
+			box := decodeBox(d)
+			vals := wire.DecodeNumeric[T](d)
+			w.Boxes = append(w.Boxes, box)
+			w.Data = append(w.Data, vals)
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+	} else if err := decodeGobPayload(gobBody, &w); err != nil {
+		return nil, err
+	}
 	for bi, box := range w.Boxes {
 		if !region.NewBoxSet(box).Difference(f.cover).IsEmpty() {
 			return nil, fmt.Errorf("dataitem: insert box %v outside fragment region %v", box, f.cover)
 		}
-		vals := w.Data[bi]
-		i := 0
-		region.NewBoxSet(box).ForEachPoint(func(p region.Point) {
-			b := f.blockOf(p)
-			b.data[b.index(p)] = vals[i]
-			i++
-		})
-		covered = covered.Union(region.NewBoxSet(box))
+		if int64(len(w.Data[bi])) != box.Size() {
+			return nil, fmt.Errorf("dataitem: insert box %v carries %d values, want %d", box, len(w.Data[bi]), box.Size())
+		}
 	}
-	return GridRegion{B: covered}, nil
+	for bi, box := range w.Boxes {
+		f.insertBox(box, w.Data[bi])
+	}
+	// One BoxSet from all boxes at once: the old per-box
+	// covered.Union(...) rebuilt the set n times (quadratic in the
+	// number of boxes).
+	return GridRegion{B: region.NewBoxSet(w.Boxes...)}, nil
 }
 
 // DenseBlock exposes one stored box and its row-major backing slice

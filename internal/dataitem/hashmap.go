@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"hash/fnv"
+
+	"allscale/internal/wire"
 )
 
 // MapType is the data item type of hash maps from K to V,
@@ -136,8 +138,10 @@ func (f *MapFragment[K, V]) Resize(r Region) error {
 	return nil
 }
 
-// mapWire is the gob wire form of extracted map data. Empty buckets
-// still travel (as the region) so the receiver learns their coverage.
+// mapWire is the wire form of extracted map data (gob fallback; when
+// both key and value types are bulk-encodable the pairs travel as two
+// numeric blocks instead). Empty buckets still travel (as the region)
+// so the receiver learns their coverage.
 type mapWire[K comparable, V any] struct {
 	Keys []K
 	Vals []V
@@ -159,11 +163,13 @@ func (f *MapFragment[K, V]) Extract(r Region) ([]byte, error) {
 			w.Vals = append(w.Vals, v)
 		}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, err
+	if wire.CanBulk[K]() && wire.CanBulk[V]() && !forceGobPayload {
+		buf := make([]byte, 1, 64)
+		buf[0] = wire.FormatBinary
+		buf = wire.AppendNumeric(buf, w.Keys)
+		return wire.AppendNumeric(buf, w.Vals), nil
 	}
-	return buf.Bytes(), nil
+	return gobPayload(&w)
 }
 
 // Insert implements Fragment. Because bucket contents travel as whole
@@ -171,8 +177,24 @@ func (f *MapFragment[K, V]) Extract(r Region) ([]byte, error) {
 // DIM transfers at bucket granularity so this is exact.
 func (f *MapFragment[K, V]) Insert(data []byte) (Region, error) {
 	var w mapWire[K, V]
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+	d, gobBody, err := payloadDecoder(data)
+	if err != nil {
 		return nil, err
+	}
+	if d != nil {
+		if !wire.CanBulk[K]() || !wire.CanBulk[V]() {
+			return nil, fmt.Errorf("dataitem: binary map payload for non-bulk key/value types")
+		}
+		w.Keys = wire.DecodeNumeric[K](d)
+		w.Vals = wire.DecodeNumeric[V](d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+	} else if err := decodeGobPayload(gobBody, &w); err != nil {
+		return nil, err
+	}
+	if len(w.Keys) != len(w.Vals) {
+		return nil, fmt.Errorf("dataitem: map insert carries %d keys but %d values", len(w.Keys), len(w.Vals))
 	}
 	covered := IntervalRegion{}
 	for i, k := range w.Keys {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"allscale/internal/region"
+	"allscale/internal/wire"
 )
 
 // TreeItemRegion adapts region.TreeRegion — the flexible
@@ -197,7 +198,8 @@ func (f *TreeFragment[T]) Resize(r Region) error {
 	return nil
 }
 
-// treeWire is the gob wire form of extracted tree data.
+// treeWire is the wire form of extracted tree data (gob fallback;
+// bulk-encodable payload types travel as two numeric blocks instead).
 type treeWire[T any] struct {
 	Nodes  []uint64
 	Values []T
@@ -213,22 +215,43 @@ func (f *TreeFragment[T]) Extract(r Region) ([]byte, error) {
 		return nil, fmt.Errorf("dataitem: extract region %v not covered by fragment %v", tr.T, f.cover)
 	}
 	var w treeWire[T]
+	n := tr.T.Size()
+	w.Nodes = make([]uint64, 0, n)
+	w.Values = make([]T, 0, n)
 	tr.T.ForEachNode(func(n region.NodeID) {
 		w.Nodes = append(w.Nodes, uint64(n))
 		w.Values = append(w.Values, f.nodes[n])
 	})
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
-		return nil, err
+	if wire.CanBulk[T]() && !forceGobPayload {
+		buf := make([]byte, 1, 64)
+		buf[0] = wire.FormatBinary
+		buf = wire.AppendNumeric(buf, w.Nodes)
+		return wire.AppendNumeric(buf, w.Values), nil
 	}
-	return buf.Bytes(), nil
+	return gobPayload(&w)
 }
 
 // Insert implements Fragment.
 func (f *TreeFragment[T]) Insert(data []byte) (Region, error) {
 	var w treeWire[T]
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+	d, gobBody, err := payloadDecoder(data)
+	if err != nil {
 		return nil, err
+	}
+	if d != nil {
+		if !wire.CanBulk[T]() {
+			return nil, fmt.Errorf("dataitem: binary tree payload for non-bulk element type %T", *new(T))
+		}
+		w.Nodes = wire.DecodeNumeric[uint64](d)
+		w.Values = wire.DecodeNumeric[T](d)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+	} else if err := decodeGobPayload(gobBody, &w); err != nil {
+		return nil, err
+	}
+	if len(w.Nodes) != len(w.Values) {
+		return nil, fmt.Errorf("dataitem: tree insert carries %d nodes but %d values", len(w.Nodes), len(w.Values))
 	}
 	covered := region.EmptyTreeRegion(f.height)
 	for i, raw := range w.Nodes {

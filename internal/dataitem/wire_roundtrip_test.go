@@ -1,0 +1,281 @@
+package dataitem
+
+import (
+	"testing"
+
+	"allscale/internal/region"
+	"allscale/internal/wire"
+)
+
+// extractBoth returns the binary and the forced-gob wire forms of the
+// same extraction, verifying their format tags along the way.
+func extractBoth(t *testing.T, f Fragment, r Region, wantBinary bool) (bin, gob []byte) {
+	t.Helper()
+	bin, err := f.Extract(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceGobPayload = true
+	gob, err = f.Extract(r)
+	forceGobPayload = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTag := byte(wire.FormatGob)
+	if wantBinary {
+		wantTag = wire.FormatBinary
+	}
+	if bin[0] != wantTag {
+		t.Fatalf("default payload tag %#x, want %#x", bin[0], wantTag)
+	}
+	if gob[0] != wire.FormatGob {
+		t.Fatalf("forced payload tag %#x, want gob", gob[0])
+	}
+	return bin, gob
+}
+
+// insertInto inserts payload into a fresh fragment covering cover and
+// returns the fragment and the region Insert reports as covered.
+func insertInto(t *testing.T, typ Type, cover Region, payload []byte) (Fragment, Region) {
+	t.Helper()
+	f := typ.NewFragment()
+	if err := f.Resize(cover); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Insert(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, got
+}
+
+// TestGridWireFormsAgree checks that the compact binary form and the
+// legacy gob form of one grid extraction decode to identical
+// fragments and report the same covered region.
+func TestGridWireFormsAgree(t *testing.T) {
+	typ := NewGridType[float64]("wf.grid", region.Point{8, 8})
+	src := typ.NewFragment().(*GridFragment[float64])
+	cover := region.NewBoxSet(
+		region.NewBox(region.Point{0, 0}, region.Point{5, 6}),
+		region.NewBox(region.Point{5, 2}, region.Point{8, 8}),
+	)
+	if err := src.Resize(GridRegion{B: cover}); err != nil {
+		t.Fatal(err)
+	}
+	cover.ForEachPoint(func(p region.Point) {
+		src.Set(p, float64(p[0]*100+p[1])+0.5)
+	})
+	// Extract a sub-region spanning both stored blocks.
+	sub := GridRegion{B: region.NewBoxSet(
+		region.NewBox(region.Point{1, 3}, region.Point{7, 6}),
+	)}
+	bin, gob := extractBoth(t, src, sub, true)
+
+	fb, rb := insertInto(t, typ, GridRegion{B: cover}, bin)
+	fg, rg := insertInto(t, typ, GridRegion{B: cover}, gob)
+	if !rb.Equal(sub) || !rg.Equal(sub) {
+		t.Fatalf("covered regions %v / %v, want %v", rb, rg, sub)
+	}
+	sub.B.ForEachPoint(func(p region.Point) {
+		want := float64(p[0]*100+p[1]) + 0.5
+		if got := fb.(*GridFragment[float64]).At(p); got != want {
+			t.Fatalf("binary form: at %v got %v, want %v", p, got, want)
+		}
+		if got := fg.(*GridFragment[float64]).At(p); got != want {
+			t.Fatalf("gob form: at %v got %v, want %v", p, got, want)
+		}
+	})
+}
+
+// gridElem is a struct element type without a bulk binary encoding:
+// grids of it must take the gob fallback on the default path too.
+type gridElem struct {
+	A int64
+	B float64
+}
+
+// TestGridStructElementFallback checks the non-numeric fallback: the
+// default wire form is tagged gob and still round-trips.
+func TestGridStructElementFallback(t *testing.T) {
+	typ := NewGridType[gridElem]("wf.grid.struct", region.Point{4, 4})
+	src := typ.NewFragment().(*GridFragment[gridElem])
+	full := typ.FullRegion()
+	if err := src.Resize(full); err != nil {
+		t.Fatal(err)
+	}
+	full.(GridRegion).B.ForEachPoint(func(p region.Point) {
+		src.Set(p, gridElem{A: int64(p[0]), B: float64(p[1]) / 2})
+	})
+	bin, gob := extractBoth(t, src, full, false)
+
+	for _, payload := range [][]byte{bin, gob} {
+		f, r := insertInto(t, typ, full, payload)
+		if !r.Equal(full) {
+			t.Fatalf("covered %v, want %v", r, full)
+		}
+		full.(GridRegion).B.ForEachPoint(func(p region.Point) {
+			want := gridElem{A: int64(p[0]), B: float64(p[1]) / 2}
+			if got := f.(*GridFragment[gridElem]).At(p); got != want {
+				t.Fatalf("at %v got %v, want %v", p, got, want)
+			}
+		})
+	}
+}
+
+// TestArrayWireFormsAgree is the array analogue of the grid test,
+// including the struct-element fallback.
+func TestArrayWireFormsAgree(t *testing.T) {
+	typ := NewArrayType[int64]("wf.array", 64)
+	src := typ.NewFragment().(*ArrayFragment[int64])
+	cover := IntervalRegion{S: region.NewIntervalSet(
+		region.Interval{Lo: 0, Hi: 20}, region.Interval{Lo: 40, Hi: 64},
+	)}
+	if err := src.Resize(cover); err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range cover.S.Intervals() {
+		for i := iv.Lo; i < iv.Hi; i++ {
+			src.Set(i, i*i)
+		}
+	}
+	sub := IntervalRegion{S: region.NewIntervalSet(
+		region.Interval{Lo: 5, Hi: 15}, region.Interval{Lo: 50, Hi: 60},
+	)}
+	bin, gob := extractBoth(t, src, sub, true)
+	for _, payload := range [][]byte{bin, gob} {
+		f, r := insertInto(t, typ, cover, payload)
+		if !r.Equal(sub) {
+			t.Fatalf("covered %v, want %v", r, sub)
+		}
+		for _, iv := range sub.S.Intervals() {
+			for i := iv.Lo; i < iv.Hi; i++ {
+				if got := f.(*ArrayFragment[int64]).At(i); got != i*i {
+					t.Fatalf("at %d got %d, want %d", i, got, i*i)
+				}
+			}
+		}
+	}
+
+	styp := NewArrayType[gridElem]("wf.array.struct", 8)
+	ssrc := styp.NewFragment().(*ArrayFragment[gridElem])
+	sfull := styp.FullRegion()
+	if err := ssrc.Resize(sfull); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		ssrc.Set(i, gridElem{A: i, B: float64(i) * 1.5})
+	}
+	sbin, sgob := extractBoth(t, ssrc, sfull, false)
+	for _, payload := range [][]byte{sbin, sgob} {
+		f, _ := insertInto(t, styp, sfull, payload)
+		for i := int64(0); i < 8; i++ {
+			want := gridElem{A: i, B: float64(i) * 1.5}
+			if got := f.(*ArrayFragment[gridElem]).At(i); got != want {
+				t.Fatalf("at %d got %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestTreeWireFormsAgree is the tree analogue.
+func TestTreeWireFormsAgree(t *testing.T) {
+	typ := NewTreeType[float32]("wf.tree", 4)
+	src := typ.NewFragment().(*TreeFragment[float32])
+	full := typ.FullRegion()
+	if err := src.Resize(full); err != nil {
+		t.Fatal(err)
+	}
+	full.(TreeItemRegion).T.ForEachNode(func(n region.NodeID) {
+		src.Set(n, float32(n)*0.25)
+	})
+	bin, gob := extractBoth(t, src, full, true)
+	for _, payload := range [][]byte{bin, gob} {
+		f, r := insertInto(t, typ, full, payload)
+		if !r.Equal(full) {
+			t.Fatalf("covered %v, want %v", r, full)
+		}
+		full.(TreeItemRegion).T.ForEachNode(func(n region.NodeID) {
+			if got := f.(*TreeFragment[float32]).At(n); got != float32(n)*0.25 {
+				t.Fatalf("node %v got %v, want %v", n, got, float32(n)*0.25)
+			}
+		})
+	}
+}
+
+// TestMapWireFormsAgree covers the hash map: numeric key/value pairs
+// take the binary form; string keys force the gob fallback.
+func TestMapWireFormsAgree(t *testing.T) {
+	typ := NewMapType[int64, float64]("wf.map", 16)
+	src := typ.NewFragment().(*MapFragment[int64, float64])
+	full := typ.FullRegion()
+	if err := src.Resize(full); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 40; k++ {
+		src.Put(k, float64(k)/3)
+	}
+	bin, gob := extractBoth(t, src, full, true)
+	for _, payload := range [][]byte{bin, gob} {
+		f, _ := insertInto(t, typ, full, payload)
+		for k := int64(0); k < 40; k++ {
+			if v, ok := f.(*MapFragment[int64, float64]).Get(k); !ok || v != float64(k)/3 {
+				t.Fatalf("key %d got %v (%v), want %v", k, v, ok, float64(k)/3)
+			}
+		}
+	}
+
+	styp := NewMapType[string, int]("wf.map.str", 8)
+	ssrc := styp.NewFragment().(*MapFragment[string, int])
+	sfull := styp.FullRegion()
+	if err := ssrc.Resize(sfull); err != nil {
+		t.Fatal(err)
+	}
+	ssrc.Put("alpha", 1)
+	ssrc.Put("beta", 2)
+	sbin, sgob := extractBoth(t, ssrc, sfull, false)
+	for _, payload := range [][]byte{sbin, sgob} {
+		f, _ := insertInto(t, styp, sfull, payload)
+		if v, ok := f.(*MapFragment[string, int]).Get("beta"); !ok || v != 2 {
+			t.Fatalf(`key "beta" got %v (%v), want 2`, v, ok)
+		}
+	}
+}
+
+// TestRegionWireRoundTrip exercises the compact region codec for the
+// three built-in schemes and the gob envelope for nil regions.
+func TestRegionWireRoundTrip(t *testing.T) {
+	regions := []Region{
+		nil,
+		GridRegion{B: region.NewBoxSet(
+			region.NewBox(region.Point{-3, 0}, region.Point{4, 9}),
+			region.NewBox(region.Point{10, 10}, region.Point{12, 20}),
+		)},
+		IntervalRegion{S: region.NewIntervalSet(
+			region.Interval{Lo: -5, Hi: 3}, region.Interval{Lo: 100, Hi: 1000},
+		)},
+		TreeItemRegion{T: region.FullTreeRegion(3)},
+	}
+	for _, r := range regions {
+		buf, err := AppendRegionWire(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := wire.NewDecoder(buf)
+		got, err := DecodeRegionWire(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Len() != 0 {
+			t.Fatalf("region %v left %d undecoded bytes", r, d.Len())
+		}
+		if r == nil {
+			if got != nil {
+				t.Fatalf("nil region decoded to %v", got)
+			}
+			continue
+		}
+		if !got.Equal(r) {
+			t.Fatalf("region round trip: got %v, want %v", got, r)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package dataitem
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"allscale/internal/region"
+	"allscale/internal/wire"
+)
+
+// This file implements the compact binary wire forms shared by the
+// fragment payloads and by the DIM message headers that carry Region
+// values (DESIGN.md §6a "Wire formats").
+//
+// Fragment payloads (Extract/Insert) start with a wire format tag:
+// wire.FormatBinary for the bulk region-wise form, wire.FormatGob for
+// the reflect-encoded fallback used by element types without a
+// fixed-size binary representation (arbitrary user structs).
+
+// forceGobPayload switches Extract to the gob fallback even for bulk-
+// encodable element types. Tests use it to prove both wire forms of
+// one fragment decode identically; it must stay false in production.
+var forceGobPayload = false
+
+// gobPayload encodes w as a tagged gob fallback payload.
+func gobPayload(w any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(wire.FormatGob)
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// payloadDecoder splits a fragment payload into its format tag and
+// body, handing binary payloads to a wire.Decoder and gob payloads to
+// the caller's gob decode.
+func payloadDecoder(data []byte) (binary *wire.Decoder, gobBody []byte, err error) {
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("dataitem: empty fragment payload")
+	}
+	switch data[0] {
+	case wire.FormatBinary:
+		return wire.NewDecoder(data[1:]), nil, nil
+	case wire.FormatGob:
+		return nil, data[1:], nil
+	default:
+		return nil, nil, fmt.Errorf("dataitem: unknown fragment payload format 0x%02x", data[0])
+	}
+}
+
+func decodeGobPayload(body []byte, w any) error {
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(w)
+}
+
+// appendBox appends one axis-aligned box as dims + varint corners.
+func appendBox(buf []byte, b region.Box) []byte {
+	buf = wire.AppendUvarint(buf, uint64(len(b.Min)))
+	for _, v := range b.Min {
+		buf = wire.AppendVarint(buf, int64(v))
+	}
+	for _, v := range b.Max {
+		buf = wire.AppendVarint(buf, int64(v))
+	}
+	return buf
+}
+
+func decodeBox(d *wire.Decoder) region.Box {
+	dims := int(d.Uvarint())
+	if d.Err() != nil {
+		return region.Box{}
+	}
+	if dims <= 0 || dims > 64 {
+		d.Failf("box dimensionality %d out of range", dims)
+		return region.Box{}
+	}
+	b := region.Box{Min: make(region.Point, dims), Max: make(region.Point, dims)}
+	for i := range b.Min {
+		b.Min[i] = int(d.Varint())
+	}
+	for i := range b.Max {
+		b.Max[i] = int(d.Varint())
+	}
+	return b
+}
+
+// Region wire kinds.
+const (
+	regionWireNil      byte = 0
+	regionWireGrid     byte = 1
+	regionWireInterval byte = 2
+	regionWireTree     byte = 3
+	regionWireGob      byte = 0xFF
+)
+
+// regionGobEnvelope carries an unknown dynamic Region type through
+// gob; concrete types must be gob-registered, exactly as before.
+type regionGobEnvelope struct{ R Region }
+
+// AppendRegionWire appends the compact binary form of r. The three
+// built-in region schemes (grid box sets, interval sets, tree
+// regions) are hand-encoded; any other dynamic Region type travels in
+// a tagged gob envelope.
+func AppendRegionWire(buf []byte, r Region) ([]byte, error) {
+	switch v := r.(type) {
+	case nil:
+		return append(buf, regionWireNil), nil
+	case GridRegion:
+		buf = append(buf, regionWireGrid)
+		boxes := v.B.Boxes()
+		buf = wire.AppendUvarint(buf, uint64(len(boxes)))
+		for _, b := range boxes {
+			buf = appendBox(buf, b)
+		}
+		return buf, nil
+	case IntervalRegion:
+		buf = append(buf, regionWireInterval)
+		ivs := v.S.Intervals()
+		buf = wire.AppendUvarint(buf, uint64(len(ivs)))
+		for _, iv := range ivs {
+			buf = wire.AppendVarint(buf, iv.Lo)
+			buf = wire.AppendVarint(buf, iv.Hi)
+		}
+		return buf, nil
+	case TreeItemRegion:
+		buf = append(buf, regionWireTree)
+		buf = wire.AppendUvarint(buf, uint64(v.T.Height()))
+		ops := v.T.Ops()
+		buf = wire.AppendUvarint(buf, uint64(len(ops)))
+		for _, op := range ops {
+			buf = wire.AppendBool(buf, op.Add)
+			buf = wire.AppendUvarint(buf, uint64(op.Node))
+		}
+		return buf, nil
+	default:
+		var gb bytes.Buffer
+		if err := gob.NewEncoder(&gb).Encode(regionGobEnvelope{R: r}); err != nil {
+			return nil, fmt.Errorf("dataitem: encode region %T: %w", r, err)
+		}
+		buf = append(buf, regionWireGob)
+		return wire.AppendBytes(buf, gb.Bytes()), nil
+	}
+}
+
+// DecodeRegionWire reads a region appended by AppendRegionWire.
+func DecodeRegionWire(d *wire.Decoder) (Region, error) {
+	kind := d.Byte()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case regionWireNil:
+		return nil, nil
+	case regionWireGrid:
+		n := int(d.Uvarint())
+		boxes := make([]region.Box, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			boxes = append(boxes, decodeBox(d))
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return GridRegion{B: region.NewBoxSet(boxes...)}, nil
+	case regionWireInterval:
+		n := int(d.Uvarint())
+		ivs := make([]region.Interval, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			ivs = append(ivs, region.Interval{Lo: d.Varint(), Hi: d.Varint()})
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return IntervalRegion{S: region.NewIntervalSet(ivs...)}, nil
+	case regionWireTree:
+		height := int(d.Uvarint())
+		n := int(d.Uvarint())
+		ops := make([]region.TreeOp, 0, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			add := d.Bool()
+			node := region.NodeID(d.Uvarint())
+			ops = append(ops, region.TreeOp{Add: add, Node: node})
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return TreeItemRegion{T: region.ApplyTreeOps(height, ops)}, nil
+	case regionWireGob:
+		raw := d.Bytes()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		var env regionGobEnvelope
+		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&env); err != nil {
+			return nil, fmt.Errorf("dataitem: decode region envelope: %w", err)
+		}
+		return env.R, nil
+	default:
+		return nil, fmt.Errorf("dataitem: unknown region wire kind 0x%02x", kind)
+	}
+}

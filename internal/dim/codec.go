@@ -1,18 +1,10 @@
 package dim
 
-import (
-	"bytes"
-	"encoding/gob"
-)
+import "allscale/internal/wire"
 
-func encodeGob(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
+// encodeWire and decodeWire delegate to the shared wire codec: the
+// manager's request/reply headers have binary codecs (wirecodec.go)
+// and anything else falls back to gob inside the codec.
+func encodeWire(v any) ([]byte, error) { return wire.Encode(v) }
 
-func decodeGob(data []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
-}
+func decodeWire(data []byte, v any) error { return wire.Decode(data, v) }

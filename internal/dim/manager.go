@@ -98,14 +98,14 @@ func (m *Manager) registerServices() {
 func rpc[A any, R any](fn func(from int, args *A) (*R, error)) func(int, []byte) ([]byte, error) {
 	return func(from int, body []byte) ([]byte, error) {
 		var args A
-		if err := decodeGob(body, &args); err != nil {
+		if err := decodeWire(body, &args); err != nil {
 			return nil, err
 		}
 		reply, err := fn(from, &args)
 		if err != nil {
 			return nil, err
 		}
-		return encodeGob(reply)
+		return encodeWire(reply)
 	}
 }
 

@@ -1,0 +1,220 @@
+package dim
+
+import (
+	"allscale/internal/dataitem"
+	"allscale/internal/wire"
+)
+
+// Hand-written binary codecs for the DIM's request/reply headers
+// (DESIGN.md §6a "Wire formats"). Region fields use the compact
+// region wire form from the dataitem package; unknown dynamic region
+// types still travel in its embedded gob envelope.
+
+// AppendWire implements wire.Marshaler.
+func (a *createArgs) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(a.ID))
+	return wire.AppendString(buf, a.TypeName), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *createArgs) UnmarshalWire(d *wire.Decoder) error {
+	a.ID = ItemID(d.Uvarint())
+	a.TypeName = d.String()
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (a *destroyArgs) AppendWire(buf []byte) ([]byte, error) {
+	return wire.AppendUvarint(buf, uint64(a.ID)), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *destroyArgs) UnmarshalWire(d *wire.Decoder) error {
+	a.ID = ItemID(d.Uvarint())
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (a *reportArgs) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(a.Item))
+	buf = wire.AppendVarint(buf, int64(a.Level))
+	buf = wire.AppendBool(buf, a.Left)
+	buf, err := dataitem.AppendRegionWire(buf, a.Region)
+	if err != nil {
+		return nil, err
+	}
+	return wire.AppendUvarint(buf, a.Seq), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *reportArgs) UnmarshalWire(d *wire.Decoder) error {
+	a.Item = ItemID(d.Uvarint())
+	a.Level = d.Int()
+	a.Left = d.Bool()
+	r, err := dataitem.DecodeRegionWire(d)
+	if err != nil {
+		return err
+	}
+	a.Region = r
+	a.Seq = d.Uvarint()
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (a *resolveArgs) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(a.Item))
+	buf, err := dataitem.AppendRegionWire(buf, a.Region)
+	if err != nil {
+		return nil, err
+	}
+	buf = wire.AppendVarint(buf, int64(a.Level))
+	return wire.AppendBool(buf, a.Descend), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *resolveArgs) UnmarshalWire(d *wire.Decoder) error {
+	a.Item = ItemID(d.Uvarint())
+	r, err := dataitem.DecodeRegionWire(d)
+	if err != nil {
+		return err
+	}
+	a.Region = r
+	a.Level = d.Int()
+	a.Descend = d.Bool()
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (r *resolveReply) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(len(r.Entries)))
+	for _, e := range r.Entries {
+		var err error
+		buf, err = dataitem.AppendRegionWire(buf, e.Region)
+		if err != nil {
+			return nil, err
+		}
+		buf = wire.AppendVarint(buf, int64(e.Rank))
+	}
+	return buf, nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *resolveReply) UnmarshalWire(d *wire.Decoder) error {
+	n := int(d.Uvarint())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		reg, err := dataitem.DecodeRegionWire(d)
+		if err != nil {
+			return err
+		}
+		r.Entries = append(r.Entries, Located{Region: reg, Rank: d.Int()})
+	}
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (a *fetchArgs) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(a.Item))
+	buf, err := dataitem.AppendRegionWire(buf, a.Region)
+	if err != nil {
+		return nil, err
+	}
+	buf = wire.AppendBool(buf, a.Remove)
+	return wire.AppendBool(buf, a.Pin), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *fetchArgs) UnmarshalWire(d *wire.Decoder) error {
+	a.Item = ItemID(d.Uvarint())
+	r, err := dataitem.DecodeRegionWire(d)
+	if err != nil {
+		return err
+	}
+	a.Region = r
+	a.Remove = d.Bool()
+	a.Pin = d.Bool()
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (r *fetchReply) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendBytes(buf, r.Data)
+	buf, err := dataitem.AppendRegionWire(buf, r.Part)
+	if err != nil {
+		return nil, err
+	}
+	buf = wire.AppendBool(buf, r.Empty)
+	return wire.AppendUvarint(buf, r.PinToken), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *fetchReply) UnmarshalWire(d *wire.Decoder) error {
+	r.Data = d.Bytes()
+	part, err := dataitem.DecodeRegionWire(d)
+	if err != nil {
+		return err
+	}
+	r.Part = part
+	r.Empty = d.Bool()
+	r.PinToken = d.Uvarint()
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (a *unpinArgs) AppendWire(buf []byte) ([]byte, error) {
+	return wire.AppendUvarint(buf, a.Token), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *unpinArgs) UnmarshalWire(d *wire.Decoder) error {
+	a.Token = d.Uvarint()
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (a *claimArgs) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(a.Item))
+	return dataitem.AppendRegionWire(buf, a.Region)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *claimArgs) UnmarshalWire(d *wire.Decoder) error {
+	a.Item = ItemID(d.Uvarint())
+	r, err := dataitem.DecodeRegionWire(d)
+	if err != nil {
+		return err
+	}
+	a.Region = r
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (r *claimReply) AppendWire(buf []byte) ([]byte, error) {
+	return dataitem.AppendRegionWire(buf, r.Granted)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *claimReply) UnmarshalWire(d *wire.Decoder) error {
+	g, err := dataitem.DecodeRegionWire(d)
+	if err != nil {
+		return err
+	}
+	r.Granted = g
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (a *dropArgs) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(a.Item))
+	return dataitem.AppendRegionWire(buf, a.Region)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *dropArgs) UnmarshalWire(d *wire.Decoder) error {
+	a.Item = ItemID(d.Uvarint())
+	r, err := dataitem.DecodeRegionWire(d)
+	if err != nil {
+		return err
+	}
+	a.Region = r
+	return nil
+}

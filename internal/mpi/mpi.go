@@ -7,12 +7,13 @@
 package mpi
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
 
 	"allscale/internal/transport"
+	"allscale/internal/wire"
 )
 
 // World is a set of MPI-style ranks over an in-process fabric.
@@ -114,22 +115,23 @@ func (c *Comm) Recv(from, tag int) ([]byte, error) {
 	}
 }
 
-// SendValue gob-encodes v and sends it.
+// SendValue encodes v with the shared wire codec (binary for numeric
+// slices, gob fallback otherwise) and sends it.
 func (c *Comm) SendValue(to, tag int, v any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	data, err := wire.Encode(v)
+	if err != nil {
 		return err
 	}
-	return c.Send(to, tag, buf.Bytes())
+	return c.Send(to, tag, data)
 }
 
-// RecvValue receives and gob-decodes into out.
+// RecvValue receives and decodes into out.
 func (c *Comm) RecvValue(from, tag int, out any) error {
 	data, err := c.Recv(from, tag)
 	if err != nil {
 		return err
 	}
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(out)
+	return wire.Decode(data, out)
 }
 
 // SendRecv performs a combined exchange (MPI_Sendrecv): send to `to`,
@@ -215,21 +217,18 @@ func (c *Comm) AllreduceFloat64(v float64, op string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	var buf bytes.Buffer
+	var payload []byte
 	if c.Rank() == 0 {
-		if err := gob.NewEncoder(&buf).Encode(red); err != nil {
-			return 0, err
-		}
+		payload = binary.LittleEndian.AppendUint64(nil, math.Float64bits(red))
 	}
-	data, err := c.Bcast(0, buf.Bytes())
+	data, err := c.Bcast(0, payload)
 	if err != nil {
 		return 0, err
 	}
-	var out float64
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&out); err != nil {
-		return 0, err
+	if len(data) != 8 {
+		return 0, fmt.Errorf("mpi: allreduce broadcast carried %d bytes, want 8", len(data))
 	}
-	return out, nil
+	return math.Float64frombits(binary.LittleEndian.Uint64(data)), nil
 }
 
 // AllreduceInt64 combines one int64 per rank with op on every rank.

@@ -9,8 +9,6 @@
 package runtime
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
@@ -303,22 +301,4 @@ func (l *Locality) Close() error {
 	l.failCalls(func(int) bool { return true },
 		fmt.Errorf("runtime: locality %d closed with call outstanding", l.Rank()))
 	return err
-}
-
-func encode(v any) ([]byte, error) {
-	if v == nil {
-		return nil, nil
-	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func decode(data []byte, v any) error {
-	if v == nil {
-		return nil
-	}
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
 }

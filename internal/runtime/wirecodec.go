@@ -1,0 +1,74 @@
+package runtime
+
+import "allscale/internal/wire"
+
+// Hand-written binary codecs for the runtime's hot envelope types
+// (DESIGN.md §6a "Wire formats"). Every RPC and one-way message
+// crosses the transport inside one of these, so avoiding gob's
+// per-message type preamble here pays on every single exchange.
+
+// encode and decode are the package's only (de)serialization entry
+// points; they delegate to the shared wire codec, which picks the
+// binary form for types with a codec below and gob for the rest.
+func encode(v any) ([]byte, error) { return wire.Encode(v) }
+
+func decode(data []byte, v any) error { return wire.Decode(data, v) }
+
+// AppendWire implements wire.Marshaler.
+func (r *rpcRequest) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, r.ID)
+	buf = wire.AppendString(buf, r.Method)
+	return wire.AppendBytes(buf, r.Body), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler. Body aliases the input
+// payload, which is owned by this message's dispatch.
+func (r *rpcRequest) UnmarshalWire(d *wire.Decoder) error {
+	r.ID = d.Uvarint()
+	r.Method = d.String()
+	r.Body = d.Bytes()
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (r *rpcResponse) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, r.ID)
+	buf = wire.AppendBytes(buf, r.Body)
+	return wire.AppendString(buf, r.Err), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *rpcResponse) UnmarshalWire(d *wire.Decoder) error {
+	r.ID = d.Uvarint()
+	r.Body = d.Bytes()
+	r.Err = d.String()
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (m *oneWayMsg) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendString(buf, m.Method)
+	return wire.AppendBytes(buf, m.Body), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (m *oneWayMsg) UnmarshalWire(d *wire.Decoder) error {
+	m.Method = d.String()
+	m.Body = d.Bytes()
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (m *fulfillMsg) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, m.Seq)
+	buf = wire.AppendBytes(buf, m.Value)
+	return wire.AppendString(buf, m.Err), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (m *fulfillMsg) UnmarshalWire(d *wire.Decoder) error {
+	m.Seq = d.Uvarint()
+	m.Value = d.Bytes()
+	m.Err = d.String()
+	return nil
+}

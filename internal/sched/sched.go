@@ -16,8 +16,6 @@
 package sched
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -25,6 +23,7 @@ import (
 	"allscale/internal/dataitem"
 	"allscale/internal/dim"
 	"allscale/internal/runtime"
+	"allscale/internal/wire"
 )
 
 // Variant names the implementation alternative picked by the policy.
@@ -148,7 +147,7 @@ func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 	}
 	loc.HandleOneWay(methodRun, func(from int, body []byte) {
 		var args runArgs
-		if err := decodeGob(body, &args); err != nil {
+		if err := decodeWire(body, &args); err != nil {
 			return
 		}
 		s.execute(&args.Spec, args.Variant)
@@ -213,7 +212,7 @@ func (s *Scheduler) Spawn(kind string, args any) (*runtime.Future, error) {
 
 // spawnAt schedules a task at a given position of the spawn tree.
 func (s *Scheduler) spawnAt(kind string, args any, depth int, path uint64, pathLen int) (*runtime.Future, error) {
-	body, err := encodeGob(args)
+	body, err := encodeWire(args)
 	if err != nil {
 		return nil, fmt.Errorf("sched: encode args of %q: %w", kind, err)
 	}
@@ -396,7 +395,7 @@ func (c *Ctx) Rank() int { return c.sched.Rank() }
 func (c *Ctx) Manager() *dim.Manager { return c.sched.mgr }
 
 // Args decodes the task arguments into out.
-func (c *Ctx) Args(out any) error { return decodeGob(c.spec.Args, out) }
+func (c *Ctx) Args(out any) error { return decodeWire(c.spec.Args, out) }
 
 // Depth returns the task's spawn-tree depth.
 func (c *Ctx) Depth() int { return c.spec.Depth }
@@ -409,14 +408,9 @@ func (c *Ctx) Spawn(kind string, args any, branch uint64) (*runtime.Future, erro
 	return c.sched.spawnAt(kind, args, c.spec.Depth+1, path, c.spec.PathLen+1)
 }
 
-func encodeGob(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
+// encodeWire and decodeWire delegate to the shared wire codec: binary
+// for the types with codecs in wirecodec.go, gob for arbitrary user
+// argument types.
+func encodeWire(v any) ([]byte, error) { return wire.Encode(v) }
 
-func decodeGob(data []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
-}
+func decodeWire(data []byte, v any) error { return wire.Decode(data, v) }

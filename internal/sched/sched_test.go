@@ -52,7 +52,7 @@ func registerSum(c *cluster) {
 			Name: "sum",
 			CanSplit: func(args []byte) bool {
 				var r sumRange
-				decodeGob(args, &r)
+				decodeWire(args, &r)
 				return r.Hi-r.Lo > 4
 			},
 			Split: func(ctx *Ctx) (any, error) {
@@ -186,7 +186,7 @@ func TestDataAwarePlacementFollowsData(t *testing.T) {
 			Name: "touch",
 			Reqs: func(args []byte) []dim.Requirement {
 				var a bandArgs
-				decodeGob(args, &a)
+				decodeWire(args, &a)
 				return []dim.Requirement{{Item: item, Region: bandRegion(a.Band), Mode: dim.Write}}
 			},
 			Process: func(ctx *Ctx) (any, error) {
@@ -253,7 +253,7 @@ func TestFirstTouchSpreadsData(t *testing.T) {
 			Name: "init",
 			CanSplit: func(args []byte) bool {
 				var r initRange
-				decodeGob(args, &r)
+				decodeWire(args, &r)
 				return r.Hi-r.Lo > 8
 			},
 			Split: func(ctx *Ctx) (any, error) {
@@ -276,7 +276,7 @@ func TestFirstTouchSpreadsData(t *testing.T) {
 			},
 			Reqs: func(args []byte) []dim.Requirement {
 				var r initRange
-				decodeGob(args, &r)
+				decodeWire(args, &r)
 				return []dim.Requirement{{
 					Item:   item,
 					Region: dataitem.GridRegionFromTo(region.Point{r.Lo, 0}, region.Point{r.Hi, 8}),

@@ -58,10 +58,10 @@ func (s *Scheduler) EnableQueue(workers int) {
 	s.loc.Handle(methodSteal, func(from int, body []byte) ([]byte, error) {
 		spec, ok := s.stealLocal()
 		if !ok {
-			return encodeGob(&stealReply{})
+			return encodeWire(&stealReply{})
 		}
 		q.stolenFrom.Add(1)
-		return encodeGob(&stealReply{Found: true, Spec: spec})
+		return encodeWire(&stealReply{Found: true, Spec: spec})
 	})
 	for w := 0; w < workers; w++ {
 		q.wg.Add(1)

@@ -1,0 +1,59 @@
+package sched
+
+import "allscale/internal/wire"
+
+// Hand-written binary codecs for the scheduler's hot wire types
+// (DESIGN.md §6a "Wire formats"): every task placement crosses the
+// transport as a runArgs envelope and every successful steal as a
+// stealReply, so both skip gob's reflect walk.
+
+// appendTaskSpec appends the flat TaskSpec fields.
+func appendTaskSpec(buf []byte, s *TaskSpec) []byte {
+	buf = wire.AppendUvarint(buf, s.ID)
+	buf = wire.AppendString(buf, s.Kind)
+	buf = wire.AppendBytes(buf, s.Args)
+	buf = wire.AppendVarint(buf, int64(s.Depth))
+	buf = wire.AppendUvarint(buf, s.Path)
+	buf = wire.AppendVarint(buf, int64(s.PathLen))
+	buf = wire.AppendVarint(buf, int64(s.Origin))
+	buf = wire.AppendVarint(buf, int64(s.Promise.Owner))
+	return wire.AppendUvarint(buf, s.Promise.Seq)
+}
+
+func decodeTaskSpec(d *wire.Decoder, s *TaskSpec) {
+	s.ID = d.Uvarint()
+	s.Kind = d.String()
+	s.Args = d.Bytes()
+	s.Depth = d.Int()
+	s.Path = d.Uvarint()
+	s.PathLen = d.Int()
+	s.Origin = d.Int()
+	s.Promise.Owner = d.Int()
+	s.Promise.Seq = d.Uvarint()
+}
+
+// AppendWire implements wire.Marshaler.
+func (a *runArgs) AppendWire(buf []byte) ([]byte, error) {
+	buf = appendTaskSpec(buf, &a.Spec)
+	return wire.AppendVarint(buf, int64(a.Variant)), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *runArgs) UnmarshalWire(d *wire.Decoder) error {
+	decodeTaskSpec(d, &a.Spec)
+	a.Variant = Variant(d.Int())
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (r *stealReply) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendBool(buf, r.Found)
+	return appendTaskSpec(buf, &r.Spec), nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *stealReply) UnmarshalWire(d *wire.Decoder) error {
+	r.Found = d.Bool()
+	decodeTaskSpec(d, &r.Spec)
+	return nil
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"allscale/internal/wire"
 )
 
 // TCPConfig tunes the failure-handling behaviour of a TCPEndpoint.
@@ -56,7 +58,9 @@ func (c *TCPConfig) fillDefaults() {
 // dials peers; one TCP connection carries each ordered peer-to-peer
 // direction. Frames are length-prefixed: 4-byte big-endian sender
 // rank, 4-byte kind length, kind bytes, 4-byte payload length,
-// payload bytes.
+// payload bytes. Outgoing frames are assembled in pooled buffers and
+// coalesced: a per-connection flusher goroutine writes every frame
+// queued since its previous write with one syscall (see tcpConn).
 //
 // Failure semantics: writes carry a deadline, broken connections are
 // evicted from the cache and redialed with exponential backoff under
@@ -83,21 +87,125 @@ type TCPEndpoint struct {
 	once   sync.Once
 }
 
+// maxPendingWrites is the per-connection backpressure cap: once this
+// many coalesced bytes are queued, senders block until the flusher
+// drains (or the connection breaks, which is bounded by WriteTimeout).
+const maxPendingWrites = 1 << 20
+
+// tcpConn is one outgoing connection with a coalescing writer.
+// Senders append complete frames to pend under mu; a per-connection
+// flusher goroutine swaps the accumulated batch out and writes it with
+// a single syscall. While the flusher is busy writing, new small
+// frames pile up and go out together in the next batch — the write
+// side's analogue of Nagle, but without delaying an idle connection:
+// the flusher starts the moment the first frame arrives.
+//
+// A Send succeeds once its frame is queued; like bytes accepted into
+// an OS socket buffer, queued frames are lost if the connection dies
+// (the Endpoint contract already declares frames in flight lossy on
+// peer failure). The first write failure is sticky: it surfaces on
+// every later Send so the caller evicts and redials.
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	c net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pend    []byte // frames queued for the flusher, in send order
+	spare   []byte // recycled batch buffer, reused by the next swap
+	err     error  // sticky first write failure
+	closing bool
 }
 
-// write sends one framed buffer under a deadline. The per-connection
-// lock serializes writers so frames never interleave.
-func (tc *tcpConn) write(buf []byte, timeout time.Duration) error {
+func newTCPConn(c net.Conn) *tcpConn {
+	tc := &tcpConn{c: c}
+	tc.cond = sync.NewCond(&tc.mu)
+	return tc
+}
+
+// enqueue appends one complete frame to the pending batch, blocking
+// while the backpressure cap is exceeded. Frames from concurrent
+// senders never interleave and keep their enqueue order.
+func (tc *tcpConn) enqueue(frame []byte) error {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	if timeout > 0 {
-		tc.c.SetWriteDeadline(time.Now().Add(timeout))
+	for tc.err == nil && !tc.closing && len(tc.pend) > maxPendingWrites {
+		tc.cond.Wait()
 	}
-	_, err := tc.c.Write(buf)
-	return err
+	if tc.err != nil {
+		return tc.err
+	}
+	if tc.closing {
+		return fmt.Errorf("transport: connection closing")
+	}
+	tc.pend = append(tc.pend, frame...)
+	tc.cond.Broadcast()
+	return nil
+}
+
+// beginShutdown asks the flusher to drain the pending batch and then
+// close the socket; used by the graceful endpoint Close.
+func (tc *tcpConn) beginShutdown() {
+	tc.mu.Lock()
+	tc.closing = true
+	tc.cond.Broadcast()
+	tc.mu.Unlock()
+}
+
+// teardown abandons the connection immediately (failure path): wake
+// everyone and close the socket, failing any in-flight flush.
+func (tc *tcpConn) teardown() {
+	tc.beginShutdown()
+	tc.c.Close()
+}
+
+// flush is the per-connection writer goroutine: it batches all frames
+// queued since the previous write into one deadline-bounded syscall.
+// On a write failure it records the sticky error, evicts the
+// connection, and reports the peer failure (at most once per
+// connection, via evict's dedup).
+func (e *TCPEndpoint) flush(to int, tc *tcpConn) {
+	defer e.wg.Done()
+	tc.mu.Lock()
+	for {
+		for len(tc.pend) == 0 && tc.err == nil && !tc.closing {
+			tc.cond.Wait()
+		}
+		if tc.err != nil {
+			tc.mu.Unlock()
+			return
+		}
+		if len(tc.pend) == 0 { // closing and drained
+			tc.mu.Unlock()
+			tc.c.Close()
+			return
+		}
+		batch := tc.pend
+		tc.pend = tc.spare[:0]
+		tc.cond.Broadcast() // wake senders blocked on backpressure
+		tc.mu.Unlock()
+
+		// A failing SetWriteDeadline means the socket is already dead;
+		// treat it exactly like a failed write instead of issuing an
+		// unbounded Write on a broken connection.
+		err := tc.c.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
+		if err == nil {
+			_, err = tc.c.Write(batch)
+		}
+
+		tc.mu.Lock()
+		if cap(batch) <= 4<<20 { // don't pin huge batch buffers forever
+			tc.spare = batch[:0]
+		}
+		if err != nil {
+			tc.err = fmt.Errorf("transport: write to rank %d: %w", to, err)
+			tc.cond.Broadcast()
+			tc.mu.Unlock()
+			if e.evict(to, tc) {
+				e.notifyFailure(to, tc.err)
+			}
+			return
+		}
+	}
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
@@ -319,15 +427,16 @@ func (e *TCPEndpoint) dial(to int) (*tcpConn, error) {
 		c.Close()
 		return tc, nil
 	}
-	tc := &tcpConn{c: c}
+	tc := newTCPConn(c)
 	e.conns[to] = tc
 	if e.dialed[to] {
 		e.stats.reconnects.Add(1)
 	}
 	e.dialed[to] = true
-	e.wg.Add(1)
+	e.wg.Add(2)
 	e.mu.Unlock()
 	go e.watchOutgoing(to, tc)
+	go e.flush(to, tc)
 	return tc, nil
 }
 
@@ -359,7 +468,7 @@ func (e *TCPEndpoint) evict(to int, tc *tcpConn) bool {
 		delete(e.conns, to)
 	}
 	e.mu.Unlock()
-	tc.c.Close()
+	tc.teardown()
 	return evicted
 }
 
@@ -367,7 +476,11 @@ func (e *TCPEndpoint) Send(to int, kind string, payload []byte) error {
 	if err := checkRank(to, e.Size()); err != nil {
 		return err
 	}
-	buf := make([]byte, 0, 12+len(kind)+len(payload))
+	// Assemble the frame in a pooled buffer; enqueue copies it into the
+	// connection's batch, so the assembly buffer is immediately
+	// reusable.
+	buf := wire.GetBuf()
+	defer func() { wire.PutBuf(buf) }()
 	var u [4]byte
 	put := func(v uint32) {
 		binary.BigEndian.PutUint32(u[:], v)
@@ -379,8 +492,8 @@ func (e *TCPEndpoint) Send(to int, kind string, payload []byte) error {
 	put(uint32(len(payload)))
 	buf = append(buf, payload...)
 
-	// A write error may just mean the cached connection died since the
-	// last send (peer restart): evict it and retry once over a fresh
+	// An enqueue error means the connection broke since the last send
+	// (peer crash or restart): evict it and retry once over a fresh
 	// dial before surfacing the error.
 	var err error
 	for attempt := 0; attempt < 2; attempt++ {
@@ -390,12 +503,12 @@ func (e *TCPEndpoint) Send(to int, kind string, payload []byte) error {
 			e.stats.sendErrors.Add(1)
 			return err
 		}
-		if err = tc.write(buf, e.cfg.WriteTimeout); err == nil {
+		if err = tc.enqueue(buf); err == nil {
 			e.stats.sent(len(payload))
 			return nil
 		}
 		if e.evict(to, tc) {
-			e.notifyFailure(to, fmt.Errorf("transport: write to rank %d: %w", to, err))
+			e.notifyFailure(to, err)
 		}
 	}
 	e.stats.sendErrors.Add(1)
@@ -409,8 +522,10 @@ func (e *TCPEndpoint) Close() error {
 		close(e.closed)
 		e.listener.Close()
 		e.mu.Lock()
+		// Graceful: the flusher drains queued frames (bounded by the
+		// write deadline) and closes the socket itself.
 		for _, tc := range e.conns {
-			tc.c.Close()
+			tc.beginShutdown()
 		}
 		// Close accepted connections too: their reader goroutines
 		// would otherwise block in Read until the remote side closes,

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+type testMsg struct {
+	ID   uint64
+	Name string
+	Body []byte
+	Neg  int64
+	Flag bool
+}
+
+func (m *testMsg) AppendWire(buf []byte) ([]byte, error) {
+	buf = AppendUvarint(buf, m.ID)
+	buf = AppendString(buf, m.Name)
+	buf = AppendBytes(buf, m.Body)
+	buf = AppendVarint(buf, m.Neg)
+	return AppendBool(buf, m.Flag), nil
+}
+
+func (m *testMsg) UnmarshalWire(d *Decoder) error {
+	m.ID = d.Uvarint()
+	m.Name = d.String()
+	m.Body = d.Bytes()
+	m.Neg = d.Varint()
+	m.Flag = d.Bool()
+	return nil
+}
+
+// plainMsg has no hand-written codec and must take the gob fallback.
+type plainMsg struct {
+	A int
+	B string
+}
+
+func TestEncodeDecodeBinary(t *testing.T) {
+	in := &testMsg{ID: 1 << 40, Name: "rpc.req", Body: []byte("payload"), Neg: -77, Flag: true}
+	data, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != FormatBinary {
+		t.Fatalf("format tag = %#x, want binary", data[0])
+	}
+	var out testMsg
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Name != in.Name || !bytes.Equal(out.Body, in.Body) || out.Neg != in.Neg || out.Flag != in.Flag {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, *in)
+	}
+}
+
+func TestEncodeDecodeGobFallback(t *testing.T) {
+	in := plainMsg{A: 42, B: "fallback"}
+	data, err := Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != FormatGob {
+		t.Fatalf("format tag = %#x, want gob", data[0])
+	}
+	var out plainMsg
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestBuiltinSliceFastPath(t *testing.T) {
+	in := []int64{-3, 0, 9, 1 << 50}
+	data, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != FormatBinary {
+		t.Fatalf("format tag = %#x, want binary for []int64", data[0])
+	}
+	var out []int64
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestNumericRoundTrip(t *testing.T) {
+	d := NewDecoder(AppendNumeric(nil, []float64{1.5, -2.25, math.Inf(1), 0}))
+	got := DecodeNumeric[float64](d)
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -2.25, math.Inf(1), 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	d = NewDecoder(AppendNumeric(nil, []uint16{7, 65535}))
+	got16 := DecodeNumeric[uint16](d)
+	if err := d.Err(); err != nil || got16[0] != 7 || got16[1] != 65535 {
+		t.Fatalf("uint16 round trip: %v %v", got16, err)
+	}
+}
+
+func TestNumericKindMismatch(t *testing.T) {
+	d := NewDecoder(AppendNumeric(nil, []float64{1}))
+	DecodeNumeric[int32](d)
+	if d.Err() == nil {
+		t.Fatal("kind mismatch not detected")
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	full, _ := Encode(&testMsg{ID: 9, Name: "n", Body: make([]byte, 100)})
+	for cut := 1; cut < len(full)-1; cut += 7 {
+		var out testMsg
+		if err := Decode(full[:cut], &out); err == nil && cut < len(full) {
+			// Truncation inside a length prefix may still yield a prefix
+			// of valid fields; it must never panic and the final field
+			// must be unreadable.
+			_ = out
+		}
+	}
+	// A length prefix beyond the remaining data must error, not alloc.
+	bad := []byte{FormatBinary, 0x05, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	var out testMsg
+	if err := Decode(bad, &out); err == nil {
+		t.Fatal("oversized length prefix not rejected")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	if data, err := Encode(nil); err != nil || data != nil {
+		t.Fatalf("Encode(nil) = %v, %v", data, err)
+	}
+	if err := Decode(nil, &testMsg{}); err == nil {
+		t.Fatal("Decode of empty payload must fail")
+	}
+	if err := Decode(nil, nil); err != nil {
+		t.Fatalf("Decode(nil, nil) = %v", err)
+	}
+}
+
+func TestBufPool(t *testing.T) {
+	b := GetBuf()
+	if len(b) != 0 {
+		t.Fatalf("pooled buf len = %d", len(b))
+	}
+	b = append(b, make([]byte, 100)...)
+	PutBuf(b)
+	b2 := GetBuf()
+	if len(b2) != 0 {
+		t.Fatalf("reused buf len = %d", len(b2))
+	}
+	PutBuf(b2)
+}
