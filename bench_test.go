@@ -259,3 +259,32 @@ func BenchmarkTable1Render(b *testing.B) {
 		_ = bench.Table1()
 	}
 }
+
+// ---------------------------------------------------------------
+// E10: tracing overhead. The acceptance bar for the observability
+// layer is <5% slowdown on the stencil app with tracing enabled
+// (per-rank span rings + wire-envelope propagation) versus disabled
+// (nil tracer, one pointer test per instrumentation site).
+// ---------------------------------------------------------------
+
+func BenchmarkStencil(b *testing.B) {
+	p := stencil.Params{N: 64, Steps: 4, C: 0.1, MinGrain: 512}
+	run := func(b *testing.B, traceCap int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys := core.NewSystem(core.Config{Localities: 2, TraceCapacity: traceCap})
+			app := stencil.NewAllScale(sys, p)
+			sys.Start()
+			err := app.Run()
+			if err == nil {
+				_, err = app.Result()
+			}
+			sys.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("trace-off", func(b *testing.B) { run(b, 0) })
+	b.Run("trace-on", func(b *testing.B) { run(b, 1<<16) })
+}

@@ -4,22 +4,30 @@
 //
 // Run with:
 //
-//	go run ./examples/stencil [-n 128] [-steps 10] [-localities 4]
+//	go run ./examples/stencil [-n 128] [-steps 10] [-localities 4] [-trace out.json]
+//
+// With -trace, the run records task-lifecycle, RPC and data-item
+// spans on every rank and writes a Chrome trace_event JSON file
+// loadable in about:tracing or https://ui.perfetto.dev.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"allscale/internal/apps/stencil"
+	"allscale/internal/core"
+	"allscale/internal/trace"
 )
 
 func main() {
 	n := flag.Int("n", 128, "grid edge length")
 	steps := flag.Int("steps", 10, "time steps")
 	localities := flag.Int("localities", 4, "simulated cluster nodes")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 	flag.Parse()
 
 	p := stencil.Params{N: *n, Steps: *steps, C: 0.1, MinGrain: 1024}
@@ -30,12 +38,37 @@ func main() {
 	want := stencil.RunSequential(p)
 	seqDur := time.Since(seqStart)
 
+	cfg := core.Config{Localities: *localities}
+	if *traceOut != "" {
+		cfg.TraceCapacity = trace.DefaultCapacity
+	}
+	sys := core.NewSystem(cfg)
+	app := stencil.NewAllScale(sys, p)
+	sys.Start()
 	start := time.Now()
-	got, err := stencil.RunAllScale(*localities, p)
+	var got []float64
+	err := app.Run()
+	if err == nil {
+		got, err = app.Result()
+	}
+	dur := time.Since(start)
+	if *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if werr := sys.WriteChromeTrace(f); werr != nil {
+			log.Fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+		fmt.Printf("trace written to %s (open in about:tracing or ui.perfetto.dev)\n", *traceOut)
+	}
+	sys.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	dur := time.Since(start)
 
 	for i := range want {
 		if got[i] != want[i] {

@@ -9,12 +9,15 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"allscale/internal/dataitem"
 	"allscale/internal/dim"
+	"allscale/internal/metrics"
 	"allscale/internal/runtime"
 	"allscale/internal/sched"
+	"allscale/internal/trace"
 	"allscale/internal/transport"
 )
 
@@ -31,6 +34,11 @@ type Config struct {
 	// (Section 3.2: enqueued tasks "may be stolen by other nodes");
 	// zero keeps the default goroutine-per-task execution.
 	Workers int
+	// TraceCapacity, when positive, enables task-lifecycle tracing
+	// with a per-rank ring of that many finished spans (use
+	// trace.DefaultCapacity for a sensible size); zero disables
+	// tracing entirely.
+	TraceCapacity int
 }
 
 // System is a running AllScale runtime instance hosting all
@@ -40,6 +48,7 @@ type System struct {
 	regs    []*dataitem.Registry
 	mgrs    []*dim.Manager
 	scheds  []*sched.Scheduler
+	tracers []*trace.Tracer
 	started bool
 	mu      sync.Mutex
 }
@@ -57,6 +66,11 @@ func NewSystem(cfg Config) *System {
 	}
 	s := &System{rsys: runtime.NewSystem(n)}
 	for i := 0; i < n; i++ {
+		if cfg.TraceCapacity > 0 {
+			tr := trace.New(i, cfg.TraceCapacity)
+			s.tracers = append(s.tracers, tr)
+			s.rsys.Locality(i).SetTracer(tr)
+		}
 		reg := dataitem.NewRegistry()
 		mgr := dim.New(s.rsys.Locality(i), reg)
 		s.regs = append(s.regs, reg)
@@ -82,6 +96,33 @@ func (s *System) Scheduler(rank int) *sched.Scheduler { return s.scheds[rank] }
 // Locality returns the runtime locality of the given rank, giving
 // monitoring and benchmarks access to per-rank transport counters.
 func (s *System) Locality(rank int) *runtime.Locality { return s.rsys.Locality(rank) }
+
+// Metrics returns the metrics registry of the given locality — the
+// single source of truth for its transport, RPC, scheduler and data
+// item manager counters.
+func (s *System) Metrics(rank int) *metrics.Registry { return s.rsys.Locality(rank).Metrics() }
+
+// Tracer returns the tracer of the given locality (nil when the
+// system was created without TraceCapacity).
+func (s *System) Tracer(rank int) *trace.Tracer {
+	if len(s.tracers) == 0 {
+		return nil
+	}
+	return s.tracers[rank]
+}
+
+// Tracers returns all per-rank tracers (nil when tracing is off).
+func (s *System) Tracers() []*trace.Tracer { return s.tracers }
+
+// WriteChromeTrace exports all ranks' spans as one Chrome trace_event
+// JSON document, loadable in about:tracing or ui.perfetto.dev. It
+// errors when the system was created without tracing.
+func (s *System) WriteChromeTrace(w io.Writer) error {
+	if len(s.tracers) == 0 {
+		return fmt.Errorf("core: system has no tracers (set Config.TraceCapacity)")
+	}
+	return trace.WriteChrome(w, s.tracers...)
+}
 
 // RegisterType registers a data item type on every locality; must be
 // called before Start.

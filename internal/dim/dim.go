@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"allscale/internal/dataitem"
+	"allscale/internal/metrics"
 	"allscale/internal/runtime"
 )
 
@@ -93,10 +94,23 @@ type itemState struct {
 	allocated dataitem.Region
 }
 
+// Registry names under which the manager publishes its metrics.
+const (
+	MetricAcquires    = "dim.acquires"
+	MetricLocates     = "dim.locates"
+	MetricAcquireWait = "dim.acquire_wait"
+)
+
 // Manager is the data item manager instance of one locality.
 type Manager struct {
 	loc *runtime.Locality
 	reg *dataitem.Registry
+
+	// acquires/locates and the acquire-wait histogram live in the
+	// locality-wide metrics registry.
+	acquires    *metrics.Counter
+	locates     *metrics.Counter
+	acquireWait *metrics.Histogram
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -116,6 +130,9 @@ func New(loc *runtime.Locality, reg *dataitem.Registry) *Manager {
 	m := &Manager{
 		loc:             loc,
 		reg:             reg,
+		acquires:        loc.Metrics().Counter(MetricAcquires),
+		locates:         loc.Metrics().Counter(MetricLocates),
+		acquireWait:     loc.Metrics().Histogram(MetricAcquireWait),
 		items:           make(map[ItemID]*itemState),
 		LockWaitTimeout: 60 * time.Second,
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"allscale/internal/dataitem"
+	"allscale/internal/trace"
 )
 
 // Wire argument structures of the manager's services. Region fields
@@ -306,7 +307,13 @@ func (m *Manager) handleReport(_ int, args *reportArgs) (*struct{}, error) {
 // root. The result maps disjoint region segments to one hosting rank
 // each; segments of r nowhere allocated are absent from the result.
 func (m *Manager) Lookup(id ItemID, r dataitem.Region) ([]Located, error) {
-	return m.resolve(id, r, 1, false)
+	m.locates.Inc()
+	sp := m.loc.Tracer().Begin("dim.locate", "", 0)
+	sp.SetTask(uint64(id))
+	out, err := m.resolve(id, r, 1, false)
+	sp.SetErr(err)
+	sp.End()
+	return out, err
 }
 
 // resolve implements RESOLVE(d, r, l). descend suppresses parent
@@ -405,6 +412,16 @@ func (m *Manager) handleResolve(_ int, args *resolveArgs) (*resolveReply, error)
 // first owner, so replicated segments appear once per holding rank.
 // The write-consolidation path uses it to enforce exclusive writes.
 func (m *Manager) Owners(id ItemID, r dataitem.Region) ([]Located, error) {
+	m.locates.Inc()
+	sp := m.loc.Tracer().Begin("dim.locate", "owners", 0)
+	sp.SetTask(uint64(id))
+	out, err := m.owners(id, r)
+	sp.SetErr(err)
+	sp.End()
+	return out, err
+}
+
+func (m *Manager) owners(id ItemID, r dataitem.Region) ([]Located, error) {
 	root := rootLevel(m.size())
 	if m.Rank() == 0 {
 		return m.resolveAll(id, r, root)
@@ -656,6 +673,25 @@ func (m *Manager) waitLocked(deadline time.Time) error {
 // are still executed correctly, but keep stealing the overlap from
 // each other while racing for the lock.
 func (m *Manager) Acquire(token uint64, reqs []Requirement) error {
+	return m.AcquireFor(token, reqs, 0)
+}
+
+// AcquireFor is Acquire with an explicit parent span (the acquiring
+// task's exec span), emitting a dim.acquire span and feeding the
+// acquire-wait histogram with the stage-to-grant latency.
+func (m *Manager) AcquireFor(token uint64, reqs []Requirement, parent trace.SpanID) error {
+	m.acquires.Inc()
+	sp := m.loc.Tracer().Begin("dim.acquire", "", parent)
+	sp.SetTask(token)
+	start := time.Now()
+	err := m.acquire(token, reqs)
+	m.acquireWait.Observe(time.Since(start))
+	sp.SetErr(err)
+	sp.End()
+	return err
+}
+
+func (m *Manager) acquire(token uint64, reqs []Requirement) error {
 	sorted := append([]Requirement(nil), reqs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Item < sorted[j].Item })
 

@@ -1,0 +1,140 @@
+package metrics_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"allscale/internal/metrics"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.Counter("a")
+	if c != r.Counter("a") {
+		t.Fatal("Counter not stable across lookups")
+	}
+	c.Inc()
+	c.Add(2)
+	if got := r.CounterValue("a"); got != 3 {
+		t.Fatalf("CounterValue = %d, want 3", got)
+	}
+	if got := r.CounterValue("never-registered"); got != 0 {
+		t.Fatalf("unregistered CounterValue = %d, want 0", got)
+	}
+	h := r.Histogram("h")
+	if h != r.Histogram("h") {
+		t.Fatal("Histogram not stable across lookups")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h metrics.Histogram
+	h.Observe(0)                     // bucket 0
+	h.Observe(500 * time.Nanosecond) // bucket 0
+	h.Observe(time.Microsecond)      // bucket 1
+	h.Observe(3 * time.Microsecond)  // bucket 2
+	h.Observe(time.Hour)             // clamped to the catch-all bucket
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[1] != 1 || s.Buckets[2] != 1 {
+		t.Fatalf("low buckets = %v", s.Buckets[:3])
+	}
+	if s.Buckets[metrics.NumBuckets-1] != 1 {
+		t.Fatal("hour observation missed the catch-all bucket")
+	}
+	if q := s.Quantile(0.5); q <= 0 {
+		t.Fatalf("median bound = %v", q)
+	}
+	if m := s.Mean(); m <= 0 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+// TestHistogramNoTornSnapshots hammers one histogram from many
+// goroutines while snapshotting concurrently: because Observe writes
+// the bucket before the count and Snapshot reads the count first, a
+// snapshot's bucket sum may run ahead of its count but never behind.
+func TestHistogramNoTornSnapshots(t *testing.T) {
+	var h metrics.Histogram
+	const goroutines = 8
+	const perG = 5000
+
+	var snapWG, obsWG sync.WaitGroup
+	stop := make(chan struct{})
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var sum uint64
+			for _, b := range s.Buckets {
+				sum += b
+			}
+			if sum < s.Count {
+				t.Errorf("torn snapshot: bucket sum %d < count %d", sum, s.Count)
+				return
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		obsWG.Add(1)
+		go func(g int) {
+			defer obsWG.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(i%2000) * time.Microsecond)
+			}
+		}(g)
+	}
+	obsWG.Wait() // snapshotter races the observers until they finish
+	close(stop)
+	snapWG.Wait()
+
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("final count %d, want %d", s.Count, goroutines*perG)
+	}
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Fatalf("quiesced bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := metrics.NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared"] != 8*2000 {
+		t.Fatalf("shared counter = %d, want %d", s.Counters["shared"], 8*2000)
+	}
+	if s.Histograms["lat"].Count != 8*2000 {
+		t.Fatalf("histogram count = %d, want %d", s.Histograms["lat"].Count, 8*2000)
+	}
+	if s.String() == "" {
+		t.Fatal("snapshot renders empty")
+	}
+}

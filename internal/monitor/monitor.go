@@ -16,6 +16,8 @@ import (
 
 	"allscale/internal/core"
 	"allscale/internal/dim"
+	"allscale/internal/sched"
+	"allscale/internal/transport"
 )
 
 // Sample is one observation of one locality.
@@ -99,18 +101,20 @@ func (m *Monitor) SampleNow() {
 	for rank := 0; rank < m.sys.Size(); rank++ {
 		sc := m.sys.Scheduler(rank)
 		mgr := m.sys.Manager(rank)
-		st := sc.Stats()
-		net := m.sys.Locality(rank).Stats()
+		// All counters come from the locality's metrics registry — the
+		// same registry the transport endpoint, scheduler and RPC layer
+		// publish into — rather than per-package snapshot structs.
+		reg := m.sys.Metrics(rank)
 		s := Sample{
 			When:          now,
 			Rank:          rank,
 			Load:          sc.Load(),
-			Spawned:       st.Spawned,
-			Executed:      st.Executed,
-			MsgsSent:      net.MsgsSent,
-			Reconnects:    net.Reconnects,
-			SendErrors:    net.SendErrors,
-			DroppedFrames: net.DroppedFrames,
+			Spawned:       reg.CounterValue(sched.MetricSpawned),
+			Executed:      reg.CounterValue(sched.MetricExecuted),
+			MsgsSent:      reg.CounterValue(transport.MetricMsgsSent),
+			Reconnects:    reg.CounterValue(transport.MetricReconnects),
+			SendErrors:    reg.CounterValue(transport.MetricSendErrors),
+			DroppedFrames: reg.CounterValue(transport.MetricDroppedFrames),
 			Coverage:      make(map[dim.ItemID]int64),
 		}
 		for _, id := range mgr.Items() {
@@ -131,8 +135,21 @@ func (m *Monitor) SampleNow() {
 	}
 }
 
+// copySample returns a deep copy of s: the Coverage map is cloned so
+// callers mutating a returned Sample cannot corrupt the history ring.
+func copySample(s Sample) Sample {
+	cov := make(map[dim.ItemID]int64, len(s.Coverage))
+	for k, v := range s.Coverage {
+		cov[k] = v
+	}
+	s.Coverage = cov
+	return s
+}
+
 // Latest returns the most recent sample of every locality, in rank
 // order; the second result is false before the first sampling round.
+// The samples are deep copies — mutating them does not affect the
+// retained history.
 func (m *Monitor) Latest() ([]Sample, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -141,17 +158,21 @@ func (m *Monitor) Latest() ([]Sample, bool) {
 		if len(h) == 0 {
 			return nil, false
 		}
-		out = append(out, h[len(h)-1])
+		out = append(out, copySample(h[len(h)-1]))
 	}
 	return out, true
 }
 
 // History returns the retained samples of one locality, oldest first.
+// The samples are deep copies — mutating them does not affect the
+// retained history.
 func (m *Monitor) History(rank int) []Sample {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]Sample, len(m.history[rank]))
-	copy(out, m.history[rank])
+	for i, s := range m.history[rank] {
+		out[i] = copySample(s)
+	}
 	return out
 }
 

@@ -144,3 +144,83 @@ func TestMonitorSamplesTransportCounters(t *testing.T) {
 		t.Fatalf("healthy in-process fabric reported %d failures", errs)
 	}
 }
+
+// TestSampleMutationDoesNotCorruptHistory pins the deep-copy contract
+// of Latest/History: Coverage maps handed out are clones, so a caller
+// scribbling on a returned Sample must not alter the retained ring.
+func TestSampleMutationDoesNotCorruptHistory(t *testing.T) {
+	sys, grid := buildSystem(t)
+	mon := Start(sys, time.Hour, 8) // sample only on demand
+	defer mon.Stop()
+
+	if err := sys.PFor("mon.init", region.Point{0, 0}, region.Point{64, 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mon.SampleNow()
+
+	latest, ok := mon.Latest()
+	if !ok {
+		t.Fatal("no samples")
+	}
+	item := grid.Item()
+	orig := make([]int64, len(latest))
+	for i, s := range latest {
+		orig[i] = s.Coverage[item]
+	}
+
+	// Vandalize every returned sample.
+	for i := range latest {
+		latest[i].Coverage[item] = -999
+		latest[i].Coverage[dim.MakeItemID(99, 99)] = 1
+	}
+	for rank := 0; rank < sys.Size(); rank++ {
+		h := mon.History(rank)
+		h[len(h)-1].Coverage[item] = -888
+	}
+
+	// The history must still hold the original values.
+	again, _ := mon.Latest()
+	for i, s := range again {
+		if s.Coverage[item] != orig[i] {
+			t.Fatalf("rank %d: history coverage corrupted: %d != %d", i, s.Coverage[item], orig[i])
+		}
+		if _, leaked := s.Coverage[dim.MakeItemID(99, 99)]; leaked {
+			t.Fatalf("rank %d: injected key leaked into history", i)
+		}
+	}
+	for rank := 0; rank < sys.Size(); rank++ {
+		h := mon.History(rank)
+		if got := h[len(h)-1].Coverage[item]; got != orig[rank] {
+			t.Fatalf("rank %d: History coverage corrupted: %d != %d", rank, got, orig[rank])
+		}
+	}
+}
+
+// TestSampleReadsRegistry pins the counter migration: Sample fields
+// must equal the locality registry's values, which in turn back the
+// legacy Stats() snapshots.
+func TestSampleReadsRegistry(t *testing.T) {
+	sys, _ := buildSystem(t)
+	mon := Start(sys, time.Hour, 8)
+	defer mon.Stop()
+	if err := sys.PFor("mon.init", region.Point{0, 0}, region.Point{64, 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	mon.SampleNow()
+	latest, ok := mon.Latest()
+	if !ok {
+		t.Fatal("no samples")
+	}
+	for rank, s := range latest {
+		st := sys.Scheduler(rank).Stats()
+		net := sys.Locality(rank).Stats()
+		if s.Spawned != st.Spawned || s.Executed != st.Executed {
+			t.Fatalf("rank %d: sample (%d,%d) != sched.Stats (%d,%d)",
+				rank, s.Spawned, s.Executed, st.Spawned, st.Executed)
+		}
+		if s.MsgsSent > net.MsgsSent {
+			t.Fatalf("rank %d: sampled MsgsSent %d exceeds current transport count %d",
+				rank, s.MsgsSent, net.MsgsSent)
+		}
+	}
+}

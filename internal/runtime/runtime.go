@@ -13,7 +13,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"allscale/internal/metrics"
+	"allscale/internal/trace"
 	"allscale/internal/transport"
 )
 
@@ -34,6 +37,9 @@ type rpcRequest struct {
 	ID     uint64
 	Method string
 	Body   []byte
+	// Span carries the caller's rpc.call span ID so the serving rank
+	// can parent its rpc.serve span across the wire (0 = untraced).
+	Span uint64
 }
 
 type rpcResponse struct {
@@ -52,12 +58,38 @@ type oneWayMsg struct {
 // callers distinguish it from application errors via errors.Is.
 var ErrPeerFailed = errors.New("runtime: peer failed")
 
+// Registry names under which the RPC layer publishes its metrics.
+const (
+	MetricRPCCalls     = "rpc.calls"
+	MetricRPCErrors    = "rpc.errors"
+	MetricRPCRoundtrip = "rpc.roundtrip"
+)
+
 // pendingCall is one outstanding RPC: the future its response (or
 // failure) resolves, plus the destination rank so a peer-failure
 // notification can fail exactly the calls targeting the dead rank.
+// The rpc.call span and start time ride along so the resolver — the
+// response dispatch or a failure path — can close the span and feed
+// the round-trip histogram.
 type pendingCall struct {
-	dst int
-	fut *Future
+	dst   int
+	fut   *Future
+	sp    *trace.Span
+	start time.Time
+}
+
+// resolve finishes the call's instrumentation and fulfills its
+// future. The span is ended before the fulfill so that a waiter
+// unblocked by the call's completion observes the span as archived
+// ("no span leaks" holds at quiescence).
+func (l *Locality) resolve(pc *pendingCall, body []byte, err error) {
+	if err != nil {
+		l.rpcErrors.Inc()
+		pc.sp.SetErr(err)
+	}
+	pc.sp.End()
+	l.rpcRT.Observe(time.Since(pc.start))
+	pc.fut.fulfill(body, err)
 }
 
 // Locality is one runtime process: the unit that owns an address
@@ -75,6 +107,15 @@ type Locality struct {
 	nextPromise atomic.Uint64
 	promises    sync.Map // promise id -> *Future
 
+	// reg is the locality-wide metrics registry: the endpoint, the RPC
+	// layer, the scheduler and the data item manager all publish into
+	// it, making it the one source of truth monitor/resilience read.
+	reg       *metrics.Registry
+	rpcCalls  *metrics.Counter
+	rpcErrors *metrics.Counter
+	rpcRT     *metrics.Histogram
+	tracer    atomic.Pointer[trace.Tracer]
+
 	closed atomic.Bool
 }
 
@@ -82,15 +123,31 @@ type Locality struct {
 // methods before traffic starts (for the in-process fabric: before
 // Fabric.Start).
 func NewLocality(ep transport.Endpoint) *Locality {
+	reg := metrics.NewRegistry()
 	l := &Locality{
-		ep:      ep,
-		methods: make(map[string]Method),
-		oneWays: make(map[string]OneWay),
+		ep:        ep,
+		methods:   make(map[string]Method),
+		oneWays:   make(map[string]OneWay),
+		reg:       reg,
+		rpcCalls:  reg.Counter(MetricRPCCalls),
+		rpcErrors: reg.Counter(MetricRPCErrors),
+		rpcRT:     reg.Histogram(MetricRPCRoundtrip),
 	}
+	ep.SetMetrics(reg)
 	ep.SetHandler(l.dispatch)
 	ep.SetFailureHandler(l.peerFailure)
 	return l
 }
+
+// Metrics returns the locality-wide metrics registry.
+func (l *Locality) Metrics() *metrics.Registry { return l.reg }
+
+// SetTracer attaches a tracer (nil disables tracing). Install it
+// before traffic starts so every span lands in one tracer.
+func (l *Locality) SetTracer(t *trace.Tracer) { l.tracer.Store(t) }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (l *Locality) Tracer() *trace.Tracer { return l.tracer.Load() }
 
 // peerFailure runs on a transport goroutine when the fabric reports
 // the link to a peer as broken: every outstanding call targeting that
@@ -110,7 +167,7 @@ func (l *Locality) failCalls(match func(dst int) bool, err error) {
 		pc := v.(*pendingCall)
 		if match(pc.dst) {
 			if _, ok := l.calls.LoadAndDelete(k); ok {
-				pc.fut.fulfill(nil, err)
+				l.resolve(pc, nil, err)
 			}
 		}
 		return true
@@ -164,7 +221,7 @@ func (l *Locality) dispatch(msg transport.Message) {
 			if rsp.Err != "" {
 				err = errors.New(rsp.Err)
 			}
-			pc.fut.fulfill(rsp.Body, err)
+			l.resolve(pc, rsp.Body, err)
 		}
 	case kindOneWay:
 		go l.serveOneWay(msg)
@@ -179,6 +236,10 @@ func (l *Locality) serveRequest(msg transport.Message) {
 	l.mu.RLock()
 	m := l.methods[req.Method]
 	l.mu.RUnlock()
+	// The serve span parents on the caller's rpc.call span ID from the
+	// wire envelope, stitching the cross-rank causality edge. It ends
+	// before the response is sent so the caller never outruns it.
+	sp := l.Tracer().Begin("rpc.serve", req.Method, trace.SpanID(req.Span))
 	rsp := rpcResponse{ID: req.ID}
 	if m == nil {
 		rsp.Err = fmt.Sprintf("runtime: no method %q at rank %d", req.Method, l.Rank())
@@ -189,6 +250,10 @@ func (l *Locality) serveRequest(msg transport.Message) {
 			rsp.Err = err.Error()
 		}
 	}
+	if rsp.Err != "" {
+		sp.SetErr(errors.New(rsp.Err))
+	}
+	sp.End()
 	payload, err := encode(&rsp)
 	if err != nil {
 		return
@@ -218,6 +283,7 @@ func (l *Locality) serveOneWay(msg transport.Message) {
 // encoding, keeping local and remote semantics identical.
 func (l *Locality) CallAsync(dst int, method string, args any) *Future {
 	fut := newFuture()
+	l.rpcCalls.Inc()
 	body, err := encode(args)
 	if err != nil {
 		fut.fulfill(nil, fmt.Errorf("runtime: encode args of %q: %w", method, err))
@@ -228,26 +294,32 @@ func (l *Locality) CallAsync(dst int, method string, args any) *Future {
 		m := l.methods[method]
 		l.mu.RUnlock()
 		if m == nil {
+			l.rpcErrors.Inc()
 			fut.fulfill(nil, fmt.Errorf("runtime: no method %q at rank %d", method, dst))
 			return fut
 		}
+		pc := &pendingCall{dst: dst, fut: fut,
+			sp: l.Tracer().Begin("rpc.call", method, 0), start: time.Now()}
 		go func() {
 			rsp, err := m(l.Rank(), body)
-			fut.fulfill(rsp, err)
+			l.resolve(pc, rsp, err)
 		}()
 		return fut
 	}
 	id := l.nextCall.Add(1)
-	l.calls.Store(id, &pendingCall{dst: dst, fut: fut})
-	payload, err := encode(&rpcRequest{ID: id, Method: method, Body: body})
+	pc := &pendingCall{dst: dst, fut: fut,
+		sp: l.Tracer().Begin("rpc.call", method, 0), start: time.Now()}
+	l.calls.Store(id, pc)
+	payload, err := encode(&rpcRequest{ID: id, Method: method, Body: body, Span: uint64(pc.sp.SpanID())})
 	if err != nil {
 		l.calls.Delete(id)
-		fut.fulfill(nil, err)
+		l.resolve(pc, nil, err)
 		return fut
 	}
 	if err := l.ep.Send(dst, kindRequest, payload); err != nil {
-		l.calls.Delete(id)
-		fut.fulfill(nil, err)
+		if _, ok := l.calls.LoadAndDelete(id); ok {
+			l.resolve(pc, nil, err)
+		}
 	}
 	return fut
 }

@@ -1,0 +1,135 @@
+package runtime
+
+// Fault-path tracing/metrics coverage, extending the severed-socket
+// tests of fault_test.go: an RPC failed by a peer death must leave an
+// error-tagged rpc.call span, and the migrated transport counters in
+// the locality registry must agree with the legacy transport.Stats
+// snapshot (both now read the same registry — this is the regression
+// guard for the counter migration).
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"allscale/internal/trace"
+	"allscale/internal/transport"
+)
+
+func TestPeerFailureEmitsErrorSpan(t *testing.T) {
+	locs, eps := newTCPLocalities(t, 2)
+	tr := trace.New(0, 1024)
+	locs[0].SetTracer(tr)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	locs[1].Handle("block", func(from int, body []byte) ([]byte, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+
+	fut := locs[0].CallAsync(1, "block", struct{}{})
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never reached the server")
+	}
+	eps[1].Close() // sever the server mid-RPC
+
+	if err := waitErr(t, fut, 5*time.Second); !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("error = %v, want ErrPeerFailed", err)
+	}
+
+	// A second call to the dead peer exhausts the redial budget,
+	// exercising the send-error path as well.
+	if err := waitErr(t, locs[0].CallAsync(1, "block", struct{}{}), 5*time.Second); err == nil {
+		t.Fatal("call to dead peer succeeded")
+	}
+
+	tr.Stop()
+	var calls, tagged int
+	for _, sp := range tr.Snapshot() {
+		if sp.Name != "rpc.call" {
+			continue
+		}
+		calls++
+		if sp.Err != "" {
+			tagged++
+		}
+	}
+	if calls < 2 {
+		t.Fatalf("recorded %d rpc.call spans, want >= 2", calls)
+	}
+	if tagged < 2 {
+		t.Fatalf("only %d rpc.call spans carry an error tag, want >= 2", tagged)
+	}
+	if n := tr.Active(); n != 0 {
+		t.Fatalf("%d spans still active after the failed calls resolved", n)
+	}
+	if locs[0].Metrics().CounterValue(MetricRPCErrors) < 2 {
+		t.Fatal("rpc.errors counter missed the failed calls")
+	}
+}
+
+func TestRegistryCountersMatchTransportStats(t *testing.T) {
+	locs, eps := newTCPLocalities(t, 2)
+	locs[1].Handle("echo", func(from int, body []byte) ([]byte, error) { return body, nil })
+
+	// Healthy traffic first.
+	for i := 0; i < 3; i++ {
+		if err := locs[0].Call(1, "echo", i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Then a severed peer, to populate the failure counters. Whether a
+	// single call surfaces a Send error is timing-dependent (a frame
+	// queued on the dying connection can be failed by the link-death
+	// callback before its flush fails), so keep calling until the
+	// transport has counted one.
+	eps[1].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for eps[0].Stats().SendErrors == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("send errors against a dead peer were never counted")
+		}
+		_ = waitErr(t, locs[0].CallAsync(1, "echo", 9), 5*time.Second)
+	}
+
+	// Transport goroutines (flusher, redialer) may still be counting;
+	// compare only once two consecutive snapshots agree.
+	st := eps[0].Stats()
+	for {
+		time.Sleep(50 * time.Millisecond)
+		next := eps[0].Stats()
+		if next == st {
+			break
+		}
+		st = next
+		if !time.Now().Before(deadline) {
+			t.Fatal("transport counters never stabilized")
+		}
+	}
+	reg := locs[0].Metrics()
+	pairs := []struct {
+		name string
+		want uint64
+	}{
+		{transport.MetricMsgsSent, st.MsgsSent},
+		{transport.MetricBytesSent, st.BytesSent},
+		{transport.MetricMsgsReceived, st.MsgsReceived},
+		{transport.MetricBytesReceived, st.BytesReceived},
+		{transport.MetricReconnects, st.Reconnects},
+		{transport.MetricSendErrors, st.SendErrors},
+		{transport.MetricDroppedFrames, st.DroppedFrames},
+	}
+	for _, p := range pairs {
+		if got := reg.CounterValue(p.name); got != p.want {
+			t.Errorf("registry %s = %d, transport.Stats says %d", p.name, got, p.want)
+		}
+	}
+	if st.MsgsSent == 0 {
+		t.Error("no traffic recorded at all")
+	}
+}

@@ -14,11 +14,14 @@ func encode(v any) ([]byte, error) { return wire.Encode(v) }
 
 func decode(data []byte, v any) error { return wire.Decode(data, v) }
 
-// AppendWire implements wire.Marshaler.
+// AppendWire implements wire.Marshaler. Span travels last: an
+// untraced call writes a single zero byte, keeping the envelope
+// overhead of disabled tracing to one byte per request.
 func (r *rpcRequest) AppendWire(buf []byte) ([]byte, error) {
 	buf = wire.AppendUvarint(buf, r.ID)
 	buf = wire.AppendString(buf, r.Method)
-	return wire.AppendBytes(buf, r.Body), nil
+	buf = wire.AppendBytes(buf, r.Body)
+	return wire.AppendUvarint(buf, r.Span), nil
 }
 
 // UnmarshalWire implements wire.Unmarshaler. Body aliases the input
@@ -27,6 +30,7 @@ func (r *rpcRequest) UnmarshalWire(d *wire.Decoder) error {
 	r.ID = d.Uvarint()
 	r.Method = d.String()
 	r.Body = d.Bytes()
+	r.Span = d.Uvarint()
 	return nil
 }
 

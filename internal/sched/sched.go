@@ -19,10 +19,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"allscale/internal/dataitem"
 	"allscale/internal/dim"
+	"allscale/internal/metrics"
 	"allscale/internal/runtime"
+	"allscale/internal/trace"
 	"allscale/internal/wire"
 )
 
@@ -58,6 +61,10 @@ type TaskSpec struct {
 	PathLen int
 	Origin  int
 	Promise runtime.PromiseID
+	// Span is the task.schedule span that placed this task; the
+	// executing rank parents its task.exec/task.split span on it, so
+	// the causal chain survives remote placement (0 = untraced).
+	Span uint64
 }
 
 // Kind is one registered task type with its variants.
@@ -95,6 +102,22 @@ type Policy interface {
 	PickTarget(spec *TaskSpec, size int) int
 }
 
+// Registry names under which the scheduler publishes its metrics.
+const (
+	MetricSpawned       = "sched.spawned"
+	MetricExecuted      = "sched.executed"
+	MetricSplits        = "sched.splits"
+	MetricLocalPlaced   = "sched.local_placed"
+	MetricRemotePlaced  = "sched.remote_placed"
+	MetricCoveredAll    = "sched.covered_all"
+	MetricCoveredWrite  = "sched.covered_write"
+	MetricPolicyPlaced  = "sched.policy_placed"
+	MetricStealAttempts = "sched.steal_attempts"
+	MetricSteals        = "sched.steals"
+	MetricStolenFrom    = "sched.stolen_from"
+	MetricTaskExec      = "sched.task_exec"
+)
+
 // Stats aggregates per-locality scheduling counters.
 type Stats struct {
 	Spawned      uint64 // tasks spawned at this locality
@@ -124,11 +147,15 @@ type Scheduler struct {
 	// by EnableQueue (see steal.go).
 	queue *queueState
 
+	// stats are counters cached from the locality registry, which is
+	// the single source of truth read by monitor and tests.
 	stats struct {
-		spawned, executed, splits           atomic.Uint64
-		localPlaced, remotePlaced           atomic.Uint64
-		coveredAll, coveredWrite, polPlaced atomic.Uint64
+		spawned, executed, splits           *metrics.Counter
+		localPlaced, remotePlaced           *metrics.Counter
+		coveredAll, coveredWrite, polPlaced *metrics.Counter
+		stealAttempts, stolen, stolenFrom   *metrics.Counter
 	}
+	execHist *metrics.Histogram
 }
 
 const methodRun = "sched.run"
@@ -142,6 +169,19 @@ type runArgs struct {
 // (identically everywhere) before tasks are spawned.
 func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 	s := &Scheduler{loc: loc, mgr: mgr, policy: policy, kinds: make(map[string]*Kind)}
+	reg := loc.Metrics()
+	s.stats.spawned = reg.Counter(MetricSpawned)
+	s.stats.executed = reg.Counter(MetricExecuted)
+	s.stats.splits = reg.Counter(MetricSplits)
+	s.stats.localPlaced = reg.Counter(MetricLocalPlaced)
+	s.stats.remotePlaced = reg.Counter(MetricRemotePlaced)
+	s.stats.coveredAll = reg.Counter(MetricCoveredAll)
+	s.stats.coveredWrite = reg.Counter(MetricCoveredWrite)
+	s.stats.polPlaced = reg.Counter(MetricPolicyPlaced)
+	s.stats.stealAttempts = reg.Counter(MetricStealAttempts)
+	s.stats.stolen = reg.Counter(MetricSteals)
+	s.stats.stolenFrom = reg.Counter(MetricStolenFrom)
+	s.execHist = reg.Histogram(MetricTaskExec)
 	if lb, ok := policy.(loadBinder); ok {
 		lb.BindLoad(s.Load)
 	}
@@ -190,14 +230,14 @@ func (s *Scheduler) Manager() *dim.Manager { return s.mgr }
 // Stats returns a snapshot of the scheduling counters.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Spawned:      s.stats.spawned.Load(),
-		Executed:     s.stats.executed.Load(),
-		Splits:       s.stats.splits.Load(),
-		LocalPlaced:  s.stats.localPlaced.Load(),
-		RemotePlaced: s.stats.remotePlaced.Load(),
-		CoveredAll:   s.stats.coveredAll.Load(),
-		CoveredWrite: s.stats.coveredWrite.Load(),
-		PolicyPlaced: s.stats.polPlaced.Load(),
+		Spawned:      s.stats.spawned.Value(),
+		Executed:     s.stats.executed.Value(),
+		Splits:       s.stats.splits.Value(),
+		LocalPlaced:  s.stats.localPlaced.Value(),
+		RemotePlaced: s.stats.remotePlaced.Value(),
+		CoveredAll:   s.stats.coveredAll.Value(),
+		CoveredWrite: s.stats.coveredWrite.Value(),
+		PolicyPlaced: s.stats.polPlaced.Value(),
 	}
 }
 
@@ -207,11 +247,14 @@ func (s *Scheduler) Load() int64 { return s.queued.Load() + s.running.Load() }
 // Spawn schedules a new root task of the given kind ((spawn)
 // transition) and returns the future of its result.
 func (s *Scheduler) Spawn(kind string, args any) (*runtime.Future, error) {
-	return s.spawnAt(kind, args, 0, 0, 0)
+	return s.spawnAt(kind, args, 0, 0, 0, 0)
 }
 
 // spawnAt schedules a task at a given position of the spawn tree.
-func (s *Scheduler) spawnAt(kind string, args any, depth int, path uint64, pathLen int) (*runtime.Future, error) {
+// parent is the span of the spawning context (the enclosing task's
+// exec/split span, or 0 for root spawns), rooting the task's
+// spawn→schedule→exec span chain in its creator.
+func (s *Scheduler) spawnAt(kind string, args any, depth int, path uint64, pathLen int, parent trace.SpanID) (*runtime.Future, error) {
 	body, err := encodeWire(args)
 	if err != nil {
 		return nil, fmt.Errorf("sched: encode args of %q: %w", kind, err)
@@ -227,8 +270,18 @@ func (s *Scheduler) spawnAt(kind string, args any, depth int, path uint64, pathL
 		Origin:  s.loc.Rank(),
 		Promise: pid,
 	}
-	s.stats.spawned.Add(1)
-	if err := s.assign(spec); err != nil {
+	s.stats.spawned.Inc()
+	tr := s.loc.Tracer()
+	spawnSp := tr.Begin("task.spawn", kind, parent)
+	spawnSp.SetTask(spec.ID)
+	schedSp := tr.Begin("task.schedule", kind, spawnSp.SpanID())
+	schedSp.SetTask(spec.ID)
+	spec.Span = uint64(schedSp.SpanID())
+	err = s.assign(spec)
+	schedSp.SetErr(err)
+	schedSp.End()
+	spawnSp.End()
+	if err != nil {
 		return nil, err
 	}
 	return fut, nil
@@ -250,23 +303,23 @@ func (s *Scheduler) assign(spec *TaskSpec) error {
 		reqs := k.Reqs(spec.Args)
 		if rank := s.coveringRank(reqs, false); rank >= 0 { // line 4
 			target = rank
-			s.stats.coveredAll.Add(1)
+			s.stats.coveredAll.Inc()
 		} else if rank := s.coveringRank(reqs, true); rank >= 0 { // line 7
 			target = rank
-			s.stats.coveredWrite.Add(1)
+			s.stats.coveredWrite.Inc()
 		}
 	}
 	if target < 0 {
 		target = s.policy.PickTarget(spec, s.loc.Size()) // line 12
-		s.stats.polPlaced.Add(1)
+		s.stats.polPlaced.Inc()
 	}
 
 	if target == s.loc.Rank() {
-		s.stats.localPlaced.Add(1)
+		s.stats.localPlaced.Inc()
 		go s.execute(spec, variant)
 		return nil
 	}
-	s.stats.remotePlaced.Add(1)
+	s.stats.remotePlaced.Inc()
 	return s.loc.Send(target, methodRun, &runArgs{Spec: *spec, Variant: variant})
 }
 
@@ -348,43 +401,60 @@ func (s *Scheduler) execute(spec *TaskSpec, variant Variant) {
 }
 
 // executeNow runs one variant immediately on the calling goroutine.
+// The exec span ends (and the exec-latency histogram is fed) before
+// the task promise is fulfilled, so a waiter unblocked by the result
+// observes the span as archived.
 func (s *Scheduler) executeNow(spec *TaskSpec, variant Variant) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
-	s.stats.executed.Add(1)
+	s.stats.executed.Inc()
 
+	name := "task.exec"
+	if variant == VariantSplit {
+		name = "task.split"
+	}
+	sp := s.loc.Tracer().Begin(name, spec.Kind, trace.SpanID(spec.Span))
+	sp.SetTask(spec.ID)
+	start := time.Now()
+	result, err := s.runVariant(spec, variant, sp.SpanID())
+	sp.SetErr(err)
+	sp.End()
+	s.execHist.Observe(time.Since(start))
+	s.loc.FulfillRemote(spec.Promise, result, err)
+}
+
+// runVariant executes the variant body, acquiring process-variant
+// data requirements around it. span is the surrounding exec span, to
+// which the acquire span and child spawns attach.
+func (s *Scheduler) runVariant(spec *TaskSpec, variant Variant, span trace.SpanID) (any, error) {
 	k, err := s.kind(spec.Kind)
 	if err != nil {
-		s.loc.FulfillRemote(spec.Promise, nil, err)
-		return
+		return nil, err
 	}
-	ctx := &Ctx{sched: s, spec: spec}
-	var result any
-	switch variant {
-	case VariantSplit:
-		s.stats.splits.Add(1)
-		result, err = k.Split(ctx)
-	default:
-		var reqs []dim.Requirement
-		if k.Reqs != nil {
-			reqs = k.Reqs(spec.Args)
-		}
-		if len(reqs) > 0 {
-			if err := s.mgr.Acquire(spec.ID, reqs); err != nil {
-				s.loc.FulfillRemote(spec.Promise, nil, err)
-				return
-			}
-			defer s.mgr.Release(spec.ID)
-		}
-		result, err = k.Process(ctx)
+	ctx := &Ctx{sched: s, spec: spec, span: span}
+	if variant == VariantSplit {
+		s.stats.splits.Inc()
+		return k.Split(ctx)
 	}
-	s.loc.FulfillRemote(spec.Promise, result, err)
+	var reqs []dim.Requirement
+	if k.Reqs != nil {
+		reqs = k.Reqs(spec.Args)
+	}
+	if len(reqs) > 0 {
+		if err := s.mgr.AcquireFor(spec.ID, reqs, span); err != nil {
+			return nil, err
+		}
+		defer s.mgr.Release(spec.ID)
+	}
+	return k.Process(ctx)
 }
 
 // Ctx is the execution context handed to variant bodies.
 type Ctx struct {
 	sched *Scheduler
 	spec  *TaskSpec
+	// span is the task's exec/split span; child spawns parent on it.
+	span trace.SpanID
 }
 
 // Rank returns the executing locality's rank.
@@ -405,7 +475,7 @@ func (c *Ctx) Depth() int { return c.spec.Depth }
 // is the (sync) transition.
 func (c *Ctx) Spawn(kind string, args any, branch uint64) (*runtime.Future, error) {
 	path := c.spec.Path<<1 | (branch & 1)
-	return c.sched.spawnAt(kind, args, c.spec.Depth+1, path, c.spec.PathLen+1)
+	return c.sched.spawnAt(kind, args, c.spec.Depth+1, path, c.spec.PathLen+1, c.span)
 }
 
 // encodeWire and decodeWire delegate to the shared wire codec: binary

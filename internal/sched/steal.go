@@ -3,7 +3,6 @@ package sched
 import (
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -35,11 +34,6 @@ type queueState struct {
 	workers int
 	stop    chan struct{}
 	wg      sync.WaitGroup
-	// stolen counts tasks this locality stole from peers; stolenFrom
-	// counts tasks peers took from here. Atomics so StealStats never
-	// contends with the hot queue lock.
-	stolen     atomic.Uint64
-	stolenFrom atomic.Uint64
 }
 
 // EnableQueue switches the scheduler from goroutine-per-task to a
@@ -60,7 +54,7 @@ func (s *Scheduler) EnableQueue(workers int) {
 		if !ok {
 			return encodeWire(&stealReply{})
 		}
-		q.stolenFrom.Add(1)
+		s.stats.stolenFrom.Inc()
 		return encodeWire(&stealReply{Found: true, Spec: spec})
 	})
 	for w := 0; w < workers; w++ {
@@ -84,7 +78,7 @@ func (s *Scheduler) StealStats() (uint64, uint64) {
 	if s.queue == nil {
 		return 0, 0
 	}
-	return s.queue.stolen.Load(), s.queue.stolenFrom.Load()
+	return s.stats.stolen.Value(), s.stats.stolenFrom.Value()
 }
 
 // enqueueLocal places a process-variant task into the local queue.
@@ -167,9 +161,10 @@ func (s *Scheduler) worker(seed int) {
 			if victim >= s.Rank() {
 				victim++
 			}
+			s.stats.stealAttempts.Inc()
 			var reply stealReply
 			if err := s.loc.Call(victim, methodSteal, struct{}{}, &reply); err == nil && reply.Found {
-				q.stolen.Add(1)
+				s.stats.stolen.Inc()
 				idle = 0
 				s.executeNow(&reply.Spec, VariantProcess)
 				continue

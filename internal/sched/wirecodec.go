@@ -17,7 +17,8 @@ func appendTaskSpec(buf []byte, s *TaskSpec) []byte {
 	buf = wire.AppendVarint(buf, int64(s.PathLen))
 	buf = wire.AppendVarint(buf, int64(s.Origin))
 	buf = wire.AppendVarint(buf, int64(s.Promise.Owner))
-	return wire.AppendUvarint(buf, s.Promise.Seq)
+	buf = wire.AppendUvarint(buf, s.Promise.Seq)
+	return wire.AppendUvarint(buf, s.Span)
 }
 
 func decodeTaskSpec(d *wire.Decoder, s *TaskSpec) {
@@ -30,6 +31,7 @@ func decodeTaskSpec(d *wire.Decoder, s *TaskSpec) {
 	s.Origin = d.Int()
 	s.Promise.Owner = d.Int()
 	s.Promise.Seq = d.Uvarint()
+	s.Span = d.Uvarint()
 }
 
 // AppendWire implements wire.Marshaler.

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array.
+// Timestamps and durations are microseconds; pid is the rank and tid
+// a synthetic lane so overlapping spans of one rank render on
+// separate rows in about:tracing / Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports the merged spans of the given tracers as a
+// Chrome trace_event JSON document ({"traceEvents": [...]}) loadable
+// in about:tracing or https://ui.perfetto.dev. Each rank becomes a
+// "process"; concurrent spans of one rank are spread over greedy
+// lanes ("threads") so nothing is hidden by overlap.
+func WriteChrome(w io.Writer, tracers ...*Tracer) error {
+	return writeChromeSpans(w, Merge(tracers...))
+}
+
+func writeChromeSpans(w io.Writer, spans []Span) error {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Rank != spans[j].Rank {
+			return spans[i].Rank < spans[j].Rank
+		}
+		return spans[i].Start < spans[j].Start
+	})
+
+	events := make([]chromeEvent, 0, len(spans)+8)
+	seenRank := map[int]bool{}
+	// laneEnds[rank] holds, per lane, the end time of the last span
+	// assigned to it; a span takes the first lane free at its start.
+	laneEnds := map[int][]int64{}
+
+	for i := range spans {
+		sp := &spans[i]
+		if !seenRank[sp.Rank] {
+			seenRank[sp.Rank] = true
+			events = append(events, chromeEvent{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  sp.Rank,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", sp.Rank)},
+			})
+		}
+		lanes := laneEnds[sp.Rank]
+		lane := -1
+		for l, end := range lanes {
+			if end <= sp.Start {
+				lane = l
+				break
+			}
+		}
+		end := sp.Start + sp.Dur
+		if lane < 0 {
+			lane = len(lanes)
+			laneEnds[sp.Rank] = append(lanes, end)
+		} else {
+			lanes[lane] = end
+		}
+
+		args := map[string]any{
+			"id": fmt.Sprintf("%#x", uint64(sp.ID)),
+		}
+		if sp.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%#x", uint64(sp.Parent))
+		}
+		if sp.Detail != "" {
+			args["detail"] = sp.Detail
+		}
+		if sp.Task != 0 {
+			args["task"] = fmt.Sprintf("%#x", sp.Task)
+		}
+		if sp.Err != "" {
+			args["error"] = sp.Err
+		}
+		dur := float64(sp.Dur) / 1e3
+		if dur <= 0 {
+			dur = 0.001 // minimum visible width
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start) / 1e3,
+			Dur:  dur,
+			Pid:  sp.Rank,
+			Tid:  lane,
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

@@ -1,0 +1,149 @@
+package trace_test
+
+// Concurrency tests (run under -race in CI): many goroutines emit
+// spans while an exporter snapshots, verifying bounded memory (the
+// ring never exceeds its capacity), no leaked active spans, and a
+// consistent drop count.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"allscale/internal/trace"
+)
+
+func TestTracerConcurrentEmitAndSnapshot(t *testing.T) {
+	const (
+		capacity   = 256
+		goroutines = 8
+		perG       = 2000
+	)
+	tr := trace.New(3, capacity)
+
+	var wg, snapWG sync.WaitGroup
+	stopSnaps := make(chan struct{})
+	snapWG.Add(1)
+	go func() { // the exporter: snapshot continuously while spans land
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stopSnaps:
+				return
+			default:
+			}
+			if got := len(tr.Snapshot()); got > capacity {
+				t.Errorf("snapshot holds %d spans, capacity %d — unbounded memory", got, capacity)
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var parent trace.SpanID
+			for i := 0; i < perG; i++ {
+				sp := tr.Begin("work", "", parent)
+				sp.SetTask(uint64(g)<<32 | uint64(i))
+				if i%7 == 0 {
+					sp.SetErr(errors.New("synthetic"))
+				}
+				parent = sp.SpanID()
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait() // emitters only; the snapshotter races them until they finish
+	close(stopSnaps)
+	snapWG.Wait()
+
+	if n := tr.Active(); n != 0 {
+		t.Fatalf("%d spans active after all emitters joined", n)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != capacity {
+		t.Fatalf("retained %d spans, want full ring of %d", len(spans), capacity)
+	}
+	const total = goroutines * perG
+	if d := tr.Dropped(); d != uint64(total-capacity) {
+		t.Fatalf("dropped = %d, want %d (total %d - capacity %d)", d, total-capacity, total, capacity)
+	}
+	seen := make(map[trace.SpanID]bool, len(spans))
+	for _, sp := range spans {
+		if sp.ID == 0 {
+			t.Fatal("archived span with zero ID")
+		}
+		if sp.Rank != 3 {
+			t.Fatalf("span rank %d, want 3", sp.Rank)
+		}
+		if seen[sp.ID] {
+			t.Fatalf("duplicate span ID %#x in ring", uint64(sp.ID))
+		}
+		seen[sp.ID] = true
+	}
+}
+
+func TestTracerStopBlocksNewSpans(t *testing.T) {
+	tr := trace.New(0, 16)
+	tr.Begin("before", "", 0).End()
+	tr.Stop()
+	if sp := tr.Begin("after", "", 0); sp != nil {
+		t.Fatal("Begin after Stop returned a live span")
+	}
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("retained %d spans, want 1", got)
+	}
+	if n := tr.Active(); n != 0 {
+		t.Fatalf("Active = %d after Stop", n)
+	}
+}
+
+func TestVerifyParentsDetectsMissingParent(t *testing.T) {
+	tr := trace.New(0, 16)
+	root := tr.Begin("root", "", 0)
+	child := tr.Begin("child", "", root.SpanID())
+	child.End()
+	root.End()
+	if err := trace.VerifyParents(tr.Snapshot()); err != nil {
+		t.Fatalf("well-formed set rejected: %v", err)
+	}
+	orphan := tr.Begin("orphan", "", trace.SpanID(0xdead)<<8|1)
+	orphan.End()
+	if err := trace.VerifyParents(tr.Snapshot()); err == nil {
+		t.Fatal("missing parent not detected")
+	}
+}
+
+func TestSpanIDEncodesRank(t *testing.T) {
+	for _, rank := range []int{0, 1, 7, 250} {
+		tr := trace.New(rank, 4)
+		sp := tr.Begin("x", "", 0)
+		id := sp.SpanID()
+		sp.End()
+		if id.Rank() != rank {
+			t.Fatalf("SpanID %#x decodes rank %d, want %d", uint64(id), id.Rank(), rank)
+		}
+	}
+	if r := trace.SpanID(0).Rank(); r != -1 {
+		t.Fatalf("zero SpanID decodes rank %d, want -1", r)
+	}
+}
+
+func BenchmarkSpanBeginEnd(b *testing.B) {
+	b.Run("enabled", func(b *testing.B) {
+		tr := trace.New(0, 1<<14)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Begin("bench", "detail", 0).End()
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var tr *trace.Tracer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Begin("bench", "detail", 0).End()
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"allscale/internal/metrics"
 )
 
 // Fabric is an in-process communication fabric hosting one endpoint
@@ -22,12 +24,14 @@ type Fabric struct {
 func NewFabric(n int) *Fabric {
 	f := &Fabric{}
 	for i := 0; i < n; i++ {
-		f.endpoints = append(f.endpoints, &inprocEndpoint{
+		ep := &inprocEndpoint{
 			fabric: f,
 			rank:   i,
 			inbox:  make(chan Message, 1024),
 			done:   make(chan struct{}),
-		})
+		}
+		ep.stats.Store(newCounters(nil))
+		f.endpoints = append(f.endpoints, ep)
 	}
 	return f
 }
@@ -68,7 +72,7 @@ type inprocEndpoint struct {
 	failure atomic.Pointer[FailureHandler]
 	done    chan struct{}
 	closed  sync.Once
-	stats   counters
+	stats   atomic.Pointer[counters]
 }
 
 var _ Endpoint = (*inprocEndpoint)(nil)
@@ -81,6 +85,8 @@ func (e *inprocEndpoint) SetHandler(h Handler) { e.handler.Store(&h) }
 
 func (e *inprocEndpoint) SetFailureHandler(h FailureHandler) { e.failure.Store(&h) }
 
+func (e *inprocEndpoint) SetMetrics(reg *metrics.Registry) { e.stats.Store(newCounters(reg)) }
+
 func (e *inprocEndpoint) Send(to int, kind string, payload []byte) error {
 	if err := checkRank(to, e.Size()); err != nil {
 		return err
@@ -89,10 +95,10 @@ func (e *inprocEndpoint) Send(to int, kind string, payload []byte) error {
 	msg := Message{From: e.rank, To: to, Kind: kind, Payload: payload}
 	select {
 	case dst.inbox <- msg:
-		e.stats.sent(len(payload))
+		e.stats.Load().sent(len(payload))
 		return nil
 	case <-dst.done:
-		e.stats.sendErrors.Add(1)
+		e.stats.Load().sendErrors.Inc()
 		err := fmt.Errorf("transport: endpoint %d closed", to)
 		if p := e.failure.Load(); p != nil && *p != nil {
 			(*p)(to, err)
@@ -103,7 +109,7 @@ func (e *inprocEndpoint) Send(to int, kind string, payload []byte) error {
 
 func (e *inprocEndpoint) deliver() {
 	handle := func(msg Message) {
-		e.stats.received(len(msg.Payload))
+		e.stats.Load().received(len(msg.Payload))
 		if p := e.handler.Load(); p != nil && *p != nil {
 			(*p)(msg)
 		}
@@ -126,7 +132,7 @@ func (e *inprocEndpoint) deliver() {
 	}
 }
 
-func (e *inprocEndpoint) Stats() Stats { return e.stats.snapshot() }
+func (e *inprocEndpoint) Stats() Stats { return e.stats.Load().snapshot() }
 
 func (e *inprocEndpoint) Close() error {
 	e.closed.Do(func() { close(e.done) })

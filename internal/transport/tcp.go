@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"allscale/internal/metrics"
 	"allscale/internal/wire"
 )
 
@@ -74,7 +75,7 @@ type TCPEndpoint struct {
 	listener net.Listener
 	handler  atomic.Pointer[Handler]
 	failure  atomic.Pointer[FailureHandler]
-	stats    counters
+	stats    atomic.Pointer[counters]
 
 	mu       sync.Mutex
 	addrs    []string
@@ -239,6 +240,7 @@ func NewTCPEndpointConfig(rank int, addrs []string, cfg TCPConfig) (*TCPEndpoint
 		incoming: make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
 	}
+	e.stats.Store(newCounters(nil))
 	e.wg.Add(1)
 	go e.accept()
 	return e, nil
@@ -267,6 +269,11 @@ func (e *TCPEndpoint) Size() int {
 func (e *TCPEndpoint) SetHandler(h Handler) { e.handler.Store(&h) }
 
 func (e *TCPEndpoint) SetFailureHandler(h FailureHandler) { e.failure.Store(&h) }
+
+// SetMetrics rebinds the traffic counters to reg. Call it before
+// traffic flows (the accept loop runs from construction, so frames
+// received before the rebind land in the private registry).
+func (e *TCPEndpoint) SetMetrics(reg *metrics.Registry) { e.stats.Store(newCounters(reg)) }
 
 func (e *TCPEndpoint) notifyFailure(peer int, err error) {
 	select {
@@ -332,7 +339,7 @@ func (e *TCPEndpoint) read(c net.Conn) {
 			return
 		}
 		if int(f) >= e.Size() {
-			e.stats.droppedFrames.Add(1)
+			e.stats.Load().droppedFrames.Inc()
 			readErr = fmt.Errorf("transport: frame with sender rank %d out of range", f)
 			return
 		}
@@ -342,7 +349,7 @@ func (e *TCPEndpoint) read(c net.Conn) {
 			return
 		}
 		if int64(klen) > int64(e.cfg.MaxFrame) {
-			e.stats.droppedFrames.Add(1)
+			e.stats.Load().droppedFrames.Inc()
 			readErr = fmt.Errorf("transport: frame kind length %d exceeds limit %d", klen, e.cfg.MaxFrame)
 			from = int(f)
 			return
@@ -358,7 +365,7 @@ func (e *TCPEndpoint) read(c net.Conn) {
 			return
 		}
 		if int64(plen) > int64(e.cfg.MaxFrame) {
-			e.stats.droppedFrames.Add(1)
+			e.stats.Load().droppedFrames.Inc()
 			readErr = fmt.Errorf("transport: frame payload length %d exceeds limit %d", plen, e.cfg.MaxFrame)
 			from = int(f)
 			return
@@ -369,7 +376,7 @@ func (e *TCPEndpoint) read(c net.Conn) {
 			return
 		}
 		from = int(f)
-		e.stats.received(len(payload))
+		e.stats.Load().received(len(payload))
 		if p := e.handler.Load(); p != nil && *p != nil {
 			(*p)(Message{From: int(f), To: e.rank, Kind: string(kind), Payload: payload})
 		}
@@ -430,7 +437,7 @@ func (e *TCPEndpoint) dial(to int) (*tcpConn, error) {
 	tc := newTCPConn(c)
 	e.conns[to] = tc
 	if e.dialed[to] {
-		e.stats.reconnects.Add(1)
+		e.stats.Load().reconnects.Inc()
 	}
 	e.dialed[to] = true
 	e.wg.Add(2)
@@ -500,22 +507,22 @@ func (e *TCPEndpoint) Send(to int, kind string, payload []byte) error {
 		var tc *tcpConn
 		tc, err = e.dial(to)
 		if err != nil {
-			e.stats.sendErrors.Add(1)
+			e.stats.Load().sendErrors.Inc()
 			return err
 		}
 		if err = tc.enqueue(buf); err == nil {
-			e.stats.sent(len(payload))
+			e.stats.Load().sent(len(payload))
 			return nil
 		}
 		if e.evict(to, tc) {
 			e.notifyFailure(to, err)
 		}
 	}
-	e.stats.sendErrors.Add(1)
+	e.stats.Load().sendErrors.Inc()
 	return fmt.Errorf("transport: send to rank %d: %w", to, err)
 }
 
-func (e *TCPEndpoint) Stats() Stats { return e.stats.snapshot() }
+func (e *TCPEndpoint) Stats() Stats { return e.stats.Load().snapshot() }
 
 func (e *TCPEndpoint) Close() error {
 	e.once.Do(func() {

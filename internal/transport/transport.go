@@ -9,7 +9,8 @@ package transport
 
 import (
 	"fmt"
-	"sync/atomic"
+
+	"allscale/internal/metrics"
 )
 
 // Message is the unit of communication between runtime processes.
@@ -54,6 +55,12 @@ type Endpoint interface {
 	// SetFailureHandler installs the peer-failure callback (may be
 	// nil to disable). See FailureHandler for the delivery contract.
 	SetFailureHandler(h FailureHandler)
+	// SetMetrics rebinds the endpoint's traffic counters to the given
+	// registry (under the Metric* names), making the registry the
+	// single source of truth for transport traffic. Like SetHandler it
+	// must be called before traffic flows; counts accumulated earlier
+	// stay in the endpoint's private registry.
+	SetMetrics(reg *metrics.Registry)
 	// Stats returns a snapshot of the endpoint's traffic counters.
 	Stats() Stats
 	// Close shuts the endpoint down; pending sends may be dropped.
@@ -80,32 +87,63 @@ type Stats struct {
 	DroppedFrames uint64
 }
 
-// counters is an atomically updated Stats backing store shared by the
-// fabric implementations.
+// Registry names under which endpoints publish their traffic
+// counters; monitor and tests read these instead of private fields.
+const (
+	MetricMsgsSent      = "transport.msgs_sent"
+	MetricBytesSent     = "transport.bytes_sent"
+	MetricMsgsReceived  = "transport.msgs_received"
+	MetricBytesReceived = "transport.bytes_received"
+	MetricReconnects    = "transport.reconnects"
+	MetricSendErrors    = "transport.send_errors"
+	MetricDroppedFrames = "transport.dropped_frames"
+)
+
+// counters is the Stats backing store shared by the fabric
+// implementations; each field is a counter registered in a
+// metrics.Registry, so the endpoint's traffic shows up in the same
+// registry the rest of the locality publishes to.
 type counters struct {
-	msgsSent, bytesSent, msgsRecv, bytesRecv atomic.Uint64
-	reconnects, sendErrors, droppedFrames    atomic.Uint64
+	msgsSent, bytesSent, msgsRecv, bytesRecv *metrics.Counter
+	reconnects, sendErrors, droppedFrames    *metrics.Counter
+}
+
+// newCounters binds a counters set to reg (a fresh private registry
+// when reg is nil).
+func newCounters(reg *metrics.Registry) *counters {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &counters{
+		msgsSent:      reg.Counter(MetricMsgsSent),
+		bytesSent:     reg.Counter(MetricBytesSent),
+		msgsRecv:      reg.Counter(MetricMsgsReceived),
+		bytesRecv:     reg.Counter(MetricBytesReceived),
+		reconnects:    reg.Counter(MetricReconnects),
+		sendErrors:    reg.Counter(MetricSendErrors),
+		droppedFrames: reg.Counter(MetricDroppedFrames),
+	}
 }
 
 func (c *counters) sent(n int) {
-	c.msgsSent.Add(1)
+	c.msgsSent.Inc()
 	c.bytesSent.Add(uint64(n))
 }
 
 func (c *counters) received(n int) {
-	c.msgsRecv.Add(1)
+	c.msgsRecv.Inc()
 	c.bytesRecv.Add(uint64(n))
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		MsgsSent:      c.msgsSent.Load(),
-		BytesSent:     c.bytesSent.Load(),
-		MsgsReceived:  c.msgsRecv.Load(),
-		BytesReceived: c.bytesRecv.Load(),
-		Reconnects:    c.reconnects.Load(),
-		SendErrors:    c.sendErrors.Load(),
-		DroppedFrames: c.droppedFrames.Load(),
+		MsgsSent:      c.msgsSent.Value(),
+		BytesSent:     c.bytesSent.Value(),
+		MsgsReceived:  c.msgsRecv.Value(),
+		BytesReceived: c.bytesRecv.Value(),
+		Reconnects:    c.reconnects.Value(),
+		SendErrors:    c.sendErrors.Value(),
+		DroppedFrames: c.droppedFrames.Value(),
 	}
 }
 
