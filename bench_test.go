@@ -9,6 +9,8 @@
 package allscale_test
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"allscale/internal/dataitem"
 	"allscale/internal/dim"
 	"allscale/internal/region"
+	"allscale/internal/resilience"
 	"allscale/internal/runtime"
 	"allscale/internal/sched"
 )
@@ -287,4 +290,78 @@ func BenchmarkStencil(b *testing.B) {
 	}
 	b.Run("trace-off", func(b *testing.B) { run(b, 0) })
 	b.Run("trace-on", func(b *testing.B) { run(b, 1<<16) })
+}
+
+// ---------------------------------------------------------------
+// Checkpoint codec: the framed binary checkpoint format (uvarint
+// records + CRC32) versus the legacy gob stream it replaced, on a
+// realistic multi-fragment capture.
+// ---------------------------------------------------------------
+
+func BenchmarkCheckpointCodec(b *testing.B) {
+	sys := core.NewSystem(core.Config{Localities: 4})
+	p := stencil.Params{N: 96, Steps: 2, C: 0.1, MinGrain: 512}
+	app := stencil.NewAllScale(sys, p)
+	sys.Start()
+	defer sys.Close()
+	if err := app.CreateItems(); err != nil {
+		b.Fatal(err)
+	}
+	if err := app.Init(); err != nil {
+		b.Fatal(err)
+	}
+	cp, err := resilience.Capture(sys, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("checkpoint: %d records, %d payload bytes", len(cp.Records), cp.Size())
+
+	b.Run("wire-encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if _, err := cp.WriteTo(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(buf.Len()))
+	})
+	b.Run("gob-encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(buf.Len()))
+	})
+
+	var wireBuf, gobBuf bytes.Buffer
+	if _, err := cp.WriteTo(&wireBuf); err != nil {
+		b.Fatal(err)
+	}
+	if err := gob.NewEncoder(&gobBuf).Encode(cp); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("wire-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(wireBuf.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := resilience.ReadCheckpoint(bytes.NewReader(wireBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(gobBuf.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, err := resilience.ReadCheckpoint(bytes.NewReader(gobBuf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

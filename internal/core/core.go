@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"allscale/internal/dataitem"
 	"allscale/internal/dim"
@@ -39,18 +40,48 @@ type Config struct {
 	// trace.DefaultCapacity for a sensible size); zero disables
 	// tracing entirely.
 	TraceCapacity int
+	// Endpoints, when non-nil, builds the system over caller-provided
+	// transport endpoints (typically TCP) instead of the in-process
+	// fabric; Localities is then ignored in favor of len(Endpoints).
+	Endpoints []transport.Endpoint
+	// Recovery parameterizes the crash-recovery service attached via
+	// SetRecovery (see the recovery package); zero values select the
+	// service's defaults.
+	Recovery RecoveryConfig
+}
+
+// RecoveryConfig tunes failure detection (see recovery.Options).
+type RecoveryConfig struct {
+	// Heartbeat is the liveness-probe interval.
+	Heartbeat time.Duration
+	// Timeout is the silence span after which a peer is suspected.
+	Timeout time.Duration
+}
+
+// RecoveryService is the contract between the system and the recovery
+// coordinator (implemented by the recovery package; an interface here
+// to avoid the dependency cycle core → recovery → core).
+type RecoveryService interface {
+	// ReportDeath marks a rank dead and recovers its workload.
+	ReportDeath(rank int)
+	// DeadRanks returns the ranks declared dead so far, in rank order.
+	DeadRanks() []int
+	// Stop terminates failure detection.
+	Stop()
 }
 
 // System is a running AllScale runtime instance hosting all
 // localities of a simulated cluster in one process.
 type System struct {
-	rsys    *runtime.System
-	regs    []*dataitem.Registry
-	mgrs    []*dim.Manager
-	scheds  []*sched.Scheduler
-	tracers []*trace.Tracer
-	started bool
-	mu      sync.Mutex
+	rsys     *runtime.System
+	regs     []*dataitem.Registry
+	mgrs     []*dim.Manager
+	scheds   []*sched.Scheduler
+	tracers  []*trace.Tracer
+	recCfg   RecoveryConfig
+	recovery RecoveryService
+	started  bool
+	mu       sync.Mutex
 }
 
 // NewSystem creates a system. Data item types and task kinds must be
@@ -64,7 +95,14 @@ func NewSystem(cfg Config) *System {
 	if policy == nil {
 		policy = &sched.DefaultPolicy{}
 	}
-	s := &System{rsys: runtime.NewSystem(n)}
+	var rsys *runtime.System
+	if len(cfg.Endpoints) > 0 {
+		n = len(cfg.Endpoints)
+		rsys = runtime.NewSystemOver(cfg.Endpoints)
+	} else {
+		rsys = runtime.NewSystem(n)
+	}
+	s := &System{rsys: rsys, recCfg: cfg.Recovery}
 	for i := 0; i < n; i++ {
 		if cfg.TraceCapacity > 0 {
 			tr := trace.New(i, cfg.TraceCapacity)
@@ -151,8 +189,41 @@ func (s *System) Start() {
 	}
 }
 
-// Close shuts the system down, stopping any worker pools.
+// RecoveryConfig returns the recovery parameters of the system.
+func (s *System) RecoveryConfig() RecoveryConfig { return s.recCfg }
+
+// SetRecovery attaches the crash-recovery service (called by the
+// recovery package's Attach).
+func (s *System) SetRecovery(r RecoveryService) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recovery = r
+}
+
+// Recovery returns the attached recovery service (nil without one).
+func (s *System) Recovery() RecoveryService {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// Kill simulates the crash of one locality: its worker pool is told to
+// stop (without waiting — workers may be mid-task) and its locality
+// closes, severing it from the fabric. Peers observe the silence via
+// the failure detector; the killed rank's goroutines unwind as their
+// promises fail.
+func (s *System) Kill(rank int) {
+	s.scheds[rank].AbortQueue()
+	s.rsys.Locality(rank).Close()
+}
+
+// Close shuts the system down, stopping recovery first (so the
+// detector does not declare closing localities dead), then any worker
+// pools.
 func (s *System) Close() error {
+	if r := s.Recovery(); r != nil {
+		r.Stop()
+	}
 	for _, sc := range s.scheds {
 		sc.StopQueue()
 	}

@@ -126,15 +126,19 @@ func RegisterPFor(sys *System, spec PForSpec) {
 				}
 				rf, err := ctx.Spawn(spec.Name, &pforArgs{R: r, Extra: a.Extra}, 1)
 				if err != nil {
+					// The left child is already in flight: wait for it so
+					// an error return still implies the whole subtree has
+					// quiesced (recovery rolls back data only after the
+					// wave unwound).
+					lf.Wait()
 					return nil, err
 				}
-				if _, err := lf.Wait(); err != nil {
-					return nil, err
+				_, lerr := lf.Wait()
+				_, rerr := rf.Wait()
+				if lerr != nil {
+					return nil, lerr
 				}
-				if _, err := rf.Wait(); err != nil {
-					return nil, err
-				}
-				return nil, nil
+				return nil, rerr
 			},
 			Reqs: func(args []byte) []dim.Requirement {
 				if spec.Reqs == nil {

@@ -117,6 +117,15 @@ type Manager struct {
 	items  map[ItemID]*itemState
 	seq    uint32
 	pinSeq uint64 // replica-pin token sequence (guarded by mu)
+	// pins maps outstanding replica-pin tokens to the requesting rank,
+	// so the pins of a crashed rank can be force-released instead of
+	// blocking writers forever (guarded by mu).
+	pins map[uint64]int
+	// epoch is the recovery epoch (guarded by mu): index report
+	// versions are composed as epoch<<32|ver, so a coverage retraction
+	// (which raises the epoch and floors all side versions) bars every
+	// stale pre-crash report from resurrecting dead coverage.
+	epoch uint64
 
 	// LockWaitTimeout bounds how long lock-conflict waits may block
 	// before failing loudly; it converts application-level deadlocks
@@ -134,6 +143,7 @@ func New(loc *runtime.Locality, reg *dataitem.Registry) *Manager {
 		locates:         loc.Metrics().Counter(MetricLocates),
 		acquireWait:     loc.Metrics().Histogram(MetricAcquireWait),
 		items:           make(map[ItemID]*itemState),
+		pins:            make(map[uint64]int),
 		LockWaitTimeout: 60 * time.Second,
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -177,3 +187,32 @@ func rightChildHost(i, l int) int { return i + 1<<uint(l-2) }
 // subtreeSpan returns the process range [lo, hi) covered by the node
 // at level l hosted by process i.
 func subtreeSpan(i, l int) (int, int) { return i, i + 1<<uint(l-1) }
+
+// nodeLo returns the lowest process rank of the subtree of the level-l
+// node containing process i — the node's identity, independent of
+// which (live) process currently hosts it.
+func nodeLo(i, l int) int { return i - i%(1<<uint(l-1)) }
+
+// liveHost returns the process hosting the node whose subtree starts
+// at lo on level l once dead ranks are excluded: the left-most live
+// rank of the subtree (the hostsNode rule degenerates to this with
+// zero deaths). Returns -1 when the whole subtree is dead. Because a
+// rank is the left-most live member of at most one subtree per level,
+// a rank still hosts at most one node per level.
+func (m *Manager) liveHost(lo, l int) int {
+	hi := lo + 1<<uint(l-1)
+	if hi > m.size() {
+		hi = m.size()
+	}
+	for r := lo; r < hi; r++ {
+		if r == m.Rank() || !m.loc.IsDead(r) {
+			return r
+		}
+	}
+	return -1
+}
+
+// stampLocked composes the full report version of a locally emitted
+// index report from the recovery epoch and the per-level counter.
+// Callers must hold m.mu.
+func (m *Manager) stampLocked(ver uint64) uint64 { return m.epoch<<32 | ver }

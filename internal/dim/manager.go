@@ -93,6 +93,7 @@ func (m *Manager) registerServices() {
 	m.loc.Handle(methodClaim, rpc(m.handleClaim))
 	m.loc.Handle(methodDrop, rpc(m.handleDrop))
 	m.loc.Handle(methodUnpin, rpc(m.handleUnpin))
+	m.registerRecoveryServices()
 }
 
 // rpc adapts a typed handler to the runtime Method signature.
@@ -221,7 +222,7 @@ func (m *Manager) reportUp(id ItemID) error {
 	}
 	total := st.frag.Region()
 	st.ver[1]++
-	seq := st.ver[1]
+	seq := m.stampLocked(st.ver[1])
 	m.mu.Unlock()
 	return m.propagate(id, m.Rank(), 1, total, seq)
 }
@@ -236,8 +237,13 @@ func (m *Manager) reportUp(id ItemID) error {
 func (m *Manager) propagate(id ItemID, i, l int, total dataitem.Region, seq uint64) error {
 	root := rootLevel(m.size())
 	for l < root {
-		p := parentHost(i, l)
-		left := i == p
+		// The node identity is its subtree's lowest rank; the parent's
+		// host is the left-most live rank of the parent's subtree, so
+		// the walk routes around dead ranks (and degenerates to the
+		// static hostsNode assignment with zero deaths).
+		plo := nodeLo(i, l+1)
+		left := nodeLo(i, l) == plo
+		p := m.liveHost(plo, l+1)
 		if p != m.Rank() {
 			return m.loc.Call(p, methodReport, &reportArgs{Item: id, Level: l + 1, Left: left, Region: total, Seq: seq}, nil)
 		}
@@ -248,7 +254,7 @@ func (m *Manager) propagate(id ItemID, i, l int, total dataitem.Region, seq uint
 		if !fresh {
 			return nil
 		}
-		i, l, total, seq = p, l+1, next, nextSeq
+		i, l, total, seq = plo, l+1, next, nextSeq
 	}
 	return nil
 }
@@ -282,7 +288,7 @@ func (m *Manager) applyReport(id ItemID, level int, left bool, region dataitem.R
 		s.right = region
 	}
 	st.ver[level]++
-	return s.left.Union(s.right), st.ver[level], true, nil
+	return s.left.Union(s.right), m.stampLocked(st.ver[level]), true, nil
 }
 
 func (m *Manager) handleReport(_ int, args *reportArgs) (*struct{}, error) {
@@ -355,21 +361,39 @@ func (m *Manager) resolve(id ItemID, r dataitem.Region, l int, descend bool) ([]
 		}
 		m.mu.Unlock()
 
+		lo := nodeLo(m.Rank(), l)
+		half := 1 << uint(l-2)
 		if sub := remaining.Intersect(lr); !sub.IsEmpty() {
-			entries, err := m.resolve(id, sub, l-1, true) // left child is hosted here
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, entries...)
-			remaining = remaining.Difference(lr)
-		}
-		if rc := rightChildHost(m.Rank(), l); rc < m.size() && !remaining.IsEmpty() {
-			if sub := remaining.Intersect(rr); !sub.IsEmpty() {
-				var reply resolveReply
-				if err := m.loc.Call(rc, methodResolve, &resolveArgs{Item: id, Region: sub, Level: l - 1, Descend: true}, &reply); err != nil {
+			// The host of an inner node is the left-most live rank of
+			// its subtree, so a live left child is always hosted here;
+			// a fully-dead left child (until its coverage is retracted)
+			// has no reachable data and stays unresolved.
+			if m.liveHost(lo, l-1) == m.Rank() {
+				entries, err := m.resolve(id, sub, l-1, true)
+				if err != nil {
 					return nil, err
 				}
-				out = append(out, reply.Entries...)
+				out = append(out, entries...)
+				remaining = remaining.Difference(lr)
+			}
+		}
+		if rc := m.liveHost(lo+half, l-1); rc >= 0 && !remaining.IsEmpty() {
+			if sub := remaining.Intersect(rr); !sub.IsEmpty() {
+				if rc == m.Rank() {
+					// The whole left subtree is dead and this rank took
+					// over the right child too: descend locally.
+					entries, err := m.resolve(id, sub, l-1, true)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, entries...)
+				} else {
+					var reply resolveReply
+					if err := m.loc.Call(rc, methodResolve, &resolveArgs{Item: id, Region: sub, Level: l - 1, Descend: true}, &reply); err != nil {
+						return nil, err
+					}
+					out = append(out, reply.Entries...)
+				}
 				remaining = remaining.Difference(rr)
 			}
 		}
@@ -381,7 +405,7 @@ func (m *Manager) resolve(id ItemID, r dataitem.Region, l int, descend bool) ([]
 	}
 	// Escalate to the parent.
 	if l < rootLevel(m.size()) {
-		p := parentHost(m.Rank(), l)
+		p := m.liveHost(nodeLo(m.Rank(), l+1), l+1)
 		if p == m.Rank() {
 			entries, err := m.resolve(id, remaining, l+1, false)
 			if err != nil {
@@ -423,11 +447,15 @@ func (m *Manager) Owners(id ItemID, r dataitem.Region) ([]Located, error) {
 
 func (m *Manager) owners(id ItemID, r dataitem.Region) ([]Located, error) {
 	root := rootLevel(m.size())
-	if m.Rank() == 0 {
+	rh := m.liveHost(0, root)
+	if rh < 0 {
+		return nil, fmt.Errorf("dim: no live index root host")
+	}
+	if m.Rank() == rh {
 		return m.resolveAll(id, r, root)
 	}
 	var reply resolveReply
-	if err := m.loc.Call(0, methodResolveAll, &resolveArgs{Item: id, Region: r, Level: root}, &reply); err != nil {
+	if err := m.loc.Call(rh, methodResolveAll, &resolveArgs{Item: id, Region: r, Level: root}, &reply); err != nil {
 		return nil, err
 	}
 	return reply.Entries, nil
@@ -465,20 +493,32 @@ func (m *Manager) resolveAll(id ItemID, r dataitem.Region, l int) ([]Located, er
 	m.mu.Unlock()
 
 	var out []Located
+	lo := nodeLo(m.Rank(), l)
+	half := 1 << uint(l-2)
 	if sub := r.Intersect(lr); !sub.IsEmpty() {
-		entries, err := m.resolveAll(id, sub, l-1)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, entries...)
-	}
-	if rc := rightChildHost(m.Rank(), l); rc < m.size() {
-		if sub := r.Intersect(rr); !sub.IsEmpty() {
-			var reply resolveReply
-			if err := m.loc.Call(rc, methodResolveAll, &resolveArgs{Item: id, Region: sub, Level: l - 1}, &reply); err != nil {
+		if m.liveHost(lo, l-1) == m.Rank() {
+			entries, err := m.resolveAll(id, sub, l-1)
+			if err != nil {
 				return nil, err
 			}
-			out = append(out, reply.Entries...)
+			out = append(out, entries...)
+		}
+	}
+	if rc := m.liveHost(lo+half, l-1); rc >= 0 {
+		if sub := r.Intersect(rr); !sub.IsEmpty() {
+			if rc == m.Rank() {
+				entries, err := m.resolveAll(id, sub, l-1)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, entries...)
+			} else {
+				var reply resolveReply
+				if err := m.loc.Call(rc, methodResolveAll, &resolveArgs{Item: id, Region: sub, Level: l - 1}, &reply); err != nil {
+					return nil, err
+				}
+				out = append(out, reply.Entries...)
+			}
 		}
 	}
 	return out, nil
@@ -501,7 +541,7 @@ func (m *Manager) handleResolveAll(_ int, args *resolveArgs) (*resolveReply, err
 // operation waits until no conflicting locks are held: any lock
 // blocks removal ((migrate) rule), while only write locks block
 // copying ((replicate) rule).
-func (m *Manager) handleFetch(_ int, args *fetchArgs) (*fetchReply, error) {
+func (m *Manager) handleFetch(from int, args *fetchArgs) (*fetchReply, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	deadline := time.Now().Add(m.LockWaitTimeout)
@@ -524,6 +564,7 @@ func (m *Manager) handleFetch(_ int, args *fetchArgs) (*fetchReply, error) {
 				m.pinSeq++
 				pinToken = 1<<63 | uint64(m.Rank())<<48 | m.pinSeq
 				st.locks = append(st.locks, lockEntry{token: pinToken, mode: Read, region: part})
+				m.pins[pinToken] = from
 			}
 			if args.Remove {
 				rest := st.frag.Region().Difference(part)
@@ -532,7 +573,7 @@ func (m *Manager) handleFetch(_ int, args *fetchArgs) (*fetchReply, error) {
 				}
 				total := st.frag.Region()
 				st.ver[1]++
-				seq := st.ver[1]
+				seq := m.stampLocked(st.ver[1])
 				// Propagate outside the lock.
 				m.mu.Unlock()
 				err := m.propagate(args.Item, m.Rank(), 1, total, seq)
@@ -570,7 +611,7 @@ func (m *Manager) handleDrop(_ int, args *dropArgs) (*struct{}, error) {
 			}
 			total := st.frag.Region()
 			st.ver[1]++
-			seq := st.ver[1]
+			seq := m.stampLocked(st.ver[1])
 			m.mu.Unlock()
 			err := m.propagate(args.Item, m.Rank(), 1, total, seq)
 			m.mu.Lock()
@@ -614,8 +655,12 @@ func (m *Manager) handleClaim(_ int, args *claimArgs) (*claimReply, error) {
 
 // claim asks the root host which part of r this process may allocate.
 func (m *Manager) claim(id ItemID, r dataitem.Region) (dataitem.Region, error) {
+	rh := m.liveHost(0, rootLevel(m.size()))
+	if rh < 0 {
+		return nil, fmt.Errorf("dim: no live index root host")
+	}
 	var reply claimReply
-	if err := m.loc.Call(0, methodClaim, &claimArgs{Item: id, Region: r}, &reply); err != nil {
+	if err := m.loc.Call(rh, methodClaim, &claimArgs{Item: id, Region: r}, &reply); err != nil {
 		return nil, err
 	}
 	return reply.Granted, nil
@@ -816,6 +861,7 @@ func (m *Manager) enforceExclusive(reqs []Requirement, deadline time.Time) error
 func (m *Manager) Release(token uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	delete(m.pins, token)
 	for _, st := range m.items {
 		kept := st.locks[:0]
 		for _, e := range st.locks {

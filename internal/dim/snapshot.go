@@ -103,32 +103,60 @@ func (m *Manager) ImportLocal(id ItemID, snap *LocalSnapshot) error {
 // VerifyIndex checks the Fig. 5 index invariant across a set of
 // managers (one per rank of one system): every inner node's stored
 // child coverages equal the union of the leaf coverages of the
-// processes in the child subtree. It is a test and debugging aid.
+// processes in the child subtree. A nil entry marks a dead rank: its
+// leaf coverage must have been retracted (counts as empty) and inner
+// nodes are expected at the left-most live rank of each subtree. It is
+// a test and debugging aid.
 func VerifyIndex(managers []*Manager, id ItemID) error {
 	p := len(managers)
+	liveHostIn := func(lo, l int) int {
+		hi := lo + 1<<uint(l-1)
+		if hi > p {
+			hi = p
+		}
+		for i := lo; i < hi; i++ {
+			if managers[i] != nil {
+				return i
+			}
+		}
+		return -1
+	}
+	var empty dataitem.Region
 	leafCov := make([]dataitem.Region, p)
 	for i, m := range managers {
+		if m == nil {
+			continue
+		}
 		cov, err := m.Coverage(id)
 		if err != nil {
 			return err
 		}
 		leafCov[i] = cov
+		if empty == nil {
+			empty = cov.Difference(cov)
+		}
+	}
+	if empty == nil {
+		return fmt.Errorf("dim: verify index: no live managers")
+	}
+	for i := range leafCov {
+		if leafCov[i] == nil {
+			leafCov[i] = empty
+		}
 	}
 	unionOf := func(lo, hi int) dataitem.Region {
-		var u dataitem.Region
+		u := empty
 		for i := lo; i < hi && i < p; i++ {
-			if u == nil {
-				u = leafCov[i]
-			} else {
-				u = u.Union(leafCov[i])
-			}
+			u = u.Union(leafCov[i])
 		}
 		return u
 	}
 	root := rootLevel(p)
 	for l := 2; l <= root; l++ {
-		for host := 0; host < p; host++ {
-			if !hostsNode(host, l) {
+		span := 1 << uint(l-1)
+		for lo := 0; lo < p; lo += span {
+			host := liveHostIn(lo, l)
+			if host < 0 {
 				continue
 			}
 			m := managers[host]
@@ -145,19 +173,13 @@ func VerifyIndex(managers []*Manager, id ItemID) error {
 			}
 			m.mu.Unlock()
 
-			childSpan := 1 << uint(l-2)
-			wantLeft := unionOf(host, host+childSpan)
-			if wantLeft == nil {
-				wantLeft = left // no processes: vacuous
+			childSpan := span / 2
+			if !left.Equal(unionOf(lo, lo+childSpan)) {
+				return fmt.Errorf("dim: index node (%d,%d) left = %v, want %v", lo, l, left, unionOf(lo, lo+childSpan))
 			}
-			if !left.Equal(wantLeft) {
-				return fmt.Errorf("dim: index node (%d,%d) left = %v, want %v", host, l, left, wantLeft)
-			}
-			rc := rightChildHost(host, l)
-			if rc < p {
-				wantRight := unionOf(rc, rc+childSpan)
-				if !right.Equal(wantRight) {
-					return fmt.Errorf("dim: index node (%d,%d) right = %v, want %v", host, l, right, wantRight)
+			if lo+childSpan < p {
+				if !right.Equal(unionOf(lo+childSpan, lo+span)) {
+					return fmt.Errorf("dim: index node (%d,%d) right = %v, want %v", lo, l, right, unionOf(lo+childSpan, lo+span))
 				}
 			}
 		}

@@ -1,0 +1,572 @@
+// Package recovery implements the crash-recovery subsystem of the
+// runtime prototype (DESIGN.md §6c): heartbeat-based failure
+// detection across both fabrics, exclusion of dead ranks from
+// scheduling and the distributed index, re-homing of a dead rank's
+// checkpointed data item fragments onto survivors, and re-execution of
+// the tasks lost with the rank.
+//
+// The paper's model makes this recoverability argument explicit: a
+// crash loses exactly the fragments and running tasks of one locality
+// (the (crash) transition of the dynamic semantics); everything else
+// — the index, the allocation claims, the spawn tree — can be rebuilt
+// from the survivors. Because the runtime owns data distribution, the
+// recovery is a system service: no application code participates.
+//
+// Two recovery modes exist, chosen by whether a checkpoint was
+// registered with SetCheckpoint:
+//
+//   - Without a checkpoint ("respawn mode"), lost tasks are re-spawned
+//     transparently onto live ranks. This is sound only for tasks that
+//     do not mutate data items — the dead rank's fragment contents are
+//     gone, and a respawned writer would compute on holes.
+//
+//   - With a checkpoint ("rollback mode"), the futures of lost tasks
+//     are failed with runtime.ErrPeerFailed so the task wave unwinds;
+//     the driver then calls Restore, which rolls every live rank back
+//     to the checkpoint, re-homes the dead rank's shares onto
+//     survivors, and lets the driver re-run from the checkpointed
+//     phase.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"allscale/internal/core"
+	"allscale/internal/dim"
+	"allscale/internal/metrics"
+	"allscale/internal/resilience"
+	"allscale/internal/runtime"
+	"allscale/internal/sched"
+	"allscale/internal/trace"
+)
+
+// Options tunes failure detection.
+type Options struct {
+	// Heartbeat is the probe interval of the per-rank detectors.
+	// Default 250ms.
+	Heartbeat time.Duration
+	// Timeout is the silence span after which a peer is suspected and
+	// actively confirmed. Default 4× Heartbeat.
+	Timeout time.Duration
+}
+
+// Registry names under which the coordinator publishes its metrics
+// (into the rank-0 registry of the system).
+const (
+	MetricDeaths    = "recovery.deaths"
+	MetricRehomed   = "recovery.rehomed_records"
+	MetricRespawned = "recovery.respawned_tasks"
+	MetricRequeued  = "recovery.requeued_tasks"
+	MetricRecover   = "recovery.recover.us"
+)
+
+const methodPing = "recovery.ping"
+
+// Report summarizes what the coordinator did so far.
+type Report struct {
+	// Dead lists the ranks declared dead, in rank order.
+	Dead []int
+	// RequeuedTasks counts lost tasks whose futures were failed for a
+	// rollback (rollback mode).
+	RequeuedTasks int
+	// RehomedRecords counts checkpoint records re-homed from dead
+	// ranks onto survivors by Restore.
+	RehomedRecords int
+	// RespawnedTasks counts lost tasks re-spawned onto live ranks
+	// (respawn mode).
+	RespawnedTasks int
+}
+
+// Coordinator is the per-system recovery coordinator: it runs one
+// failure detector per locality, arbitrates death declarations, and
+// drives the recovery sequence. It implements core.RecoveryService.
+type Coordinator struct {
+	sys  *core.System
+	opts Options
+
+	mu         sync.Mutex
+	dead       map[int]bool
+	confirming map[int]bool
+	epoch      uint64
+	cp         *resilience.Checkpoint
+	report     Report
+
+	// recMu serializes whole recovery sequences: two deaths reported
+	// concurrently recover one after the other.
+	recMu sync.Mutex
+
+	deaths, rehomed, respawned, requeued *metrics.Counter
+	recoverHist                          *metrics.Histogram
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Attach creates the coordinator of a system, registers the liveness
+// confirmation service on every locality, subscribes to transport
+// failure notifications, and starts the detectors. Zero option fields
+// fall back to the system's core.Config.Recovery values, then to the
+// defaults. Must be called after the system's services are registered
+// (it installs an RPC handler on every locality).
+func Attach(sys *core.System, opts Options) *Coordinator {
+	cfg := sys.RecoveryConfig()
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = cfg.Heartbeat
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = cfg.Timeout
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 250 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 4 * opts.Heartbeat
+	}
+	reg := sys.Metrics(0)
+	c := &Coordinator{
+		sys:         sys,
+		opts:        opts,
+		dead:        make(map[int]bool),
+		confirming:  make(map[int]bool),
+		deaths:      reg.Counter(MetricDeaths),
+		rehomed:     reg.Counter(MetricRehomed),
+		respawned:   reg.Counter(MetricRespawned),
+		requeued:    reg.Counter(MetricRequeued),
+		recoverHist: reg.Histogram(MetricRecover),
+		stop:        make(chan struct{}),
+	}
+	for r := 0; r < sys.Size(); r++ {
+		r := r
+		loc := sys.Locality(r)
+		loc.Handle(methodPing, func(int, []byte) ([]byte, error) { return nil, nil })
+		// Cross-check with the transport's link-death notifications: a
+		// reported peer failure triggers an immediate active
+		// confirmation instead of waiting out the heartbeat timeout.
+		loc.OnPeerFailure(func(peer int, _ error) { c.confirm(r, peer) })
+	}
+	sys.SetRecovery(c)
+	c.wg.Add(sys.Size())
+	for r := 0; r < sys.Size(); r++ {
+		go c.detect(r)
+	}
+	return c
+}
+
+// Stop terminates the detectors; it is idempotent. In-flight
+// confirmations finish on their own.
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// SetCheckpoint registers the rollback target and switches the
+// coordinator into rollback mode: from now on, lost tasks fail their
+// futures instead of being respawned, and Restore rolls the system
+// back to cp.
+func (c *Coordinator) SetCheckpoint(cp *resilience.Checkpoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cp = cp
+}
+
+// DeadRanks returns the ranks declared dead so far, in rank order.
+func (c *Coordinator) DeadRanks() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.dead))
+	for r := range c.dead {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WaitDeaths blocks until at least n ranks were declared dead (and
+// their recovery sequences completed), or the timeout passed.
+func (c *Coordinator) WaitDeaths(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.recMu.Lock()
+		done := len(c.report.Dead) >= n
+		c.recMu.Unlock()
+		if done {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Report returns a snapshot of the coordinator's activity.
+func (c *Coordinator) Report() Report {
+	c.recMu.Lock()
+	defer c.recMu.Unlock()
+	rep := c.report
+	rep.Dead = append([]int(nil), rep.Dead...)
+	return rep
+}
+
+func (c *Coordinator) tracer() *trace.Tracer { return c.sys.Tracer(0) }
+
+// liveRanks returns the ranks not declared dead, ascending.
+func (c *Coordinator) liveRanks() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for r := 0; r < c.sys.Size(); r++ {
+		if !c.dead[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------
+// Failure detection
+// ---------------------------------------------------------------
+
+// detect is the per-locality failure detector: every heartbeat
+// interval it probes all peers and checks their last-heard timestamps;
+// a silent peer is handed to confirm. The detector of a killed
+// locality exits on its own.
+func (c *Coordinator) detect(rank int) {
+	defer c.wg.Done()
+	loc := c.sys.Locality(rank)
+	ticker := time.NewTicker(c.opts.Heartbeat)
+	defer ticker.Stop()
+	// Grace: peers are judged from detector start, not system start —
+	// a quiet but healthy fabric must not trip the timeout on round 1.
+	base := time.Now()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		if loc.Closed() {
+			return
+		}
+		for p := 0; p < c.sys.Size(); p++ {
+			if p == rank || loc.IsDead(p) {
+				continue
+			}
+			loc.Heartbeat(p)
+			last := loc.LastHeard(p)
+			if last.Before(base) {
+				last = base
+			}
+			if time.Since(last) > c.opts.Timeout {
+				c.confirm(rank, p)
+			}
+		}
+	}
+}
+
+// confirm actively verifies a suspected peer with a bounded ping RPC
+// from the observer rank, declaring the peer dead when it fails. At
+// most one confirmation per peer runs at a time.
+func (c *Coordinator) confirm(observer, peer int) {
+	c.mu.Lock()
+	if c.dead[peer] || c.confirming[peer] {
+		c.mu.Unlock()
+		return
+	}
+	c.confirming[peer] = true
+	c.mu.Unlock()
+	go func() {
+		sp := c.tracer().Begin("recovery.detect", fmt.Sprintf("confirm rank %d", peer), 0)
+		err := c.ping(observer, peer)
+		sp.SetErr(err)
+		sp.End()
+		c.mu.Lock()
+		delete(c.confirming, peer)
+		c.mu.Unlock()
+		if err == nil {
+			return // false alarm
+		}
+		select {
+		case <-c.stop:
+			return // shutting down: closing localities are not deaths
+		default:
+		}
+		c.ReportDeath(peer)
+	}()
+}
+
+// ping calls the liveness service on peer from observer, bounded by
+// the detection timeout (a closed in-process peer may otherwise
+// swallow the request without an error).
+func (c *Coordinator) ping(observer, peer int) error {
+	loc := c.sys.Locality(observer)
+	done := make(chan error, 1)
+	go func() { done <- loc.Call(peer, methodPing, &struct{}{}, nil) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(c.opts.Timeout):
+		return fmt.Errorf("recovery: ping of rank %d timed out", peer)
+	}
+}
+
+// ---------------------------------------------------------------
+// Recovery sequence
+// ---------------------------------------------------------------
+
+// ReportDeath declares a rank dead and runs the recovery sequence:
+// exclusion (every live locality marks the rank dead, failing calls
+// toward it), pin release, lost-task collection, and — depending on
+// the mode — respawning or future failure. It is idempotent per rank
+// and serializes with other recoveries.
+func (c *Coordinator) ReportDeath(dead int) {
+	c.mu.Lock()
+	if c.dead[dead] {
+		c.mu.Unlock()
+		return
+	}
+	c.dead[dead] = true
+	cp := c.cp
+	c.mu.Unlock()
+
+	c.recMu.Lock()
+	defer c.recMu.Unlock()
+	start := time.Now()
+	sp := c.tracer().Begin("recovery.recover", fmt.Sprintf("rank %d", dead), 0)
+	defer func() {
+		sp.End()
+		c.deaths.Inc()
+		c.recoverHist.Observe(time.Since(start))
+	}()
+
+	live := c.liveRanks()
+	// 1. Exclusion: every live locality marks the rank dead — future
+	// sends fail fast, pending calls toward it resolve with
+	// runtime.ErrPeerFailed, schedulers skip it for placement and
+	// stealing, the DIM routes index traffic around it.
+	for _, r := range live {
+		c.sys.Locality(r).MarkDead(dead)
+	}
+	// 2. The dead rank's replica pins will never be confirmed: release
+	// them everywhere so they cannot block write consolidation.
+	for _, r := range live {
+		c.sys.Manager(r).ReleasePinsOf(dead)
+	}
+	// 3. Collect the tasks lost with the rank: every live scheduler
+	// surrenders the specs it shipped or handed to the dead rank.
+	// The union over-approximates; keep only tasks whose (live) origin
+	// still awaits the result.
+	seen := make(map[uint64]bool)
+	var lost []sched.TaskSpec
+	for _, r := range live {
+		for _, spec := range c.sys.Scheduler(r).HandleDeath(dead) {
+			if seen[spec.ID] {
+				continue
+			}
+			seen[spec.ID] = true
+			if spec.Origin == dead || c.isDead(spec.Origin) {
+				continue // the waiter died with its task
+			}
+			if !c.sys.Locality(spec.Origin).PromisePending(spec.Promise) {
+				continue // completed before the crash
+			}
+			lost = append(lost, spec)
+		}
+	}
+
+	// 4. Rebuild the distributed index without the dead rank. This is
+	// a liveness requirement in both modes: index nodes the dead rank
+	// hosted are re-homed onto survivors that hold none of their
+	// state, so even the *survivors'* coverage under those nodes
+	// vanishes from lookups while the root's allocation set still
+	// claims it — staging would spin forever. Retract + republish +
+	// re-derived claims make every live fragment findable (and the
+	// dead rank's share claimable) again. In rollback mode whatever
+	// in-flight tasks do with that window is discarded by Restore.
+	if err := c.retractAll(live); err == nil {
+		if err := c.republishAll(live); err == nil {
+			c.syncAlloc(live)
+		}
+	}
+
+	if cp != nil {
+		// Rollback mode: fail the futures so the task wave unwinds;
+		// the driver rolls back via Restore and re-runs the phase.
+		for _, spec := range lost {
+			err := fmt.Errorf("%w: task %d lost on rank %d", runtime.ErrPeerFailed, spec.ID, dead)
+			c.sys.Locality(spec.Origin).FulfillRemote(spec.Promise, nil, err)
+			c.requeued.Inc()
+		}
+		c.report.RequeuedTasks += len(lost)
+		c.report.Dead = append(c.report.Dead, dead)
+		sort.Ints(c.report.Dead)
+		return
+	}
+
+	// Respawn mode: re-execute the lost tasks on survivors. Sound
+	// only for tasks without data requirements — see the package
+	// comment.
+	rsp := c.tracer().Begin("recovery.respawn", fmt.Sprintf("%d tasks", len(lost)), sp.SpanID())
+	for _, spec := range lost {
+		if err := c.sys.Scheduler(spec.Origin).Respawn(spec); err != nil {
+			c.sys.Locality(spec.Origin).FulfillRemote(spec.Promise, nil,
+				fmt.Errorf("%w: respawn of task %d failed: %v", runtime.ErrPeerFailed, spec.ID, err))
+			continue
+		}
+		c.respawned.Inc()
+		c.report.RespawnedTasks++
+	}
+	rsp.End()
+	c.report.Dead = append(c.report.Dead, dead)
+	sort.Ints(c.report.Dead)
+}
+
+func (c *Coordinator) isDead(rank int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead[rank]
+}
+
+// retractAll drives index-coverage retraction on every live rank under
+// a fresh recovery epoch (phase 1; a barrier — all retractions
+// complete before the caller republishes).
+func (c *Coordinator) retractAll(live []int) error {
+	c.mu.Lock()
+	c.epoch++
+	epoch := c.epoch
+	c.mu.Unlock()
+	if len(live) == 0 {
+		return fmt.Errorf("recovery: no live ranks")
+	}
+	sp := c.tracer().Begin("recovery.retract", fmt.Sprintf("epoch %d", epoch), 0)
+	defer sp.End()
+	drv := c.sys.Manager(live[0])
+	for _, r := range live {
+		if err := drv.RetractRemote(r, epoch); err != nil {
+			sp.SetErr(err)
+			return fmt.Errorf("recovery: retract at rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// republishAll rebuilds the index from the live leaf coverages
+// (phase 2).
+func (c *Coordinator) republishAll(live []int) error {
+	sp := c.tracer().Begin("recovery.republish", "", 0)
+	defer sp.End()
+	drv := c.sys.Manager(live[0])
+	for _, r := range live {
+		if err := drv.RepublishRemote(r); err != nil {
+			sp.SetErr(err)
+			return fmt.Errorf("recovery: republish at rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// syncAlloc re-derives the allocation claims at the live index root
+// host (phase 3). The root host is the lowest live rank.
+func (c *Coordinator) syncAlloc(live []int) error {
+	drv := c.sys.Manager(live[0])
+	if err := drv.SyncAllocRemote(live[0]); err != nil {
+		return fmt.Errorf("recovery: sync allocations: %w", err)
+	}
+	return nil
+}
+
+// Restore rolls the system back to the registered checkpoint after a
+// crash (rollback mode): index coverage is retracted everywhere, every
+// live rank's fragments are force-reset to their checkpoint shares —
+// with dead ranks' shares re-homed onto the next live rank — and the
+// index and allocation claims are rebuilt. The caller must have waited
+// for the failed task wave to unwind (the PFor error return implies
+// it).
+func (c *Coordinator) Restore() error {
+	c.recMu.Lock()
+	defer c.recMu.Unlock()
+	c.mu.Lock()
+	cp := c.cp
+	deadSet := make(map[int]bool, len(c.dead))
+	for r := range c.dead {
+		deadSet[r] = true
+	}
+	c.mu.Unlock()
+	if cp == nil {
+		return fmt.Errorf("recovery: Restore without a checkpoint (SetCheckpoint first)")
+	}
+	live := c.liveRanks()
+	if len(live) == 0 {
+		return fmt.Errorf("recovery: no live ranks")
+	}
+	sp := c.tracer().Begin("recovery.rehome", fmt.Sprintf("%d records", len(cp.Records)), 0)
+	defer sp.End()
+
+	if err := c.retractAll(live); err != nil {
+		sp.SetErr(err)
+		return err
+	}
+
+	// Re-home: group the checkpoint records by their post-crash target
+	// (dead ranks remap to the next live rank, wrapping), then force-
+	// reset every (live rank, item) fragment — including ranks without
+	// records, which must drop their post-checkpoint coverage.
+	remap := func(r int) int {
+		if !deadSet[r] {
+			return r
+		}
+		size := c.sys.Size()
+		for off := 1; off < size; off++ {
+			t := (r + off) % size
+			if !deadSet[t] {
+				return t
+			}
+		}
+		return r
+	}
+	items := make(map[dim.ItemID]bool)
+	byTarget := make(map[int]map[dim.ItemID][]*dim.LocalSnapshot)
+	rehomed := 0
+	for i := range cp.Records {
+		rec := &cp.Records[i]
+		items[rec.Item] = true
+		target := remap(rec.Rank)
+		if target != rec.Rank {
+			rehomed++
+		}
+		m := byTarget[target]
+		if m == nil {
+			m = make(map[dim.ItemID][]*dim.LocalSnapshot)
+			byTarget[target] = m
+		}
+		m[rec.Item] = append(m[rec.Item], &rec.Snapshot)
+	}
+	for id := range items {
+		for _, r := range live {
+			var snaps []*dim.LocalSnapshot
+			if m := byTarget[r]; m != nil {
+				snaps = m[id]
+			}
+			if err := c.sys.Manager(r).ResetLocal(id, snaps); err != nil {
+				sp.SetErr(err)
+				return fmt.Errorf("recovery: reset %v at rank %d: %w", id, r, err)
+			}
+		}
+	}
+
+	if err := c.republishAll(live); err != nil {
+		sp.SetErr(err)
+		return err
+	}
+	if err := c.syncAlloc(live); err != nil {
+		sp.SetErr(err)
+		return err
+	}
+	c.rehomed.Add(uint64(rehomed))
+	c.report.RehomedRecords += rehomed
+	return nil
+}

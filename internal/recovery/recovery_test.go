@@ -1,0 +1,400 @@
+package recovery
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"allscale/internal/apps/stencil"
+	"allscale/internal/core"
+	"allscale/internal/dim"
+	"allscale/internal/model"
+	"allscale/internal/resilience"
+	"allscale/internal/runtime"
+	"allscale/internal/sched"
+	"allscale/internal/transport"
+)
+
+// newTCPEndpoints builds n loopback TCP endpoints with tight failure
+// budgets, for systems whose fabric a test will sever.
+func newTCPEndpoints(t *testing.T, n int) ([]transport.Endpoint, []*transport.TCPEndpoint) {
+	t.Helper()
+	cfg := transport.TCPConfig{
+		WriteTimeout: 500 * time.Millisecond,
+		DialTimeout:  200 * time.Millisecond,
+		RetryBudget:  300 * time.Millisecond,
+		MaxBackoff:   50 * time.Millisecond,
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	tcps := make([]*transport.TCPEndpoint, n)
+	for i := range tcps {
+		ep, err := transport.NewTCPEndpointConfig(i, addrs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcps[i] = ep
+		t.Cleanup(func() { ep.Close() })
+	}
+	actual := make([]string, n)
+	for i, ep := range tcps {
+		actual[i] = ep.Addr()
+	}
+	eps := make([]transport.Endpoint, n)
+	for i, ep := range tcps {
+		ep.SetAddrs(actual)
+		eps[i] = ep
+	}
+	return eps, tcps
+}
+
+// TestCrashRecoveryStencilTCP is the headline end-to-end scenario: a
+// 4-locality stencil over real TCP, checkpointed halfway; one locality
+// is killed during the second half. The failure detector must notice,
+// the survivors roll back and re-home the dead rank's fragments, the
+// second half re-runs on three localities, and the result is identical
+// to an uninterrupted run. The runtime's crash report is then checked
+// against the model's (crash) transition oracle.
+func TestCrashRecoveryStencilTCP(t *testing.T) {
+	const n, victim = 4, 2
+	p := stencil.Params{N: 24, Steps: 6, C: 0.1, MinGrain: 32}
+	want := stencil.RunSequential(p)
+
+	eps, _ := newTCPEndpoints(t, n)
+	sys := core.NewSystem(core.Config{
+		Endpoints: eps,
+		Recovery:  core.RecoveryConfig{Heartbeat: 25 * time.Millisecond, Timeout: 150 * time.Millisecond},
+	})
+	app := stencil.NewAllScale(sys, p)
+	sys.Start()
+	defer sys.Close()
+	rec := Attach(sys, Options{})
+
+	if err := app.CreateItems(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.RunSteps(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := resilience.Capture(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetCheckpoint(cp)
+	victimShare := 0
+	for _, r := range cp.Records {
+		if r.Rank == victim {
+			victimShare++
+		}
+	}
+	if victimShare == 0 {
+		t.Fatalf("victim rank holds no checkpointed fragments; nothing to re-home")
+	}
+
+	// Second half, with the victim crashing once the phase reaches it.
+	base := sys.Metrics(victim).Counter(sched.MetricExecuted).Value()
+	phaseErr := make(chan error, 1)
+	go func() { phaseErr <- app.RunSteps(3, 6) }()
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if sys.Metrics(victim).Counter(sched.MetricExecuted).Value() > base {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sys.Kill(victim)
+	select {
+	case err := <-phaseErr:
+		t.Logf("phase 2 unwound after crash with: %v", err)
+	case <-time.After(20 * time.Second):
+		t.Fatalf("phase 2 did not unwind after the crash; dead=%v report=%+v", rec.DeadRanks(), rec.Report())
+	}
+
+	if !rec.WaitDeaths(1, 10*time.Second) {
+		t.Fatalf("victim not detected; dead = %v", rec.DeadRanks())
+	}
+	if got := rec.DeadRanks(); len(got) != 1 || got[0] != victim {
+		t.Fatalf("dead ranks = %v, want [%d]", got, victim)
+	}
+	if err := rec.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	verifyLiveIndex(t, sys, victim)
+
+	// Re-run the lost phase on the survivors.
+	if err := app.RunSteps(3, 6); err != nil {
+		t.Fatalf("re-run from checkpoint: %v", err)
+	}
+	verifyLiveIndex(t, sys, victim)
+	got, err := app.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cell %d = %v after crash recovery, want %v", i, got[i], want[i])
+		}
+	}
+
+	rep := rec.Report()
+	if rep.RehomedRecords != victimShare {
+		t.Fatalf("re-homed %d records, want the victim's %d", rep.RehomedRecords, victimShare)
+	}
+	if v := sys.Metrics(0).Counter(MetricDeaths).Value(); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetricDeaths, v)
+	}
+	if v := sys.Metrics(0).Counter(MetricRehomed).Value(); v != uint64(victimShare) {
+		t.Fatalf("%s = %d, want %d", MetricRehomed, v, victimShare)
+	}
+
+	checkCrashOracle(t, cp, rep, n, victim)
+}
+
+// verifyLiveIndex checks the distributed index of every item with the
+// dead rank's slot nil — the generalized invariant: live coverage
+// aggregates cleanly up the live index geometry.
+func verifyLiveIndex(t *testing.T, sys *core.System, dead int) {
+	t.Helper()
+	mgrs := make([]*dim.Manager, sys.Size())
+	var live int
+	for r := 0; r < sys.Size(); r++ {
+		if r != dead {
+			mgrs[r] = sys.Manager(r)
+			live = r
+		}
+	}
+	for _, item := range sys.Manager(live).Items() {
+		if err := dim.VerifyIndex(mgrs, item); err != nil {
+			t.Fatalf("index after recovery: %v", err)
+		}
+	}
+}
+
+// checkCrashOracle replays the observed crash against the model's
+// (crash) transition (model/dynamic.go): each checkpoint record is one
+// un-replicated data element on its rank's address space, each requeued
+// task one variant running on the victim's compute unit. The model must
+// report exactly the victim's elements lost — the set Restore re-homed
+// — and every lost task re-enqueued, and must preserve survivor data.
+func checkCrashOracle(t *testing.T, cp *resilience.Checkpoint, rep Report, n, victim int) {
+	t.Helper()
+	prog := &model.Program{
+		Entry:    0,
+		Tasks:    map[model.TaskID]*model.Task{},
+		Variants: map[model.VariantID]*model.Variant{},
+	}
+	st := &model.State{
+		Prog: prog,
+		Arch: model.NewCluster(n, 1),
+		Q:    map[model.TaskID]bool{},
+		R:    map[model.VariantID]model.RunEntry{},
+		B:    map[model.VariantID]model.BlockEntry{},
+		D:    map[model.MemSpace]map[model.ItemID]map[model.Elem]bool{},
+		Lr:   map[model.LockKey]bool{},
+		Lw:   map[model.LockKey]bool{},
+	}
+	for i, rec := range cp.Records {
+		m := model.MemSpace(rec.Rank)
+		if st.D[m] == nil {
+			st.D[m] = map[model.ItemID]map[model.Elem]bool{0: {}}
+		}
+		st.D[m][0][model.Elem(i)] = true
+	}
+	for i := 0; i < rep.RequeuedTasks; i++ {
+		tid, vid := model.TaskID(i+1), model.VariantID(i+1)
+		prog.Tasks[tid] = &model.Task{ID: tid, Variants: []model.VariantID{vid}}
+		prog.Variants[vid] = &model.Variant{ID: vid, Task: tid}
+		st.R[vid] = model.RunEntry{CU: model.ComputeUnit(victim)}
+	}
+
+	mrep, err := st.CrashNode(model.MemSpace(victim))
+	if err != nil {
+		t.Fatalf("model rejects the crash transition: %v", err)
+	}
+	if len(mrep.LostElems) != rep.RehomedRecords {
+		t.Fatalf("model lost %d elements, runtime re-homed %d", len(mrep.LostElems), rep.RehomedRecords)
+	}
+	if len(mrep.RequeuedTasks) != rep.RequeuedTasks {
+		t.Fatalf("model requeued %d tasks, runtime %d", len(mrep.RequeuedTasks), rep.RequeuedTasks)
+	}
+	for _, tid := range mrep.RequeuedTasks {
+		if !st.Q[tid] {
+			t.Fatalf("task %d not back in Q after crash", tid)
+		}
+	}
+	for i, rec := range cp.Records {
+		if rec.Rank != victim && !st.Present(model.MemSpace(rec.Rank), 0, model.Elem(i)) {
+			t.Fatalf("survivor element %d on rank %d lost by the model crash", i, rec.Rank)
+		}
+	}
+}
+
+// TestRespawnReexecutesLostTasks exercises respawn mode (no
+// checkpoint): pure-compute tasks spread round-robin over four
+// localities; one locality is crashed while executing. Every future
+// must still complete with the correct value — the lost tasks are
+// transparently re-executed on survivors.
+func TestRespawnReexecutesLostTasks(t *testing.T) {
+	const n, victim, tasks = 4, 2, 16
+	sys := core.NewSystem(core.Config{
+		Localities: n,
+		Policy:     &sched.RoundRobinPolicy{},
+		Recovery:   core.RecoveryConfig{Heartbeat: 20 * time.Millisecond, Timeout: 120 * time.Millisecond},
+	})
+	started := make(chan int, 4*tasks)
+	sys.RegisterKind(func(rank int) *sched.Kind {
+		return &sched.Kind{
+			Name: "crash.work",
+			Process: func(ctx *sched.Ctx) (any, error) {
+				started <- rank
+				time.Sleep(80 * time.Millisecond)
+				var x int
+				ctx.Args(&x)
+				return x * 3, nil
+			},
+		}
+	})
+	sys.Start()
+	defer sys.Close()
+	rec := Attach(sys, Options{})
+
+	futs := make([]*runtime.Future, tasks)
+	for i := range futs {
+		f, err := sys.Spawn("crash.work", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = f
+	}
+	// Crash the victim while it is mid-task.
+	for onVictim := false; !onVictim; {
+		select {
+		case r := <-started:
+			onVictim = r == victim
+		case <-time.After(5 * time.Second):
+			t.Fatal("no task reached the victim rank")
+		}
+	}
+	sys.Kill(victim)
+
+	for i, f := range futs {
+		done := make(chan error, 1)
+		var out int
+		go func() { done <- f.WaitInto(&out) }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("task %d failed despite respawn: %v", i, err)
+			}
+			if out != i*3 {
+				t.Fatalf("task %d = %d, want %d", i, out, i*3)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("task %d hung after the crash", i)
+		}
+	}
+	rep := rec.Report()
+	if len(rep.Dead) != 1 || rep.Dead[0] != victim {
+		t.Fatalf("dead = %v, want [%d]", rep.Dead, victim)
+	}
+	if rep.RespawnedTasks == 0 {
+		t.Fatal("no tasks respawned although the victim was mid-task")
+	}
+	if v := sys.Metrics(0).Counter(MetricRespawned).Value(); v != uint64(rep.RespawnedTasks) {
+		t.Fatalf("%s = %d, report says %d", MetricRespawned, v, rep.RespawnedTasks)
+	}
+}
+
+// TestCaptureRemoteFailsCleanOnSeveredLink severs a locality's TCP
+// endpoint underneath a remote capture: the capture must fail with a
+// clean error and return no partial checkpoint.
+func TestCaptureRemoteFailsCleanOnSeveredLink(t *testing.T) {
+	const n, victim = 3, 2
+	eps, tcps := newTCPEndpoints(t, n)
+	sys := core.NewSystem(core.Config{Endpoints: eps})
+	p := stencil.Params{N: 16, Steps: 2, C: 0.1, MinGrain: 32}
+	app := stencil.NewAllScale(sys, p)
+	resilience.RegisterExportService(sys)
+	sys.Start()
+	defer sys.Close()
+	if err := app.CreateItems(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Init(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy fabric: the remote capture matches the local one.
+	remote, err := resilience.CaptureRemote(sys, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := resilience.Capture(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Size() != local.Size() || len(remote.Records) != len(local.Records) {
+		t.Fatalf("remote capture diverges: %d/%d records, %d/%d bytes",
+			len(remote.Records), len(local.Records), remote.Size(), local.Size())
+	}
+
+	tcps[victim].Close()
+	cp, err := resilience.CaptureRemote(sys, 0, nil)
+	if err == nil {
+		t.Fatal("capture over a severed fabric must fail")
+	}
+	if cp != nil {
+		t.Fatalf("partial checkpoint returned alongside error: %d records", len(cp.Records))
+	}
+}
+
+// TestHeartbeatRPCConcurrency floods a two-locality TCP fabric with
+// application RPCs while the failure detectors probe at 10ms — run
+// under -race it proves heartbeat and RPC paths share the transport
+// safely, and no healthy rank is ever declared dead.
+func TestHeartbeatRPCConcurrency(t *testing.T) {
+	eps, _ := newTCPEndpoints(t, 2)
+	sys := core.NewSystem(core.Config{
+		Endpoints: eps,
+		Recovery:  core.RecoveryConfig{Heartbeat: 10 * time.Millisecond, Timeout: 2 * time.Second},
+	})
+	for r := 0; r < 2; r++ {
+		sys.Locality(r).Handle("echo", func(from int, body []byte) ([]byte, error) {
+			return body, nil
+		})
+	}
+	sys.Start()
+	defer sys.Close()
+	rec := Attach(sys, Options{})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for r := 0; r < 2; r++ {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				loc := sys.Locality(rank)
+				for i := 0; i < 50; i++ {
+					var out string
+					if err := loc.Call(1-rank, "echo", "ping", &out); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(r)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("RPC failed under heartbeat load: %v", err)
+	}
+	if dead := rec.DeadRanks(); len(dead) != 0 {
+		t.Fatalf("healthy ranks declared dead: %v", dead)
+	}
+}

@@ -13,14 +13,20 @@
 package resilience
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
-	"io"
+	"time"
 
 	"allscale/internal/core"
 	"allscale/internal/dim"
 	"allscale/internal/monitor"
+)
+
+// Registry names under which the resilience service publishes its
+// metrics (into the rank-0 registry of the captured system).
+const (
+	MetricCaptureBytes = "resilience.capture.bytes"
+	MetricCaptureTime  = "resilience.capture.us"
+	MetricRestoreTime  = "resilience.restore.us"
 )
 
 // FragmentRecord is one locality's share of one item.
@@ -41,6 +47,7 @@ type Checkpoint struct {
 // Capture exports the fragments of the given items from every
 // locality. With a nil item list, every live item is captured.
 func Capture(sys *core.System, items []dim.ItemID) (*Checkpoint, error) {
+	start := time.Now()
 	if items == nil {
 		seen := map[dim.ItemID]bool{}
 		for rank := 0; rank < sys.Size(); rank++ {
@@ -72,6 +79,9 @@ func Capture(sys *core.System, items []dim.ItemID) (*Checkpoint, error) {
 			})
 		}
 	}
+	reg := sys.Metrics(0)
+	reg.Counter(MetricCaptureBytes).Add(uint64(cp.Size()))
+	reg.Histogram(MetricCaptureTime).Observe(time.Since(start))
 	return cp, nil
 }
 
@@ -81,11 +91,27 @@ func Capture(sys *core.System, items []dim.ItemID) (*Checkpoint, error) {
 // through the same code path, so item IDs match) with empty or
 // stale-but-disjoint coverage — the normal situation after a restart.
 func Restore(sys *core.System, cp *Checkpoint) error {
+	return RestoreRemapped(sys, cp, nil)
+}
+
+// RestoreRemapped is Restore with a rank remap: each record captured
+// at rank r is imported at remap(r) instead (nil remap = identity).
+// This is how a checkpoint of N localities restores onto the survivors
+// after a crash — the dead rank's share is re-homed onto a live rank.
+func RestoreRemapped(sys *core.System, cp *Checkpoint, remap func(int) int) error {
 	if sys.Size() != cp.Localities {
 		return fmt.Errorf("resilience: checkpoint of %d localities restored into %d", cp.Localities, sys.Size())
 	}
+	start := time.Now()
 	for _, rec := range cp.Records {
-		mgr := sys.Manager(rec.Rank)
+		rank := rec.Rank
+		if remap != nil {
+			rank = remap(rank)
+		}
+		if rank < 0 || rank >= sys.Size() {
+			return fmt.Errorf("resilience: restore %v: remap %d -> %d out of range", rec.Item, rec.Rank, rank)
+		}
+		mgr := sys.Manager(rank)
 		name, err := mgr.TypeName(rec.Item)
 		if err != nil {
 			return fmt.Errorf("resilience: restore %v: item must exist before restore: %w", rec.Item, err)
@@ -95,55 +121,54 @@ func Restore(sys *core.System, cp *Checkpoint) error {
 		}
 		snap := rec.Snapshot
 		if err := mgr.ImportLocal(rec.Item, &snap); err != nil {
-			return fmt.Errorf("resilience: import %v at rank %d: %w", rec.Item, rec.Rank, err)
+			return fmt.Errorf("resilience: import %v at rank %d: %w", rec.Item, rank, err)
 		}
 	}
+	sys.Metrics(0).Histogram(MetricRestoreTime).Observe(time.Since(start))
 	return nil
 }
 
-// WriteTo serializes the checkpoint (gob).
-func (cp *Checkpoint) WriteTo(w io.Writer) (int64, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
-		return 0, err
-	}
-	n, err := w.Write(buf.Bytes())
-	return int64(n), err
-}
-
-// ReadCheckpoint deserializes a checkpoint.
-func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	var cp Checkpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, err
-	}
-	return &cp, nil
-}
-
-// DegradedRanks inspects monitor samples and returns the ranks whose
-// transport counters show failures — send errors or dropped frames —
-// in rank order. A degrading fabric is the early-warning signal that
+// DegradedRanks compares two monitor sample sets — a previous baseline
+// and the latest observation — and returns the ranks whose transport
+// failure counters (send errors, dropped frames) advanced between
+// them, in latest-sample order. The counters are cumulative, so the
+// delta (not the absolute value) marks a fabric that is degrading
+// *now*; a nil baseline means "no failures yet" and reduces to the
+// absolute check. A degrading fabric is the early-warning signal that
 // a locality may soon be lost, i.e. the moment to checkpoint.
-func DegradedRanks(samples []monitor.Sample) []int {
+func DegradedRanks(prev, latest []monitor.Sample) []int {
+	base := make(map[int]monitor.Sample, len(prev))
+	for _, s := range prev {
+		base[s.Rank] = s
+	}
 	var out []int
-	for _, s := range samples {
-		if s.SendErrors > 0 || s.DroppedFrames > 0 {
+	for _, s := range latest {
+		b := base[s.Rank]
+		if s.SendErrors > b.SendErrors || s.DroppedFrames > b.DroppedFrames {
 			out = append(out, s.Rank)
 		}
 	}
 	return out
 }
 
-// CaptureIfDegraded takes a checkpoint of items (nil for all) when
-// the monitor's latest snapshot reports transport degradation on any
-// rank. It returns the checkpoint (nil when the fabric is healthy or
-// no samples exist yet) and the degraded ranks.
+// CaptureIfDegraded takes a checkpoint of items (nil for all) when the
+// monitor's two most recent sampling rounds show fresh transport
+// degradation on any rank. It returns the checkpoint (nil while the
+// fabric is healthy or before the first sampling round) and the
+// degraded ranks.
 func CaptureIfDegraded(sys *core.System, m *monitor.Monitor, items []dim.ItemID) (*Checkpoint, []int, error) {
-	latest, ok := m.Latest()
-	if !ok {
-		return nil, nil, nil
+	var prev, latest []monitor.Sample
+	for rank := 0; rank < sys.Size(); rank++ {
+		h := m.History(rank)
+		if len(h) == 0 {
+			return nil, nil, nil
+		}
+		latest = append(latest, h[len(h)-1])
+		if len(h) >= 2 {
+			prev = append(prev, h[len(h)-2])
+		}
 	}
-	bad := DegradedRanks(latest)
+	bad := DegradedRanks(prev, latest)
 	if len(bad) == 0 {
 		return nil, nil, nil
 	}

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"bytes"
+	"encoding/gob"
 	"testing"
 	"time"
 
@@ -151,6 +152,45 @@ func TestCheckpointSerializationRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCheckpointCorruptionRejected(t *testing.T) {
+	sys, grid := buildGridSystem(t)
+	defer sys.Close()
+	cp, err := Capture(sys, []dim.ItemID{grid.Item()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := ReadCheckpoint(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("bit flip not caught by the checksum")
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(data[:2])); err == nil {
+		t.Fatal("near-empty stream accepted")
+	}
+
+	// Pre-format gob streams must keep decoding (fallback reader).
+	var gbuf bytes.Buffer
+	if err := gob.NewEncoder(&gbuf).Encode(cp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckpoint(&gbuf)
+	if err != nil {
+		t.Fatalf("legacy gob checkpoint rejected: %v", err)
+	}
+	if len(back.Records) != len(cp.Records) || back.Size() != cp.Size() {
+		t.Fatalf("gob fallback changed checkpoint: %d records, %d bytes", len(back.Records), back.Size())
+	}
+}
+
 func TestRestoreRejectsMismatchedSystems(t *testing.T) {
 	sys, grid := buildGridSystem(t)
 	cp, err := Capture(sys, []dim.ItemID{grid.Item()})
@@ -225,18 +265,31 @@ func TestCheckpointRestartMidComputation(t *testing.T) {
 }
 
 func TestDegradedRanks(t *testing.T) {
-	samples := []monitor.Sample{
+	latest := []monitor.Sample{
 		{Rank: 0},
 		{Rank: 1, SendErrors: 2},
 		{Rank: 2, Reconnects: 1}, // recovering, not degraded
 		{Rank: 3, DroppedFrames: 1},
 	}
-	got := DegradedRanks(samples)
+	got := DegradedRanks(nil, latest)
 	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Fatalf("DegradedRanks = %v, want [1 3]", got)
 	}
-	if DegradedRanks(nil) != nil {
+	if DegradedRanks(nil, nil) != nil {
 		t.Fatal("no samples must yield no degraded ranks")
+	}
+
+	// The counters are cumulative: an old failure that has not advanced
+	// since the baseline is no longer degradation.
+	prev := []monitor.Sample{
+		{Rank: 0},
+		{Rank: 1, SendErrors: 2},
+		{Rank: 2},
+		{Rank: 3},
+	}
+	got = DegradedRanks(prev, latest)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("delta DegradedRanks = %v, want [3]", got)
 	}
 }
 

@@ -74,6 +74,18 @@ func (l *Locality) NewPromise() (PromiseID, *Future) {
 	return id, f
 }
 
+// PromisePending reports whether a promise owned by this locality is
+// still unfulfilled. It is false for promises owned elsewhere — only
+// the owner tracks fulfilment. The recovery layer uses it to decide
+// whether a task lost on a dead rank still has a waiter.
+func (l *Locality) PromisePending(id PromiseID) bool {
+	if id.Owner != l.Rank() {
+		return false
+	}
+	_, ok := l.promises.Load(id.Seq)
+	return ok
+}
+
 // fulfillLocal resolves a promise owned by this locality.
 func (l *Locality) fulfillLocal(seq uint64, value []byte, errStr string) {
 	if v, ok := l.promises.LoadAndDelete(seq); ok {

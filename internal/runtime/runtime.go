@@ -116,6 +116,20 @@ type Locality struct {
 	rpcRT     *metrics.Histogram
 	tracer    atomic.Pointer[trace.Tracer]
 
+	// dead is the locality's view of confirmed-dead peer ranks: once a
+	// rank is marked, calls and sends toward it fail fast with
+	// ErrPeerFailed instead of touching the transport. heard records,
+	// per peer, the UnixNano timestamp of the last inbound message of
+	// any kind — the substrate of heartbeat failure detection.
+	dead  []atomic.Bool
+	heard []atomic.Int64
+
+	// deathMu guards the subscriber lists; the callbacks themselves run
+	// outside the lock.
+	deathMu    sync.Mutex
+	onDeath    []func(rank int)
+	onPeerFail []func(peer int, err error)
+
 	closed atomic.Bool
 }
 
@@ -132,6 +146,12 @@ func NewLocality(ep transport.Endpoint) *Locality {
 		rpcCalls:  reg.Counter(MetricRPCCalls),
 		rpcErrors: reg.Counter(MetricRPCErrors),
 		rpcRT:     reg.Histogram(MetricRPCRoundtrip),
+		dead:      make([]atomic.Bool, ep.Size()),
+		heard:     make([]atomic.Int64, ep.Size()),
+	}
+	now := time.Now().UnixNano()
+	for i := range l.heard {
+		l.heard[i].Store(now)
 	}
 	ep.SetMetrics(reg)
 	ep.SetHandler(l.dispatch)
@@ -156,7 +176,99 @@ func (l *Locality) Tracer() *trace.Tracer { return l.tracer.Load() }
 func (l *Locality) peerFailure(peer int, cause error) {
 	l.failCalls(func(dst int) bool { return dst == peer },
 		fmt.Errorf("%w: rank %d: %v", ErrPeerFailed, peer, cause))
+	l.deathMu.Lock()
+	subs := make([]func(int, error), len(l.onPeerFail))
+	copy(subs, l.onPeerFail)
+	l.deathMu.Unlock()
+	for _, fn := range subs {
+		fn(peer, cause)
+	}
 }
+
+// OnPeerFailure subscribes to transport link-failure notifications
+// (see transport.FailureHandler: per-connection events, not permanent
+// verdicts). Callbacks run on transport goroutines and must not block.
+func (l *Locality) OnPeerFailure(fn func(peer int, err error)) {
+	l.deathMu.Lock()
+	l.onPeerFail = append(l.onPeerFail, fn)
+	l.deathMu.Unlock()
+}
+
+// OnDeath subscribes to confirmed-death events (MarkDead). Callbacks
+// run synchronously on the marking goroutine.
+func (l *Locality) OnDeath(fn func(rank int)) {
+	l.deathMu.Lock()
+	l.onDeath = append(l.onDeath, fn)
+	l.deathMu.Unlock()
+}
+
+// MarkDead records a peer rank as permanently dead: every outstanding
+// call toward it fails with ErrPeerFailed, future calls and sends fail
+// fast, and OnDeath subscribers fire. Idempotent; marking the local
+// rank is ignored.
+func (l *Locality) MarkDead(rank int) {
+	if rank < 0 || rank >= len(l.dead) || rank == l.Rank() {
+		return
+	}
+	if l.dead[rank].Swap(true) {
+		return
+	}
+	l.failCalls(func(dst int) bool { return dst == rank },
+		fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, rank))
+	l.deathMu.Lock()
+	subs := make([]func(int), len(l.onDeath))
+	copy(subs, l.onDeath)
+	l.deathMu.Unlock()
+	for _, fn := range subs {
+		fn(rank)
+	}
+}
+
+// IsDead reports whether the rank has been marked dead.
+func (l *Locality) IsDead(rank int) bool {
+	return rank >= 0 && rank < len(l.dead) && l.dead[rank].Load()
+}
+
+// LiveRanks returns the ranks not marked dead (the local rank always
+// included), in ascending order.
+func (l *Locality) LiveRanks() []int {
+	out := make([]int, 0, len(l.dead))
+	for r := range l.dead {
+		if !l.dead[r].Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LastHeard returns the time of the last inbound message from the
+// peer (of any kind, heartbeats included). Before any traffic it
+// reports the locality's creation time.
+func (l *Locality) LastHeard(rank int) time.Time {
+	if rank < 0 || rank >= len(l.heard) {
+		return time.Time{}
+	}
+	return time.Unix(0, l.heard[rank].Load())
+}
+
+// Heartbeat sends one liveness probe frame to dst. Probes bypass the
+// RPC layer entirely: no body, no response, no pending-call state —
+// their receipt refreshes the sender's last-heard timestamp at dst.
+func (l *Locality) Heartbeat(dst int) error {
+	if dst == l.Rank() {
+		return nil
+	}
+	if l.closed.Load() {
+		return fmt.Errorf("runtime: locality %d closed", l.Rank())
+	}
+	if l.IsDead(dst) {
+		return fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst)
+	}
+	return l.ep.Send(dst, transport.KindHeartbeat, nil)
+}
+
+// Closed reports whether Close has been called.
+func (l *Locality) Closed() bool { return l.closed.Load() }
 
 // failCalls resolves every outstanding call whose destination matches
 // with err. LoadAndDelete makes each call fail at most once even when
@@ -207,7 +319,15 @@ func (l *Locality) HandleOneWay(name string, h OneWay) {
 // handed to its own goroutine so that a blocking handler can never
 // stall delivery (and in particular never deadlock an RPC cycle).
 func (l *Locality) dispatch(msg transport.Message) {
+	if msg.From >= 0 && msg.From < len(l.heard) {
+		l.heard[msg.From].Store(time.Now().UnixNano())
+	}
+	if l.closed.Load() {
+		return
+	}
 	switch msg.Kind {
+	case transport.KindHeartbeat:
+		// Liveness probe: the timestamp update above is its entire effect.
 	case kindRequest:
 		go l.serveRequest(msg)
 	case kindResponse:
@@ -306,6 +426,16 @@ func (l *Locality) CallAsync(dst int, method string, args any) *Future {
 		}()
 		return fut
 	}
+	if l.closed.Load() {
+		l.rpcErrors.Inc()
+		fut.fulfill(nil, fmt.Errorf("runtime: locality %d closed", l.Rank()))
+		return fut
+	}
+	if l.IsDead(dst) {
+		l.rpcErrors.Inc()
+		fut.fulfill(nil, fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst))
+		return fut
+	}
 	id := l.nextCall.Add(1)
 	pc := &pendingCall{dst: dst, fut: fut,
 		sp: l.Tracer().Begin("rpc.call", method, 0), start: time.Now()}
@@ -319,6 +449,14 @@ func (l *Locality) CallAsync(dst int, method string, args any) *Future {
 	if err := l.ep.Send(dst, kindRequest, payload); err != nil {
 		if _, ok := l.calls.LoadAndDelete(id); ok {
 			l.resolve(pc, nil, err)
+		}
+		return fut
+	}
+	// Re-check after the Store: a MarkDead racing with this call may
+	// have swept the calls map before our entry landed in it.
+	if l.IsDead(dst) {
+		if _, ok := l.calls.LoadAndDelete(id); ok {
+			l.resolve(pc, nil, fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst))
 		}
 	}
 	return fut
@@ -355,6 +493,12 @@ func (l *Locality) Send(dst int, method string, args any) error {
 		go h(l.Rank(), body)
 		return nil
 	}
+	if l.closed.Load() {
+		return fmt.Errorf("runtime: locality %d closed", l.Rank())
+	}
+	if l.IsDead(dst) {
+		return fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst)
+	}
 	payload, err := encode(&oneWayMsg{Method: method, Body: body})
 	if err != nil {
 		return err
@@ -363,8 +507,11 @@ func (l *Locality) Send(dst int, method string, args any) error {
 }
 
 // Close shuts the locality's endpoint down and fails every still
-// outstanding call — responses can no longer arrive, so leaving them
-// pending would strand their waiters forever.
+// outstanding call and every unfulfilled local promise — responses
+// and fulfillments can no longer arrive, so leaving them pending
+// would strand their waiters forever. Failing the promises also lets
+// a crashed ("killed") locality's still-running task goroutines
+// unwind instead of blocking on child futures.
 func (l *Locality) Close() error {
 	if l.closed.Swap(true) {
 		return nil
@@ -372,5 +519,12 @@ func (l *Locality) Close() error {
 	err := l.ep.Close()
 	l.failCalls(func(int) bool { return true },
 		fmt.Errorf("runtime: locality %d closed with call outstanding", l.Rank()))
+	closeErr := fmt.Errorf("runtime: locality %d closed with promise outstanding", l.Rank())
+	l.promises.Range(func(k, v any) bool {
+		if _, ok := l.promises.LoadAndDelete(k); ok {
+			v.(*Future).fulfill(nil, closeErr)
+		}
+		return true
+	})
 	return err
 }

@@ -27,6 +27,21 @@ func NewSystem(n int) *System {
 	return s
 }
 
+// NewSystemOver builds a system on caller-provided endpoints — one
+// locality per endpoint, promise service installed — instead of the
+// default in-process fabric. The endpoints (typically TCPEndpoints)
+// must already agree on rank/size; Start is then a no-op because
+// caller-provided endpoints deliver as soon as they are wired.
+func NewSystemOver(eps []transport.Endpoint) *System {
+	s := &System{}
+	for _, ep := range eps {
+		l := NewLocality(ep)
+		l.RegisterPromiseService()
+		s.localities = append(s.localities, l)
+	}
+	return s
+}
+
 // Size returns the number of localities.
 func (s *System) Size() int { return len(s.localities) }
 
@@ -41,12 +56,19 @@ func (s *System) Localities() []*Locality {
 }
 
 // Start begins message delivery. All services must be registered.
-func (s *System) Start() { s.fabric.Start() }
+func (s *System) Start() {
+	if s.fabric != nil {
+		s.fabric.Start()
+	}
+}
 
 // Close shuts the system down.
 func (s *System) Close() error {
 	for _, l := range s.localities {
 		l.Close()
+	}
+	if s.fabric == nil {
+		return nil
 	}
 	return s.fabric.Close()
 }

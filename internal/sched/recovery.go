@@ -1,0 +1,114 @@
+package sched
+
+// Crash-recovery support of the scheduler (DESIGN.md §6c). Two
+// registries track every task whose spec this rank handed to a peer:
+//
+//   - inflight: tasks shipped by assign to a remote target;
+//   - handoffs: queued tasks granted to a remote thief.
+//
+// When the recovery coordinator learns that a rank died, HandleDeath
+// drains the entries pointing at it; the specs are either respawned
+// onto live ranks (pure-compute tasks) or failed back to their waiters
+// for a checkpoint rollback. Entries are advisory over-approximations:
+// a task that completed normally leaves a stale entry until swept, and
+// respawning it again is harmless — promise fulfilment is idempotent.
+
+// inflightSweepLimit bounds the inflight registry: past it, entries
+// whose locally-owned promise is already fulfilled are dropped.
+const inflightSweepLimit = 1024
+
+// handoffLimit bounds the steal-handoff FIFO; the oldest entries are
+// dropped first (they are the most likely to be long finished).
+const handoffLimit = 4096
+
+type inflightEntry struct {
+	spec   TaskSpec
+	target int
+}
+
+type handoffEntry struct {
+	spec  TaskSpec
+	thief int
+}
+
+func (s *Scheduler) trackInflight(spec *TaskSpec, target int) {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	s.inflight[spec.ID] = inflightEntry{spec: *spec, target: target}
+	if len(s.inflight) <= inflightSweepLimit {
+		return
+	}
+	for id, e := range s.inflight {
+		if e.spec.Origin == s.loc.Rank() && !s.loc.PromisePending(e.spec.Promise) {
+			delete(s.inflight, id)
+		}
+	}
+}
+
+func (s *Scheduler) untrackInflight(id uint64) {
+	s.inflightMu.Lock()
+	delete(s.inflight, id)
+	s.inflightMu.Unlock()
+}
+
+func (s *Scheduler) trackHandoff(spec *TaskSpec, thief int) {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	if len(s.handoffs) >= handoffLimit {
+		n := copy(s.handoffs, s.handoffs[1:])
+		s.handoffs = s.handoffs[:n]
+	}
+	s.handoffs = append(s.handoffs, handoffEntry{spec: *spec, thief: thief})
+}
+
+// HandleDeath drains and returns the specs of all tasks this rank
+// handed to the given (dead) rank — shipped placements and granted
+// steals. The set over-approximates the actually lost tasks; callers
+// filter by promise pendency and deduplicate across ranks.
+func (s *Scheduler) HandleDeath(dead int) []TaskSpec {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	var out []TaskSpec
+	for id, e := range s.inflight {
+		if e.target == dead {
+			out = append(out, e.spec)
+			delete(s.inflight, id)
+		}
+	}
+	kept := s.handoffs[:0]
+	for _, h := range s.handoffs {
+		if h.thief == dead {
+			out = append(out, h.spec)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	for i := len(kept); i < len(s.handoffs); i++ {
+		s.handoffs[i] = handoffEntry{}
+	}
+	s.handoffs = kept
+	return out
+}
+
+// Respawn re-schedules a task lost on a dead rank. Placement runs
+// through the ordinary assign path, which now excludes dead ranks.
+func (s *Scheduler) Respawn(spec TaskSpec) error {
+	s.stats.respawns.Inc()
+	return s.assign(&spec)
+}
+
+// Respawns returns the number of tasks re-scheduled after peer deaths.
+func (s *Scheduler) Respawns() uint64 { return s.stats.respawns.Value() }
+
+// nextLive returns the first live rank after target (wrapping),
+// falling back to the local rank when every other rank is dead.
+func (s *Scheduler) nextLive(target int) int {
+	size := s.loc.Size()
+	for off := 1; off < size; off++ {
+		r := (target + off) % size
+		if r == s.loc.Rank() || !s.loc.IsDead(r) {
+			return r
+		}
+	}
+	return s.loc.Rank()
+}

@@ -116,6 +116,7 @@ const (
 	MetricSteals        = "sched.steals"
 	MetricStolenFrom    = "sched.stolen_from"
 	MetricTaskExec      = "sched.task_exec"
+	MetricRespawns      = "sched.respawns"
 )
 
 // Stats aggregates per-locality scheduling counters.
@@ -147,6 +148,14 @@ type Scheduler struct {
 	// by EnableQueue (see steal.go).
 	queue *queueState
 
+	// inflight and handoffs track tasks that left this rank toward a
+	// peer — shipped placements and granted steals — so the recovery
+	// coordinator can recover tasks lost on a dead rank (see
+	// recovery.go in this package).
+	inflightMu sync.Mutex
+	inflight   map[uint64]inflightEntry
+	handoffs   []handoffEntry
+
 	// stats are counters cached from the locality registry, which is
 	// the single source of truth read by monitor and tests.
 	stats struct {
@@ -154,6 +163,7 @@ type Scheduler struct {
 		localPlaced, remotePlaced           *metrics.Counter
 		coveredAll, coveredWrite, polPlaced *metrics.Counter
 		stealAttempts, stolen, stolenFrom   *metrics.Counter
+		respawns                            *metrics.Counter
 	}
 	execHist *metrics.Histogram
 }
@@ -168,7 +178,11 @@ type runArgs struct {
 // New creates the scheduler of one locality. Kinds must be registered
 // (identically everywhere) before tasks are spawned.
 func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
-	s := &Scheduler{loc: loc, mgr: mgr, policy: policy, kinds: make(map[string]*Kind)}
+	s := &Scheduler{
+		loc: loc, mgr: mgr, policy: policy,
+		kinds:    make(map[string]*Kind),
+		inflight: make(map[uint64]inflightEntry),
+	}
 	reg := loc.Metrics()
 	s.stats.spawned = reg.Counter(MetricSpawned)
 	s.stats.executed = reg.Counter(MetricExecuted)
@@ -181,6 +195,7 @@ func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 	s.stats.stealAttempts = reg.Counter(MetricStealAttempts)
 	s.stats.stolen = reg.Counter(MetricSteals)
 	s.stats.stolenFrom = reg.Counter(MetricStolenFrom)
+	s.stats.respawns = reg.Counter(MetricRespawns)
 	s.execHist = reg.Histogram(MetricTaskExec)
 	if lb, ok := policy.(loadBinder); ok {
 		lb.BindLoad(s.Load)
@@ -313,6 +328,11 @@ func (s *Scheduler) assign(spec *TaskSpec) error {
 		target = s.policy.PickTarget(spec, s.loc.Size()) // line 12
 		s.stats.polPlaced.Inc()
 	}
+	// Dead ranks are excluded from placement: remap a dead policy pick
+	// to the next live rank (coveringRank already skips dead owners).
+	if target != s.loc.Rank() && s.loc.IsDead(target) {
+		target = s.nextLive(target)
+	}
 
 	if target == s.loc.Rank() {
 		s.stats.localPlaced.Inc()
@@ -320,7 +340,15 @@ func (s *Scheduler) assign(spec *TaskSpec) error {
 		return nil
 	}
 	s.stats.remotePlaced.Inc()
-	return s.loc.Send(target, methodRun, &runArgs{Spec: *spec, Variant: variant})
+	s.trackInflight(spec, target)
+	if err := s.loc.Send(target, methodRun, &runArgs{Spec: *spec, Variant: variant}); err != nil {
+		// The peer raced into death between the liveness check and the
+		// send: keep the task rather than losing it.
+		s.untrackInflight(spec.ID)
+		s.stats.localPlaced.Inc()
+		go s.execute(spec, variant)
+	}
+	return nil
 }
 
 // coveringRank returns a rank whose fragments cover all (or, with
@@ -353,6 +381,9 @@ func (s *Scheduler) coveringRank(reqs []dim.Requirement, writeOnly bool) int {
 		}
 		covering := make(map[int]bool)
 		for rank, cov := range perRank {
+			if s.loc.IsDead(rank) {
+				continue
+			}
 			if rq.Region.Difference(cov).IsEmpty() {
 				covering[rank] = true
 			}

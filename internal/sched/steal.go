@@ -29,11 +29,12 @@ type stealReply struct {
 
 // queueState holds the optional work-stealing run queue.
 type queueState struct {
-	mu      sync.Mutex
-	tasks   []TaskSpec
-	workers int
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	tasks    []TaskSpec
+	workers  int
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // EnableQueue switches the scheduler from goroutine-per-task to a
@@ -55,6 +56,7 @@ func (s *Scheduler) EnableQueue(workers int) {
 			return encodeWire(&stealReply{})
 		}
 		s.stats.stolenFrom.Inc()
+		s.trackHandoff(&spec, from)
 		return encodeWire(&stealReply{Found: true, Spec: spec})
 	})
 	for w := 0; w < workers; w++ {
@@ -63,14 +65,25 @@ func (s *Scheduler) EnableQueue(workers int) {
 	}
 }
 
-// StopQueue terminates the worker pool (used by tests; systems
-// normally live for the process lifetime).
+// StopQueue terminates the worker pool and waits for the workers to
+// exit (used by tests; systems normally live for the process
+// lifetime). It is idempotent.
 func (s *Scheduler) StopQueue() {
 	if s.queue == nil {
 		return
 	}
-	close(s.queue.stop)
+	s.queue.stopOnce.Do(func() { close(s.queue.stop) })
 	s.queue.wg.Wait()
+}
+
+// AbortQueue signals the worker pool to stop without waiting for the
+// workers: killing a locality must not block on workers that may be
+// mid-task (their in-flight RPCs fail once the locality closes).
+func (s *Scheduler) AbortQueue() {
+	if s.queue == nil {
+		return
+	}
+	s.queue.stopOnce.Do(func() { close(s.queue.stop) })
 }
 
 // StealStats reports (stolen-by-us, stolen-from-us).
@@ -155,19 +168,22 @@ func (s *Scheduler) worker(seed int) {
 			s.executeNow(&spec, VariantProcess)
 			continue
 		}
-		// Try to steal from a random peer.
+		// Try to steal from a random live peer (dead peers fall
+		// through to the backoff — no point hammering them).
 		if s.loc.Size() > 1 {
 			victim := rng.Intn(s.loc.Size() - 1)
 			if victim >= s.Rank() {
 				victim++
 			}
-			s.stats.stealAttempts.Inc()
-			var reply stealReply
-			if err := s.loc.Call(victim, methodSteal, struct{}{}, &reply); err == nil && reply.Found {
-				s.stats.stolen.Inc()
-				idle = 0
-				s.executeNow(&reply.Spec, VariantProcess)
-				continue
+			if !s.loc.IsDead(victim) {
+				s.stats.stealAttempts.Inc()
+				var reply stealReply
+				if err := s.loc.Call(victim, methodSteal, struct{}{}, &reply); err == nil && reply.Found {
+					s.stats.stolen.Inc()
+					idle = 0
+					s.executeNow(&reply.Spec, VariantProcess)
+					continue
+				}
 			}
 		}
 		// Nothing anywhere: back off briefly.

@@ -95,7 +95,7 @@ func (e *inprocEndpoint) Send(to int, kind string, payload []byte) error {
 	msg := Message{From: e.rank, To: to, Kind: kind, Payload: payload}
 	select {
 	case dst.inbox <- msg:
-		e.stats.Load().sent(len(payload))
+		e.stats.Load().sent(kind, len(payload))
 		return nil
 	case <-dst.done:
 		e.stats.Load().sendErrors.Inc()
@@ -109,7 +109,7 @@ func (e *inprocEndpoint) Send(to int, kind string, payload []byte) error {
 
 func (e *inprocEndpoint) deliver() {
 	handle := func(msg Message) {
-		e.stats.Load().received(len(msg.Payload))
+		e.stats.Load().received(msg.Kind, len(msg.Payload))
 		if p := e.handler.Load(); p != nil && *p != nil {
 			(*p)(msg)
 		}

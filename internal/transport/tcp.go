@@ -376,7 +376,7 @@ func (e *TCPEndpoint) read(c net.Conn) {
 			return
 		}
 		from = int(f)
-		e.stats.Load().received(len(payload))
+		e.stats.Load().received(string(kind), len(payload))
 		if p := e.handler.Load(); p != nil && *p != nil {
 			(*p)(Message{From: int(f), To: e.rank, Kind: string(kind), Payload: payload})
 		}
@@ -511,7 +511,7 @@ func (e *TCPEndpoint) Send(to int, kind string, payload []byte) error {
 			return err
 		}
 		if err = tc.enqueue(buf); err == nil {
-			e.stats.Load().sent(len(payload))
+			e.stats.Load().sent(kind, len(payload))
 			return nil
 		}
 		if e.evict(to, tc) {

@@ -38,6 +38,13 @@ type Handler func(msg Message)
 // still redial the peer on the next Send.
 type FailureHandler func(peer int, err error)
 
+// KindHeartbeat is the message kind of liveness probe frames. Probes
+// carry no payload; their only effect at the receiver is refreshing
+// the sender's last-heard timestamp, so both fabrics deliver them
+// through the ordinary handler path and count them separately in
+// Stats (they also count as regular messages).
+const KindHeartbeat = "hb"
+
 // Endpoint is one communication port of a runtime process.
 // Implementations guarantee reliable, per-sender-ordered delivery.
 type Endpoint interface {
@@ -85,18 +92,24 @@ type Stats struct {
 	// size beyond the sanity limit or sender rank out of range); the
 	// carrying connection is closed.
 	DroppedFrames uint64
+	// HeartbeatsSent / HeartbeatsReceived count KindHeartbeat liveness
+	// probes (also included in the Msgs* totals).
+	HeartbeatsSent     uint64
+	HeartbeatsReceived uint64
 }
 
 // Registry names under which endpoints publish their traffic
 // counters; monitor and tests read these instead of private fields.
 const (
-	MetricMsgsSent      = "transport.msgs_sent"
-	MetricBytesSent     = "transport.bytes_sent"
-	MetricMsgsReceived  = "transport.msgs_received"
-	MetricBytesReceived = "transport.bytes_received"
-	MetricReconnects    = "transport.reconnects"
-	MetricSendErrors    = "transport.send_errors"
-	MetricDroppedFrames = "transport.dropped_frames"
+	MetricMsgsSent           = "transport.msgs_sent"
+	MetricBytesSent          = "transport.bytes_sent"
+	MetricMsgsReceived       = "transport.msgs_received"
+	MetricBytesReceived      = "transport.bytes_received"
+	MetricReconnects         = "transport.reconnects"
+	MetricSendErrors         = "transport.send_errors"
+	MetricDroppedFrames      = "transport.dropped_frames"
+	MetricHeartbeatsSent     = "transport.heartbeats_sent"
+	MetricHeartbeatsReceived = "transport.heartbeats_received"
 )
 
 // counters is the Stats backing store shared by the fabric
@@ -106,6 +119,7 @@ const (
 type counters struct {
 	msgsSent, bytesSent, msgsRecv, bytesRecv *metrics.Counter
 	reconnects, sendErrors, droppedFrames    *metrics.Counter
+	hbSent, hbRecv                           *metrics.Counter
 }
 
 // newCounters binds a counters set to reg (a fresh private registry
@@ -122,28 +136,38 @@ func newCounters(reg *metrics.Registry) *counters {
 		reconnects:    reg.Counter(MetricReconnects),
 		sendErrors:    reg.Counter(MetricSendErrors),
 		droppedFrames: reg.Counter(MetricDroppedFrames),
+		hbSent:        reg.Counter(MetricHeartbeatsSent),
+		hbRecv:        reg.Counter(MetricHeartbeatsReceived),
 	}
 }
 
-func (c *counters) sent(n int) {
+func (c *counters) sent(kind string, n int) {
 	c.msgsSent.Inc()
 	c.bytesSent.Add(uint64(n))
+	if kind == KindHeartbeat {
+		c.hbSent.Inc()
+	}
 }
 
-func (c *counters) received(n int) {
+func (c *counters) received(kind string, n int) {
 	c.msgsRecv.Inc()
 	c.bytesRecv.Add(uint64(n))
+	if kind == KindHeartbeat {
+		c.hbRecv.Inc()
+	}
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		MsgsSent:      c.msgsSent.Value(),
-		BytesSent:     c.bytesSent.Value(),
-		MsgsReceived:  c.msgsRecv.Value(),
-		BytesReceived: c.bytesRecv.Value(),
-		Reconnects:    c.reconnects.Value(),
-		SendErrors:    c.sendErrors.Value(),
-		DroppedFrames: c.droppedFrames.Value(),
+		MsgsSent:           c.msgsSent.Value(),
+		BytesSent:          c.bytesSent.Value(),
+		MsgsReceived:       c.msgsRecv.Value(),
+		BytesReceived:      c.bytesRecv.Value(),
+		Reconnects:         c.reconnects.Value(),
+		SendErrors:         c.sendErrors.Value(),
+		DroppedFrames:      c.droppedFrames.Value(),
+		HeartbeatsSent:     c.hbSent.Value(),
+		HeartbeatsReceived: c.hbRecv.Value(),
 	}
 }
 
