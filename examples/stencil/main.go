@@ -4,7 +4,7 @@
 //
 // Run with:
 //
-//	go run ./examples/stencil [-n 128] [-steps 10] [-localities 4] [-trace out.json] [-crash]
+//	go run ./examples/stencil [-n 128] [-steps 10] [-localities 4] [-trace out.json] [-crash] [-chaos seed,drop,delay]
 //
 // With -trace, the run records task-lifecycle, RPC and data-item
 // spans on every rank and writes a Chrome trace_event JSON file
@@ -15,6 +15,14 @@
 // the second half, the failure detector excludes it, the survivors
 // roll back and re-home its data, and the second half re-runs on the
 // remaining localities — still producing the bit-identical result.
+//
+// With -chaos seed,drop,delay (e.g. -chaos 1,0.05,0.2), every
+// endpoint is wrapped in a seeded fault-injection layer: frames are
+// dropped with probability `drop` and delayed/reordered with
+// probability `delay`, both call planes get a retry budget, and the
+// run still verifies bit-identical — the at-least-once delivery and
+// server-side dedup of DESIGN.md §6d absorb the faults. The injected
+// fault and retry counters are printed at the end.
 package main
 
 import (
@@ -22,13 +30,18 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"allscale/internal/apps/stencil"
+	"allscale/internal/chaos"
 	"allscale/internal/core"
 	"allscale/internal/recovery"
 	"allscale/internal/resilience"
+	"allscale/internal/runtime"
 	"allscale/internal/trace"
+	"allscale/internal/transport"
 )
 
 func main() {
@@ -37,12 +50,17 @@ func main() {
 	localities := flag.Int("localities", 4, "simulated cluster nodes")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 	crash := flag.Bool("crash", false, "kill a locality mid-run and recover from a checkpoint")
+	chaosSpec := flag.String("chaos", "", "run over a seeded lossy fabric: seed,drop,delay (e.g. 1,0.05,0.2)")
 	flag.Parse()
 
 	p := stencil.Params{N: *n, Steps: *steps, C: 0.1, MinGrain: 1024}
 
 	if *crash {
 		runCrashDemo(p, *localities, *traceOut)
+		return
+	}
+	if *chaosSpec != "" {
+		runChaosDemo(p, *localities, *chaosSpec)
 		return
 	}
 
@@ -204,4 +222,84 @@ func runCrashDemo(p stencil.Params, localities int, traceOut string) {
 	}
 	fmt.Printf("total with crash and recovery: %.1f ms\n", dur.Seconds()*1000)
 	fmt.Printf("verification: OK — results bit-identical to the sequential version despite losing locality %d\n", victim)
+}
+
+// runChaosDemo is the -chaos walkthrough: the whole computation runs
+// over a seeded lossy fabric (drops and delay/reorder on every link)
+// with both call planes under a retry budget, and must still verify
+// bit-identical against the sequential reference — dropped requests
+// are retried, duplicated effects are absorbed by the server-side
+// dedup window.
+func runChaosDemo(p stencil.Params, localities int, spec string) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		log.Fatalf("-chaos wants seed,drop,delay (e.g. 1,0.05,0.2), got %q", spec)
+	}
+	seed, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		log.Fatalf("-chaos seed: %v", err)
+	}
+	drop, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		log.Fatalf("-chaos drop: %v", err)
+	}
+	delay, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+	if err != nil {
+		log.Fatalf("-chaos delay: %v", err)
+	}
+	fmt.Printf("2D stencil over a lossy fabric, %d x %d, %d steps, %d localities (seed %d, drop %.1f%%, delay %.1f%%)\n",
+		p.N, p.N, p.Steps, localities, seed, drop*100, delay*100)
+	want := stencil.RunSequential(p)
+
+	fab := transport.NewFabric(localities)
+	eps := make([]transport.Endpoint, localities)
+	for i := range eps {
+		eps[i] = chaos.Wrap(fab.Endpoint(i), nil, chaos.Config{
+			Seed: seed, Drop: drop, Delay: delay, MaxDelay: time.Millisecond,
+		})
+	}
+	// A lossy fabric makes supervision mandatory: the data plane is
+	// unsupervised by default, and one dropped fragment fetch would
+	// hang the run forever.
+	calls := runtime.CallProfile{
+		Control: runtime.CallSpec{Deadline: 30 * time.Second, Attempt: 250 * time.Millisecond, Retries: 8},
+		Data:    runtime.CallSpec{Deadline: 60 * time.Second, Attempt: 500 * time.Millisecond, Retries: 8},
+	}
+	sys := core.NewSystem(core.Config{Endpoints: eps, Calls: &calls})
+	app := stencil.NewAllScale(sys, p)
+	sys.Start()
+	fab.Start()
+
+	start := time.Now()
+	err = app.Run()
+	var got []float64
+	if err == nil {
+		got, err = app.Result()
+	}
+	dur := time.Since(start)
+
+	var drops, dups, delays, retries, replays, suppressed uint64
+	for r := 0; r < localities; r++ {
+		reg := sys.Metrics(r)
+		drops += reg.CounterValue(chaos.MetricDrops)
+		dups += reg.CounterValue(chaos.MetricDups)
+		delays += reg.CounterValue(chaos.MetricDelays)
+		retries += reg.CounterValue(runtime.MetricRPCRetries)
+		replays += reg.CounterValue(runtime.MetricRPCDedupReplays)
+		suppressed += reg.CounterValue(runtime.MetricRPCDedupSuppressed)
+	}
+	sys.Close()
+	fab.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			log.Fatalf("verification FAILED at cell %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	fmt.Printf("allscale runtime: %.1f ms under injected faults\n", dur.Seconds()*1000)
+	fmt.Printf("injected: %d drops, %d delays, %d dups — absorbed by %d retries, %d dedup replays, %d in-flight suppressions\n",
+		drops, delays, dups, retries, replays, suppressed)
+	fmt.Println("verification: OK — results bit-identical to the sequential version despite the lossy fabric")
 }

@@ -48,6 +48,10 @@ type Config struct {
 	// SetRecovery (see the recovery package); zero values select the
 	// service's defaults.
 	Recovery RecoveryConfig
+	// Calls, when non-nil, replaces every locality's RPC delivery
+	// profile (deadlines, retry budgets — see runtime.CallProfile).
+	// Nil keeps runtime.DefaultCallProfile.
+	Calls *runtime.CallProfile
 }
 
 // RecoveryConfig tunes failure detection (see recovery.Options).
@@ -104,6 +108,9 @@ func NewSystem(cfg Config) *System {
 	}
 	s := &System{rsys: rsys, recCfg: cfg.Recovery}
 	for i := 0; i < n; i++ {
+		if cfg.Calls != nil {
+			s.rsys.Locality(i).SetCallProfile(*cfg.Calls)
+		}
 		if cfg.TraceCapacity > 0 {
 			tr := trace.New(i, cfg.TraceCapacity)
 			s.tracers = append(s.tracers, tr)

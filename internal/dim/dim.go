@@ -157,6 +157,17 @@ func (m *Manager) Rank() int { return m.loc.Rank() }
 // size returns the number of processes.
 func (m *Manager) size() int { return m.loc.Size() }
 
+// ctlOpt and dataOpt bind the locality's delivery profiles to the
+// manager's RPCs: index/metadata traffic rides the control-plane
+// policy (bounded deadline, retries with server-side dedup — index
+// mutations execute exactly once on a lossy fabric), while bulk
+// fragment transfers ride the data-plane policy (unbounded by
+// default, so large transfers on slow links keep their historical
+// semantics unless the profile opts in).
+func (m *Manager) ctlOpt() runtime.CallOption { return runtime.WithSpec(m.loc.ControlSpec()) }
+
+func (m *Manager) dataOpt() runtime.CallOption { return runtime.WithSpec(m.loc.DataSpec()) }
+
 // ---------------------------------------------------------------
 // Process hierarchy geometry (Fig. 5)
 // ---------------------------------------------------------------

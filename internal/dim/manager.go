@@ -128,7 +128,7 @@ func (m *Manager) CreateItem(typ dataitem.Type) (ItemID, error) {
 	m.mu.Unlock()
 	args := &createArgs{ID: id, TypeName: typ.Name()}
 	for rank := 0; rank < m.size(); rank++ {
-		if err := m.loc.Call(rank, methodCreate, args, nil); err != nil {
+		if err := m.loc.Call(rank, methodCreate, args, nil, m.ctlOpt()); err != nil {
 			return 0, fmt.Errorf("dim: create at rank %d: %w", rank, err)
 		}
 	}
@@ -160,7 +160,7 @@ func (m *Manager) handleCreate(_ int, args *createArgs) (*struct{}, error) {
 func (m *Manager) DestroyItem(id ItemID) error {
 	args := &destroyArgs{ID: id}
 	for rank := 0; rank < m.size(); rank++ {
-		if err := m.loc.Call(rank, methodDestroy, args, nil); err != nil {
+		if err := m.loc.Call(rank, methodDestroy, args, nil, m.ctlOpt()); err != nil {
 			return fmt.Errorf("dim: destroy at rank %d: %w", rank, err)
 		}
 	}
@@ -245,7 +245,7 @@ func (m *Manager) propagate(id ItemID, i, l int, total dataitem.Region, seq uint
 		left := nodeLo(i, l) == plo
 		p := m.liveHost(plo, l+1)
 		if p != m.Rank() {
-			return m.loc.Call(p, methodReport, &reportArgs{Item: id, Level: l + 1, Left: left, Region: total, Seq: seq}, nil)
+			return m.loc.Call(p, methodReport, &reportArgs{Item: id, Level: l + 1, Left: left, Region: total, Seq: seq}, nil, m.ctlOpt())
 		}
 		next, nextSeq, fresh, err := m.applyReport(id, l+1, left, total, seq)
 		if err != nil {
@@ -389,7 +389,7 @@ func (m *Manager) resolve(id ItemID, r dataitem.Region, l int, descend bool) ([]
 					out = append(out, entries...)
 				} else {
 					var reply resolveReply
-					if err := m.loc.Call(rc, methodResolve, &resolveArgs{Item: id, Region: sub, Level: l - 1, Descend: true}, &reply); err != nil {
+					if err := m.loc.Call(rc, methodResolve, &resolveArgs{Item: id, Region: sub, Level: l - 1, Descend: true}, &reply, m.ctlOpt()); err != nil {
 						return nil, err
 					}
 					out = append(out, reply.Entries...)
@@ -414,7 +414,7 @@ func (m *Manager) resolve(id ItemID, r dataitem.Region, l int, descend bool) ([]
 			out = append(out, entries...)
 		} else {
 			var reply resolveReply
-			if err := m.loc.Call(p, methodResolve, &resolveArgs{Item: id, Region: remaining, Level: l + 1}, &reply); err != nil {
+			if err := m.loc.Call(p, methodResolve, &resolveArgs{Item: id, Region: remaining, Level: l + 1}, &reply, m.ctlOpt()); err != nil {
 				return nil, err
 			}
 			out = append(out, reply.Entries...)
@@ -455,7 +455,7 @@ func (m *Manager) owners(id ItemID, r dataitem.Region) ([]Located, error) {
 		return m.resolveAll(id, r, root)
 	}
 	var reply resolveReply
-	if err := m.loc.Call(rh, methodResolveAll, &resolveArgs{Item: id, Region: r, Level: root}, &reply); err != nil {
+	if err := m.loc.Call(rh, methodResolveAll, &resolveArgs{Item: id, Region: r, Level: root}, &reply, m.ctlOpt()); err != nil {
 		return nil, err
 	}
 	return reply.Entries, nil
@@ -514,7 +514,7 @@ func (m *Manager) resolveAll(id ItemID, r dataitem.Region, l int) ([]Located, er
 				out = append(out, entries...)
 			} else {
 				var reply resolveReply
-				if err := m.loc.Call(rc, methodResolveAll, &resolveArgs{Item: id, Region: sub, Level: l - 1}, &reply); err != nil {
+				if err := m.loc.Call(rc, methodResolveAll, &resolveArgs{Item: id, Region: sub, Level: l - 1}, &reply, m.ctlOpt()); err != nil {
 					return nil, err
 				}
 				out = append(out, reply.Entries...)
@@ -634,7 +634,7 @@ func (m *Manager) handleUnpin(_ int, args *unpinArgs) (*struct{}, error) {
 
 // DropReplica evicts the given region from rank's fragment.
 func (m *Manager) DropReplica(rank int, id ItemID, r dataitem.Region) error {
-	return m.loc.Call(rank, methodDrop, &dropArgs{Item: id, Region: r}, nil)
+	return m.loc.Call(rank, methodDrop, &dropArgs{Item: id, Region: r}, nil, m.ctlOpt())
 }
 
 // handleClaim serializes first-touch allocation at the index root
@@ -660,7 +660,7 @@ func (m *Manager) claim(id ItemID, r dataitem.Region) (dataitem.Region, error) {
 		return nil, fmt.Errorf("dim: no live index root host")
 	}
 	var reply claimReply
-	if err := m.loc.Call(rh, methodClaim, &claimArgs{Item: id, Region: r}, &reply); err != nil {
+	if err := m.loc.Call(rh, methodClaim, &claimArgs{Item: id, Region: r}, &reply, m.ctlOpt()); err != nil {
 		return nil, err
 	}
 	return reply.Granted, nil
@@ -841,7 +841,7 @@ func (m *Manager) enforceExclusive(reqs []Requirement, deadline time.Time) error
 			}
 			for _, o := range foreign {
 				var reply fetchReply
-				if err := m.loc.Call(o.Rank, methodFetch, &fetchArgs{Item: rq.Item, Region: o.Region, Remove: true}, &reply); err != nil {
+				if err := m.loc.Call(o.Rank, methodFetch, &fetchArgs{Item: rq.Item, Region: o.Region, Remove: true}, &reply, m.dataOpt()); err != nil {
 					return fmt.Errorf("dim: evict replica of %v from rank %d: %w", rq.Item, o.Rank, err)
 				}
 				// All copies hold equal values (exclusive writes), so
@@ -943,7 +943,7 @@ func (m *Manager) ensureLocal(rq Requirement) error {
 				Item: rq.Item, Region: want,
 				Remove: rq.Mode == Write,
 				Pin:    rq.Mode == Read,
-			}, &reply)
+			}, &reply, m.dataOpt())
 			if err != nil {
 				return fmt.Errorf("dim: fetch %v from rank %d: %w", rq.Item, o.Rank, err)
 			}
@@ -956,7 +956,7 @@ func (m *Manager) ensureLocal(rq Requirement) error {
 			if reply.PinToken != 0 {
 				// The replica is registered (or the insert failed):
 				// release the source pin either way.
-				if err := m.loc.Call(o.Rank, methodUnpin, &unpinArgs{Token: reply.PinToken}, nil); err != nil {
+				if err := m.loc.Call(o.Rank, methodUnpin, &unpinArgs{Token: reply.PinToken}, nil, m.ctlOpt()); err != nil {
 					return err
 				}
 			}

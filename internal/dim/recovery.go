@@ -67,18 +67,18 @@ func (m *Manager) handleSyncAlloc(_ int, _ *struct{}) (*struct{}, error) {
 // RetractRemote drives phase 1 on a peer rank (self-calls short-
 // circuit through the locality).
 func (m *Manager) RetractRemote(rank int, epoch uint64) error {
-	return m.loc.Call(rank, methodRetract, &retractArgs{Epoch: epoch}, nil)
+	return m.loc.Call(rank, methodRetract, &retractArgs{Epoch: epoch}, nil, m.ctlOpt())
 }
 
 // RepublishRemote drives phase 2 on a peer rank.
 func (m *Manager) RepublishRemote(rank int) error {
-	return m.loc.Call(rank, methodRepublish, &struct{}{}, nil)
+	return m.loc.Call(rank, methodRepublish, &struct{}{}, nil, m.ctlOpt())
 }
 
 // SyncAllocRemote drives phase 3 on the given rank, which must be the
 // current live index root host.
 func (m *Manager) SyncAllocRemote(rank int) error {
-	return m.loc.Call(rank, methodSyncAlloc, &struct{}{}, nil)
+	return m.loc.Call(rank, methodSyncAlloc, &struct{}{}, nil, m.ctlOpt())
 }
 
 // RetractEpoch enters the given recovery epoch: all inner-node sides

@@ -51,6 +51,12 @@ type Options struct {
 	// Timeout is the silence span after which a peer is suspected and
 	// actively confirmed. Default 4× Heartbeat.
 	Timeout time.Duration
+	// PingRetries is how many times the confirmation ping is resent
+	// (each attempt bounded by Timeout) before the peer is declared
+	// dead. Suspicion pauses placement immediately; death needs the
+	// full retry exhaustion, so a lossy-but-alive peer survives a
+	// dropped probe. Default 3.
+	PingRetries int
 }
 
 // Registry names under which the coordinator publishes its metrics
@@ -61,6 +67,11 @@ const (
 	MetricRespawned = "recovery.respawned_tasks"
 	MetricRequeued  = "recovery.requeued_tasks"
 	MetricRecover   = "recovery.recover.us"
+	// MetricSuspects counts suspicion episodes (a peer flagged after
+	// heartbeat silence); MetricFalseAlarms counts the episodes that
+	// ended with a successful confirmation ping instead of a death.
+	MetricSuspects    = "recovery.suspects"
+	MetricFalseAlarms = "recovery.false_alarms"
 )
 
 const methodPing = "recovery.ping"
@@ -90,15 +101,19 @@ type Coordinator struct {
 	mu         sync.Mutex
 	dead       map[int]bool
 	confirming map[int]bool
-	epoch      uint64
-	cp         *resilience.Checkpoint
-	report     Report
+	// suspectedAt records when each rank first came under suspicion;
+	// the order decides report authority in distrusted.
+	suspectedAt map[int]time.Time
+	epoch       uint64
+	cp          *resilience.Checkpoint
+	report      Report
 
 	// recMu serializes whole recovery sequences: two deaths reported
 	// concurrently recover one after the other.
 	recMu sync.Mutex
 
 	deaths, rehomed, respawned, requeued *metrics.Counter
+	suspects, falseAlarms                *metrics.Counter
 	recoverHist                          *metrics.Histogram
 
 	stop     chan struct{}
@@ -126,16 +141,22 @@ func Attach(sys *core.System, opts Options) *Coordinator {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 4 * opts.Heartbeat
 	}
+	if opts.PingRetries <= 0 {
+		opts.PingRetries = 3
+	}
 	reg := sys.Metrics(0)
 	c := &Coordinator{
 		sys:         sys,
 		opts:        opts,
 		dead:        make(map[int]bool),
 		confirming:  make(map[int]bool),
+		suspectedAt: make(map[int]time.Time),
 		deaths:      reg.Counter(MetricDeaths),
 		rehomed:     reg.Counter(MetricRehomed),
 		respawned:   reg.Counter(MetricRespawned),
 		requeued:    reg.Counter(MetricRequeued),
+		suspects:    reg.Counter(MetricSuspects),
+		falseAlarms: reg.Counter(MetricFalseAlarms),
 		recoverHist: reg.Histogram(MetricRecover),
 		stop:        make(chan struct{}),
 	}
@@ -268,9 +289,13 @@ func (c *Coordinator) detect(rank int) {
 	}
 }
 
-// confirm actively verifies a suspected peer with a bounded ping RPC
-// from the observer rank, declaring the peer dead when it fails. At
-// most one confirmation per peer runs at a time.
+// confirm escalates a suspected peer: the peer is flagged suspect on
+// every live locality (placement and stealing avoid it immediately),
+// then a confirmation ping with a full retry budget decides between
+// false alarm (suspicion cleared) and death. Splitting suspicion from
+// death keeps a lossy-but-alive peer schedulable again after one
+// successful probe instead of fencing it forever. At most one
+// confirmation per peer runs at a time.
 func (c *Coordinator) confirm(observer, peer int) {
 	c.mu.Lock()
 	if c.dead[peer] || c.confirming[peer] {
@@ -278,9 +303,14 @@ func (c *Coordinator) confirm(observer, peer int) {
 		return
 	}
 	c.confirming[peer] = true
+	if _, ok := c.suspectedAt[peer]; !ok {
+		c.suspectedAt[peer] = time.Now()
+	}
 	c.mu.Unlock()
 	go func() {
 		sp := c.tracer().Begin("recovery.detect", fmt.Sprintf("confirm rank %d", peer), 0)
+		c.setSuspect(peer, true)
+		c.suspects.Inc()
 		err := c.ping(observer, peer)
 		sp.SetErr(err)
 		sp.End()
@@ -288,30 +318,82 @@ func (c *Coordinator) confirm(observer, peer int) {
 		delete(c.confirming, peer)
 		c.mu.Unlock()
 		if err == nil {
-			return // false alarm
+			// False alarm: the peer answered — lift the placement pause.
+			c.clearSuspicion(peer)
+			c.falseAlarms.Inc()
+			return
 		}
 		select {
 		case <-c.stop:
+			c.clearSuspicion(peer)
 			return // shutting down: closing localities are not deaths
 		default:
+		}
+		if c.distrusted(observer, peer) {
+			c.clearSuspicion(peer)
+			return
 		}
 		c.ReportDeath(peer)
 	}()
 }
 
-// ping calls the liveness service on peer from observer, bounded by
-// the detection timeout (a closed in-process peer may otherwise
-// swallow the request without an error).
+// distrusted reports whether observer's death report for peer must be
+// discarded. A dead observer has none: once survivors fence a
+// partitioned rank they stop heartbeating it, so its own detector soon
+// sees every survivor as silent and — with its pings still blocked —
+// would declare the whole system dead. Between live ranks, an observer
+// that came under suspicion no later than peer is the more likely
+// failure and loses report authority; ties cannot occur because
+// suspicions are recorded sequentially under mu. A discarded report
+// clears the suspicion; a genuinely dead peer is re-confirmed by a
+// trusted observer on the next detector tick.
+func (c *Coordinator) distrusted(observer, peer int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead[observer] {
+		return true
+	}
+	obsAt, suspected := c.suspectedAt[observer]
+	return suspected && !obsAt.After(c.suspectedAt[peer])
+}
+
+// clearSuspicion lifts the placement pause on peer and forgets its
+// suspicion timestamp so a later, unrelated suspicion starts fresh.
+func (c *Coordinator) clearSuspicion(peer int) {
+	c.setSuspect(peer, false)
+	c.mu.Lock()
+	delete(c.suspectedAt, peer)
+	c.mu.Unlock()
+}
+
+// setSuspect flags (or clears) peer as suspect on every locality that
+// can still act on it.
+func (c *Coordinator) setSuspect(peer int, v bool) {
+	for r := 0; r < c.sys.Size(); r++ {
+		if r == peer {
+			continue
+		}
+		if loc := c.sys.Locality(r); !loc.Closed() {
+			loc.SetSuspect(peer, v)
+		}
+	}
+}
+
+// ping calls the liveness service on peer from observer. The call is
+// bounded and retried by the RPC layer itself: each attempt waits
+// Timeout before the probe frame is resent, and only exhausting all
+// PingRetries resends declares the probe failed — a single dropped
+// frame on a lossy link is not evidence of death. A transport-level
+// link failure still fails the call immediately (stronger evidence
+// than silence).
 func (c *Coordinator) ping(observer, peer int) error {
 	loc := c.sys.Locality(observer)
-	done := make(chan error, 1)
-	go func() { done <- loc.Call(peer, methodPing, &struct{}{}, nil) }()
-	select {
-	case err := <-done:
-		return err
-	case <-time.After(c.opts.Timeout):
-		return fmt.Errorf("recovery: ping of rank %d timed out", peer)
-	}
+	deadline := time.Duration(c.opts.PingRetries+1) * c.opts.Timeout
+	return loc.Call(peer, methodPing, &struct{}{}, nil,
+		runtime.WithDeadline(deadline),
+		runtime.WithRetries(c.opts.PingRetries, c.opts.Timeout),
+		runtime.WithMaxBackoff(c.opts.Timeout),
+		runtime.WithIdempotent())
 }
 
 // ---------------------------------------------------------------
@@ -330,6 +412,12 @@ func (c *Coordinator) ReportDeath(dead int) {
 		return
 	}
 	c.dead[dead] = true
+	// Allocate the fence epoch for this death from the coordinator's
+	// monotonic epoch counter: every survivor adopts it and rejects
+	// frames from the dead rank stamped with an older epoch — a
+	// partitioned-then-healed rank cannot keep mutating survivor state.
+	c.epoch++
+	fence := c.epoch
 	cp := c.cp
 	c.mu.Unlock()
 
@@ -344,12 +432,13 @@ func (c *Coordinator) ReportDeath(dead int) {
 	}()
 
 	live := c.liveRanks()
-	// 1. Exclusion: every live locality marks the rank dead — future
-	// sends fail fast, pending calls toward it resolve with
-	// runtime.ErrPeerFailed, schedulers skip it for placement and
-	// stealing, the DIM routes index traffic around it.
+	// 1. Exclusion and fencing: every live locality marks the rank dead
+	// under the agreed fence epoch — future sends fail fast, pending
+	// calls toward it resolve with runtime.ErrPeerFailed, schedulers
+	// skip it for placement and stealing, the DIM routes index traffic
+	// around it, and its inbound frames are rejected at dispatch.
 	for _, r := range live {
-		c.sys.Locality(r).MarkDead(dead)
+		c.sys.Locality(r).MarkDeadEpoch(dead, fence)
 	}
 	// 2. The dead rank's replica pins will never be confirmed: release
 	// them everywhere so they cannot block write consolidation.

@@ -6,6 +6,7 @@ import (
 
 	"allscale/internal/core"
 	"allscale/internal/dim"
+	"allscale/internal/runtime"
 	"allscale/internal/wire"
 )
 
@@ -71,7 +72,13 @@ func CaptureRemote(sys *core.System, caller int, items []dim.ItemID) (*Checkpoin
 	for _, id := range items {
 		for rank := 0; rank < sys.Size(); rank++ {
 			var reply exportReply
-			if err := loc.Call(rank, methodExport, &exportArgs{Item: id}, &reply); err != nil {
+			// Exports are pure reads: idempotent, so retries need no
+			// dedup window, but each pull is bounded so a dead peer
+			// fails the capture instead of hanging it.
+			if err := loc.Call(rank, methodExport, &exportArgs{Item: id}, &reply,
+				runtime.WithDeadline(30*time.Second),
+				runtime.WithRetries(2, 5*time.Second),
+				runtime.WithIdempotent()); err != nil {
 				return nil, fmt.Errorf("resilience: remote capture %v from rank %d: %w", id, rank, err)
 			}
 			if reply.Snap.Region == nil || reply.Snap.Region.IsEmpty() {

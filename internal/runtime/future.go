@@ -105,20 +105,27 @@ type fulfillMsg struct {
 
 const methodFulfill = "runtime.fulfill"
 
-// RegisterPromiseService installs the promise-fulfilment message
-// handler; Systems do this automatically.
+// RegisterPromiseService installs the promise-fulfilment handler;
+// Systems do this automatically. Fulfilment is an acknowledged RPC
+// (not a one-way message) so FulfillRemote can retry a lost frame —
+// a task result must survive a lossy fabric. Re-fulfilling is
+// naturally idempotent: fulfillLocal deletes the promise on first
+// delivery and ignores the rest.
 func (l *Locality) RegisterPromiseService() {
-	l.HandleOneWay(methodFulfill, func(_ int, body []byte) {
+	l.Handle(methodFulfill, func(_ int, body []byte) ([]byte, error) {
 		var m fulfillMsg
 		if err := decode(body, &m); err != nil {
-			return
+			return nil, err
 		}
 		l.fulfillLocal(m.Seq, m.Value, m.Err)
+		return nil, nil
 	})
 }
 
 // FulfillRemote resolves the promise id (owned by any locality) with
 // the given value; err, when non-nil, is transported as a string.
+// Remote fulfilment is fire-and-forget but supervised: the control
+// profile's deadline/retry policy resends it until the owner acks.
 func (l *Locality) FulfillRemote(id PromiseID, value any, err error) error {
 	body, encErr := encode(value)
 	if encErr != nil {
@@ -132,5 +139,8 @@ func (l *Locality) FulfillRemote(id PromiseID, value any, err error) error {
 		l.fulfillLocal(id.Seq, body, errStr)
 		return nil
 	}
-	return l.Send(id.Owner, methodFulfill, &fulfillMsg{Seq: id.Seq, Value: body, Err: errStr})
+	spec := l.ControlSpec()
+	spec.Idempotent = true
+	l.CallAsync(id.Owner, methodFulfill, &fulfillMsg{Seq: id.Seq, Value: body, Err: errStr}, WithSpec(spec))
+	return nil
 }

@@ -28,9 +28,16 @@ type Method func(from int, body []byte) ([]byte, error)
 type OneWay func(from int, body []byte)
 
 const (
-	kindRequest  = "rpc.req"
-	kindResponse = "rpc.rsp"
-	kindOneWay   = "msg"
+	kindRequest = "rpc.req"
+	// kindRequestDedup carries retryable non-idempotent requests. The
+	// separate kind lets dispatch register them in the dedup window in
+	// delivery order — on a FIFO transport a duplicate then always
+	// observes the window before any later frame whose ack watermark
+	// could evict its entry — while plain requests skip the window
+	// entirely.
+	kindRequestDedup = "rpc.reqd"
+	kindResponse     = "rpc.rsp"
+	kindOneWay       = "msg"
 )
 
 type rpcRequest struct {
@@ -40,17 +47,29 @@ type rpcRequest struct {
 	// Span carries the caller's rpc.call span ID so the serving rank
 	// can parent its rpc.serve span across the wire (0 = untraced).
 	Span uint64
+	// Epoch is the sender's incarnation epoch at send time; receivers
+	// drop frames whose epoch is older than the fence recorded for the
+	// sending rank (partition fencing, DESIGN.md §6d).
+	Epoch uint64
+	// Flags carries delivery-semantics bits (flagDedup).
+	Flags uint64
+	// Ack is the caller's dedup watermark for this destination: every
+	// call ID ≤ Ack is resolved at the caller and can be evicted from
+	// the server's dedup window.
+	Ack uint64
 }
 
 type rpcResponse struct {
-	ID   uint64
-	Body []byte
-	Err  string
+	ID    uint64
+	Body  []byte
+	Err   string
+	Epoch uint64
 }
 
 type oneWayMsg struct {
 	Method string
 	Body   []byte
+	Epoch  uint64
 }
 
 // ErrPeerFailed marks RPC errors caused by the transport reporting
@@ -58,11 +77,30 @@ type oneWayMsg struct {
 // callers distinguish it from application errors via errors.Is.
 var ErrPeerFailed = errors.New("runtime: peer failed")
 
+// ErrCallTimeout marks RPC errors caused by a call exhausting its
+// deadline or retry budget (CallSpec) without a response.
+var ErrCallTimeout = errors.New("runtime: call timed out")
+
 // Registry names under which the RPC layer publishes its metrics.
 const (
 	MetricRPCCalls     = "rpc.calls"
 	MetricRPCErrors    = "rpc.errors"
 	MetricRPCRoundtrip = "rpc.roundtrip"
+	// MetricRPCOneWays counts one-way sends (local and remote).
+	MetricRPCOneWays = "rpc.oneways"
+	// MetricRPCRetries counts request frames resent by supervision.
+	MetricRPCRetries = "rpc.retries"
+	// MetricRPCTimeouts counts calls failed by deadline/retry exhaustion.
+	MetricRPCTimeouts = "rpc.timeouts"
+	// MetricRPCDedupReplays counts duplicate requests answered from the
+	// dedup window's reply cache without re-executing the handler.
+	MetricRPCDedupReplays = "rpc.dedup.replays"
+	// MetricRPCDedupSuppressed counts duplicate requests dropped while
+	// the first execution was still in flight.
+	MetricRPCDedupSuppressed = "rpc.dedup.suppressed"
+	// MetricRPCFencedFrames counts inbound frames rejected because the
+	// sending rank is fenced (marked dead / stale incarnation epoch).
+	MetricRPCFencedFrames = "rpc.fenced_frames"
 )
 
 // pendingCall is one outstanding RPC: the future its response (or
@@ -73,9 +111,17 @@ const (
 // the round-trip histogram.
 type pendingCall struct {
 	dst   int
+	id    uint64
+	meth  string
 	fut   *Future
 	sp    *trace.Span
 	start time.Time
+	// tracked means the call registered in the per-destination ack
+	// state (retryable + dedup'd); resolve must deregister it.
+	tracked bool
+	// timer is the current supervision timer (deadline or next-resend);
+	// resolve stops it so fault-free calls leave no timer behind.
+	timer atomic.Pointer[time.Timer]
 }
 
 // resolve finishes the call's instrumentation and fulfills its
@@ -83,6 +129,12 @@ type pendingCall struct {
 // unblocked by the call's completion observes the span as archived
 // ("no span leaks" holds at quiescence).
 func (l *Locality) resolve(pc *pendingCall, body []byte, err error) {
+	if t := pc.timer.Load(); t != nil {
+		t.Stop()
+	}
+	if pc.tracked {
+		l.acks[pc.dst].done(pc.id)
+	}
 	if err != nil {
 		l.rpcErrors.Inc()
 		pc.sp.SetErr(err)
@@ -110,11 +162,24 @@ type Locality struct {
 	// reg is the locality-wide metrics registry: the endpoint, the RPC
 	// layer, the scheduler and the data item manager all publish into
 	// it, making it the one source of truth monitor/resilience read.
-	reg       *metrics.Registry
-	rpcCalls  *metrics.Counter
-	rpcErrors *metrics.Counter
-	rpcRT     *metrics.Histogram
-	tracer    atomic.Pointer[trace.Tracer]
+	reg           *metrics.Registry
+	rpcCalls      *metrics.Counter
+	rpcErrors     *metrics.Counter
+	rpcOneWays    *metrics.Counter
+	rpcRetries    *metrics.Counter
+	rpcTimeouts   *metrics.Counter
+	rpcReplays    *metrics.Counter
+	rpcSuppressed *metrics.Counter
+	rpcFenced     *metrics.Counter
+	rpcRT         *metrics.Histogram
+	tracer        atomic.Pointer[trace.Tracer]
+
+	// profile holds the locality's default control/data delivery
+	// policies; dedup is the server side of exactly-once effects and
+	// acks the client side (per-destination watermarks).
+	profile atomic.Pointer[CallProfile]
+	dedup   *dedupState
+	acks    []ackState
 
 	// dead is the locality's view of confirmed-dead peer ranks: once a
 	// rank is marked, calls and sends toward it fail fast with
@@ -123,6 +188,17 @@ type Locality struct {
 	// any kind — the substrate of heartbeat failure detection.
 	dead  []atomic.Bool
 	heard []atomic.Int64
+
+	// epoch is this locality's incarnation epoch: the largest fence
+	// epoch it has adopted. Every outbound envelope is stamped with it.
+	// fencedAt records, per peer, the epoch at which that peer was
+	// declared dead (0 = alive): inbound frames from the peer carrying
+	// an older epoch are stale-incarnation traffic and are dropped.
+	// suspect flags peers that missed heartbeats but are not yet
+	// confirmed dead — placement avoids them, calls still work.
+	epoch    atomic.Uint64
+	fencedAt []atomic.Uint64
+	suspect  []atomic.Bool
 
 	// deathMu guards the subscriber lists; the callbacks themselves run
 	// outside the lock.
@@ -139,16 +215,28 @@ type Locality struct {
 func NewLocality(ep transport.Endpoint) *Locality {
 	reg := metrics.NewRegistry()
 	l := &Locality{
-		ep:        ep,
-		methods:   make(map[string]Method),
-		oneWays:   make(map[string]OneWay),
-		reg:       reg,
-		rpcCalls:  reg.Counter(MetricRPCCalls),
-		rpcErrors: reg.Counter(MetricRPCErrors),
-		rpcRT:     reg.Histogram(MetricRPCRoundtrip),
-		dead:      make([]atomic.Bool, ep.Size()),
-		heard:     make([]atomic.Int64, ep.Size()),
+		ep:            ep,
+		methods:       make(map[string]Method),
+		oneWays:       make(map[string]OneWay),
+		reg:           reg,
+		rpcCalls:      reg.Counter(MetricRPCCalls),
+		rpcErrors:     reg.Counter(MetricRPCErrors),
+		rpcOneWays:    reg.Counter(MetricRPCOneWays),
+		rpcRetries:    reg.Counter(MetricRPCRetries),
+		rpcTimeouts:   reg.Counter(MetricRPCTimeouts),
+		rpcReplays:    reg.Counter(MetricRPCDedupReplays),
+		rpcSuppressed: reg.Counter(MetricRPCDedupSuppressed),
+		rpcFenced:     reg.Counter(MetricRPCFencedFrames),
+		rpcRT:         reg.Histogram(MetricRPCRoundtrip),
+		dedup:         newDedupState(defaultDedupWindow),
+		acks:          make([]ackState, ep.Size()),
+		dead:          make([]atomic.Bool, ep.Size()),
+		heard:         make([]atomic.Int64, ep.Size()),
+		fencedAt:      make([]atomic.Uint64, ep.Size()),
+		suspect:       make([]atomic.Bool, ep.Size()),
 	}
+	prof := DefaultCallProfile()
+	l.profile.Store(&prof)
 	now := time.Now().UnixNano()
 	for i := range l.heard {
 		l.heard[i].Store(now)
@@ -205,11 +293,29 @@ func (l *Locality) OnDeath(fn func(rank int)) {
 // MarkDead records a peer rank as permanently dead: every outstanding
 // call toward it fails with ErrPeerFailed, future calls and sends fail
 // fast, and OnDeath subscribers fire. Idempotent; marking the local
-// rank is ignored.
+// rank is ignored. The fence epoch is self-allocated (current+1); a
+// recovery coordinator uses MarkDeadEpoch to install one agreed epoch
+// on every survivor instead.
 func (l *Locality) MarkDead(rank int) {
+	l.MarkDeadEpoch(rank, l.epoch.Load()+1)
+}
+
+// MarkDeadEpoch is MarkDead with an explicit fence epoch: the local
+// incarnation epoch is raised to it, and inbound frames from the dead
+// rank stamped with an older epoch are rejected from now on — a
+// partitioned-then-healed rank cannot keep mutating state here.
+func (l *Locality) MarkDeadEpoch(rank int, epoch uint64) {
 	if rank < 0 || rank >= len(l.dead) || rank == l.Rank() {
 		return
 	}
+	if epoch == 0 {
+		epoch = l.epoch.Load() + 1
+	}
+	l.adoptEpoch(epoch)
+	// Install the fence before the dead flag so any observer of the
+	// flag also sees a non-zero fence for the rank.
+	l.fencedAt[rank].Store(epoch)
+	l.suspect[rank].Store(false)
 	if l.dead[rank].Swap(true) {
 		return
 	}
@@ -222,6 +328,39 @@ func (l *Locality) MarkDead(rank int) {
 	for _, fn := range subs {
 		fn(rank)
 	}
+}
+
+// Epoch returns the locality's incarnation epoch (the largest fence
+// epoch adopted so far; 0 before any death).
+func (l *Locality) Epoch() uint64 { return l.epoch.Load() }
+
+// adoptEpoch raises the local epoch to e (monotonic).
+func (l *Locality) adoptEpoch(e uint64) {
+	for {
+		cur := l.epoch.Load()
+		if e <= cur || l.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// SetSuspect flags (or clears) a peer as suspected failed: heartbeat
+// silence that has not yet survived ping confirmation. Placement
+// avoids suspects, but calls toward them still work — suspicion is a
+// pause, not a verdict. Suspecting a dead or local rank is ignored.
+func (l *Locality) SetSuspect(rank int, suspected bool) {
+	if rank < 0 || rank >= len(l.suspect) || rank == l.Rank() {
+		return
+	}
+	if suspected && l.dead[rank].Load() {
+		return
+	}
+	l.suspect[rank].Store(suspected)
+}
+
+// IsSuspect reports whether the rank is currently suspected failed.
+func (l *Locality) IsSuspect(rank int) bool {
+	return rank >= 0 && rank < len(l.suspect) && l.suspect[rank].Load()
 }
 
 // IsDead reports whether the rank has been marked dead.
@@ -319,6 +458,14 @@ func (l *Locality) HandleOneWay(name string, h OneWay) {
 // handed to its own goroutine so that a blocking handler can never
 // stall delivery (and in particular never deadlock an RPC cycle).
 func (l *Locality) dispatch(msg transport.Message) {
+	if l.IsDead(msg.From) {
+		// Fenced: a rank declared dead may in fact be alive across a
+		// healed partition. Its frames are rejected before touching any
+		// state — not even the heartbeat timestamp, so it can neither
+		// mutate the index nor talk itself back to life.
+		l.rpcFenced.Inc()
+		return
+	}
 	if msg.From >= 0 && msg.From < len(l.heard) {
 		l.heard[msg.From].Store(time.Now().UnixNano())
 	}
@@ -335,6 +482,9 @@ func (l *Locality) dispatch(msg transport.Message) {
 		if err := decode(msg.Payload, &rsp); err != nil {
 			return
 		}
+		if l.staleEpoch(msg.From, rsp.Epoch) {
+			return
+		}
 		if v, ok := l.calls.LoadAndDelete(rsp.ID); ok {
 			pc := v.(*pendingCall)
 			var err error
@@ -343,16 +493,99 @@ func (l *Locality) dispatch(msg transport.Message) {
 			}
 			l.resolve(pc, rsp.Body, err)
 		}
+	case kindRequestDedup:
+		l.dispatchDedup(msg)
 	case kindOneWay:
 		go l.serveOneWay(msg)
 	}
 }
 
-func (l *Locality) serveRequest(msg transport.Message) {
+// dispatchDedup handles an inbound dedup'd request. It runs on the
+// delivery goroutine so the window observes frames in delivery order:
+// on a FIFO transport a duplicate then always finds the original's
+// entry before any later frame's ack watermark can evict it. Only the
+// handler execution is handed to its own goroutine.
+func (l *Locality) dispatchDedup(msg transport.Message) {
 	var req rpcRequest
 	if err := decode(msg.Payload, &req); err != nil {
 		return
 	}
+	if l.staleEpoch(msg.From, req.Epoch) {
+		return
+	}
+	cached, replay, inflight := l.dedup.observe(msg.From, req.ID, req.Ack, time.Now())
+	if inflight {
+		// The first execution is still running; drop the duplicate —
+		// the caller retries again after the reply lands in the cache.
+		l.rpcSuppressed.Inc()
+		return
+	}
+	if replay {
+		l.rpcReplays.Inc()
+		// Off the delivery goroutine: a blocked peer inbox must not
+		// stall delivery of everything queued behind this frame.
+		go l.ep.Send(msg.From, kindResponse, cached)
+		return
+	}
+	go l.serveDedup(msg.From, req)
+}
+
+// staleEpoch reports (and counts) a frame from a sender whose stamped
+// epoch predates the fence recorded for that rank. It backstops the
+// dispatch-time IsDead rejection for frames already handed to a serve
+// goroutine when the fence landed.
+func (l *Locality) staleEpoch(from int, epoch uint64) bool {
+	if from < 0 || from >= len(l.fencedAt) {
+		return false
+	}
+	if fence := l.fencedAt[from].Load(); fence != 0 && epoch < fence {
+		l.rpcFenced.Inc()
+		return true
+	}
+	return false
+}
+
+// serveRequest runs on its own goroutine, one per inbound plain
+// request. It is deliberately a two-call trampoline: handleRequest's
+// frame — the decoded envelope, the handler call, response encoding —
+// pops before the transport Send (channel machinery, several frames
+// deep) runs, keeping the goroutine's peak stack need under the
+// initial stack size. Folding the two together pushes every request
+// goroutine over the growth boundary: a per-request copystack that
+// costs ~30% on the fault-free hot path.
+func (l *Locality) serveRequest(msg transport.Message) {
+	if payload := l.handleRequest(msg); payload != nil {
+		l.ep.Send(msg.From, kindResponse, payload)
+	}
+}
+
+// serveDedup is serveRequest's counterpart for dedup'd requests,
+// whose envelope was already decoded and window-registered by
+// dispatch; the same trampoline shape applies.
+func (l *Locality) serveDedup(from int, req rpcRequest) {
+	if payload := l.execRequest(from, &req, true); payload != nil {
+		l.ep.Send(from, kindResponse, payload)
+	}
+}
+
+// handleRequest decodes and executes one plain request, returning the
+// encoded response payload to send back (nil when the frame was
+// consumed: stale epoch or encode failure).
+func (l *Locality) handleRequest(msg transport.Message) []byte {
+	var req rpcRequest
+	if err := decode(msg.Payload, &req); err != nil {
+		return nil
+	}
+	if l.staleEpoch(msg.From, req.Epoch) {
+		return nil
+	}
+	return l.execRequest(msg.From, &req, false)
+}
+
+// execRequest runs the handler for one request and encodes the
+// response frame; for dedup'd calls the frame is also parked in the
+// reply cache so duplicates replay it byte-identically.
+func (l *Locality) execRequest(from int, req *rpcRequest, dedup bool) []byte {
 	l.mu.RLock()
 	m := l.methods[req.Method]
 	l.mu.RUnlock()
@@ -360,11 +593,11 @@ func (l *Locality) serveRequest(msg transport.Message) {
 	// wire envelope, stitching the cross-rank causality edge. It ends
 	// before the response is sent so the caller never outruns it.
 	sp := l.Tracer().Begin("rpc.serve", req.Method, trace.SpanID(req.Span))
-	rsp := rpcResponse{ID: req.ID}
+	rsp := rpcResponse{ID: req.ID, Epoch: l.epoch.Load()}
 	if m == nil {
 		rsp.Err = fmt.Sprintf("runtime: no method %q at rank %d", req.Method, l.Rank())
 	} else {
-		body, err := m(msg.From, req.Body)
+		body, err := m(from, req.Body)
 		rsp.Body = body
 		if err != nil {
 			rsp.Err = err.Error()
@@ -376,14 +609,20 @@ func (l *Locality) serveRequest(msg transport.Message) {
 	sp.End()
 	payload, err := encode(&rsp)
 	if err != nil {
-		return
+		return nil
 	}
-	l.ep.Send(msg.From, kindResponse, payload)
+	if dedup {
+		l.dedup.complete(from, req.ID, payload, time.Now())
+	}
+	return payload
 }
 
 func (l *Locality) serveOneWay(msg transport.Message) {
 	var ow oneWayMsg
 	if err := decode(msg.Payload, &ow); err != nil {
+		return
+	}
+	if l.staleEpoch(msg.From, ow.Epoch) {
 		return
 	}
 	l.mu.RLock()
@@ -400,8 +639,15 @@ func (l *Locality) serveOneWay(msg transport.Message) {
 // is outstanding, and with a close error if this locality shuts down
 // first — it never hangs on a peer that will not answer. Calls to the
 // local rank short-circuit the transport but still pass through
-// encoding, keeping local and remote semantics identical.
-func (l *Locality) CallAsync(dst int, method string, args any) *Future {
+// encoding, keeping local and remote semantics identical (options are
+// ignored locally: a local call cannot be lost).
+//
+// With options (see CallSpec) the call is supervised: after the
+// per-attempt timeout the identical request frame is resent under the
+// same call ID, and the future fails with ErrCallTimeout once the
+// deadline or retry budget is exhausted. Retried non-idempotent calls
+// carry a dedup flag so the server executes the handler exactly once.
+func (l *Locality) CallAsync(dst int, method string, args any, opts ...CallOption) *Future {
 	fut := newFuture()
 	l.rpcCalls.Inc()
 	body, err := encode(args)
@@ -436,17 +682,38 @@ func (l *Locality) CallAsync(dst int, method string, args any) *Future {
 		fut.fulfill(nil, fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst))
 		return fut
 	}
-	id := l.nextCall.Add(1)
-	pc := &pendingCall{dst: dst, fut: fut,
-		sp: l.Tracer().Begin("rpc.call", method, 0), start: time.Now()}
+	var spec CallSpec
+	for _, o := range opts {
+		o(&spec)
+	}
+	spec.normalize()
+	req := rpcRequest{Method: method, Body: body, Epoch: l.epoch.Load()}
+	kind := kindRequest
+	if tracked := spec.Retries > 0 && !spec.Idempotent; tracked {
+		// Retryable non-idempotent: the ID is allocated inside the ack
+		// state's lock so the piggybacked watermark can never cover an
+		// ID that has not been registered yet, and the frame travels
+		// under the dedup kind so the server observes it in delivery
+		// order.
+		req.Flags |= flagDedup
+		req.ID, req.Ack = l.acks[dst].beginAlloc(&l.nextCall)
+		kind = kindRequestDedup
+	} else {
+		req.ID = l.nextCall.Add(1)
+	}
+	id := req.ID
+	pc := &pendingCall{dst: dst, id: id, meth: method, fut: fut,
+		tracked: kind == kindRequestDedup,
+		sp:      l.Tracer().Begin("rpc.call", method, 0), start: time.Now()}
+	req.Span = uint64(pc.sp.SpanID())
 	l.calls.Store(id, pc)
-	payload, err := encode(&rpcRequest{ID: id, Method: method, Body: body, Span: uint64(pc.sp.SpanID())})
+	payload, err := encode(&req)
 	if err != nil {
 		l.calls.Delete(id)
 		l.resolve(pc, nil, err)
 		return fut
 	}
-	if err := l.ep.Send(dst, kindRequest, payload); err != nil {
+	if err := l.ep.Send(dst, kind, payload); err != nil {
 		if _, ok := l.calls.LoadAndDelete(id); ok {
 			l.resolve(pc, nil, err)
 		}
@@ -458,16 +725,96 @@ func (l *Locality) CallAsync(dst int, method string, args any) *Future {
 		if _, ok := l.calls.LoadAndDelete(id); ok {
 			l.resolve(pc, nil, fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst))
 		}
+		return fut
+	}
+	if spec.active() {
+		l.supervise(pc, payload, spec)
 	}
 	return fut
+}
+
+// callState is the mutable supervision state of one call. Its fields
+// are only touched by the timer-callback chain — each callback arms
+// the next timer, so access is serialized.
+type callState struct {
+	spec     CallSpec
+	payload  []byte
+	wait     time.Duration
+	attempt  int
+	deadline time.Time
+}
+
+// supervise arms the first supervision timer for a just-sent call.
+// Supervision is timer-driven (no parked goroutine): the fault-free
+// hot path pays one AfterFunc + one Stop.
+func (l *Locality) supervise(pc *pendingCall, payload []byte, spec CallSpec) {
+	st := &callState{spec: spec, payload: payload, wait: spec.Attempt}
+	if st.wait <= 0 || spec.Retries == 0 {
+		st.wait = spec.Deadline
+	}
+	if spec.Deadline > 0 {
+		st.deadline = time.Now().Add(spec.Deadline)
+	}
+	l.armTimer(pc, st, st.wait)
+}
+
+func (l *Locality) armTimer(pc *pendingCall, st *callState, d time.Duration) {
+	if !st.deadline.IsZero() {
+		if rem := time.Until(st.deadline); rem < d {
+			d = rem
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	pc.timer.Store(time.AfterFunc(d, func() { l.attemptExpired(pc, st) }))
+}
+
+// attemptExpired runs when a supervision timer fires: either the call
+// resolved in the meantime (no-op), or the retry budget/deadline is
+// exhausted (fail with ErrCallTimeout), or the identical request
+// frame is resent and the next timer armed with doubled wait.
+func (l *Locality) attemptExpired(pc *pendingCall, st *callState) {
+	if _, live := l.calls.Load(pc.id); !live {
+		return
+	}
+	over := !st.deadline.IsZero() && !time.Now().Before(st.deadline)
+	if over || st.attempt >= st.spec.Retries {
+		if _, ok := l.calls.LoadAndDelete(pc.id); ok {
+			l.rpcTimeouts.Inc()
+			l.resolve(pc, nil, fmt.Errorf("%w: %q to rank %d after %d attempts",
+				ErrCallTimeout, pc.meth, pc.dst, st.attempt+1))
+		}
+		return
+	}
+	st.attempt++
+	l.rpcRetries.Inc()
+	kind := kindRequest
+	if pc.tracked {
+		kind = kindRequestDedup
+	}
+	l.ep.Send(pc.dst, kind, st.payload)
+	if st.wait *= 2; st.spec.MaxBackoff > 0 && st.wait > st.spec.MaxBackoff {
+		st.wait = st.spec.MaxBackoff
+	}
+	l.armTimer(pc, st, st.wait)
+}
+
+// PendingCalls returns the number of RPCs still outstanding — zero at
+// quiescence (the chaos soak asserts no call is stranded).
+func (l *Locality) PendingCalls() int {
+	n := 0
+	l.calls.Range(func(any, any) bool { n++; return true })
+	return n
 }
 
 // Call invokes method at locality dst, gob-encoding args and decoding
 // the response into reply (which may be nil for methods without
 // results). It shares CallAsync's failure semantics: a dead peer or a
-// local shutdown fails the call with an error instead of hanging.
-func (l *Locality) Call(dst int, method string, args, reply any) error {
-	body, err := l.CallAsync(dst, method, args).Wait()
+// local shutdown fails the call with an error instead of hanging, and
+// options bound it with a deadline and retry policy.
+func (l *Locality) Call(dst int, method string, args, reply any, opts ...CallOption) error {
+	body, err := l.CallAsync(dst, method, args, opts...).Wait()
 	if err != nil {
 		return err
 	}
@@ -477,10 +824,15 @@ func (l *Locality) Call(dst int, method string, args, reply any) error {
 	return decode(body, reply)
 }
 
-// Send delivers a one-way message to method at locality dst.
+// Send delivers a one-way message to method at locality dst. Unlike
+// CallAsync there is no future to fail later, so every error path
+// counts into rpc.errors here — monitor/resilience see one-way
+// failures through the same counter as call failures.
 func (l *Locality) Send(dst int, method string, args any) error {
+	l.rpcOneWays.Inc()
 	body, err := encode(args)
 	if err != nil {
+		l.rpcErrors.Inc()
 		return fmt.Errorf("runtime: encode args of %q: %w", method, err)
 	}
 	if dst == l.Rank() {
@@ -488,22 +840,30 @@ func (l *Locality) Send(dst int, method string, args any) error {
 		h := l.oneWays[method]
 		l.mu.RUnlock()
 		if h == nil {
+			l.rpcErrors.Inc()
 			return fmt.Errorf("runtime: no one-way %q at rank %d", method, dst)
 		}
 		go h(l.Rank(), body)
 		return nil
 	}
 	if l.closed.Load() {
+		l.rpcErrors.Inc()
 		return fmt.Errorf("runtime: locality %d closed", l.Rank())
 	}
 	if l.IsDead(dst) {
+		l.rpcErrors.Inc()
 		return fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst)
 	}
-	payload, err := encode(&oneWayMsg{Method: method, Body: body})
+	payload, err := encode(&oneWayMsg{Method: method, Body: body, Epoch: l.epoch.Load()})
 	if err != nil {
+		l.rpcErrors.Inc()
 		return err
 	}
-	return l.ep.Send(dst, kindOneWay, payload)
+	if err := l.ep.Send(dst, kindOneWay, payload); err != nil {
+		l.rpcErrors.Inc()
+		return err
+	}
+	return nil
 }
 
 // Close shuts the locality's endpoint down and fails every still

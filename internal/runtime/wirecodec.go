@@ -14,14 +14,18 @@ func encode(v any) ([]byte, error) { return wire.Encode(v) }
 
 func decode(data []byte, v any) error { return wire.Decode(data, v) }
 
-// AppendWire implements wire.Marshaler. Span travels last: an
-// untraced call writes a single zero byte, keeping the envelope
-// overhead of disabled tracing to one byte per request.
+// AppendWire implements wire.Marshaler. The delivery-semantics
+// trailer (Span, Epoch, Flags, Ack) travels last as uvarints: an
+// untraced, unsupervised call in epoch 0 writes four zero bytes,
+// keeping the fault-free envelope overhead to four bytes per request.
 func (r *rpcRequest) AppendWire(buf []byte) ([]byte, error) {
 	buf = wire.AppendUvarint(buf, r.ID)
 	buf = wire.AppendString(buf, r.Method)
 	buf = wire.AppendBytes(buf, r.Body)
-	return wire.AppendUvarint(buf, r.Span), nil
+	buf = wire.AppendUvarint(buf, r.Span)
+	buf = wire.AppendUvarint(buf, r.Epoch)
+	buf = wire.AppendUvarint(buf, r.Flags)
+	return wire.AppendUvarint(buf, r.Ack), nil
 }
 
 // UnmarshalWire implements wire.Unmarshaler. Body aliases the input
@@ -31,6 +35,9 @@ func (r *rpcRequest) UnmarshalWire(d *wire.Decoder) error {
 	r.Method = d.String()
 	r.Body = d.Bytes()
 	r.Span = d.Uvarint()
+	r.Epoch = d.Uvarint()
+	r.Flags = d.Uvarint()
+	r.Ack = d.Uvarint()
 	return nil
 }
 
@@ -38,7 +45,8 @@ func (r *rpcRequest) UnmarshalWire(d *wire.Decoder) error {
 func (r *rpcResponse) AppendWire(buf []byte) ([]byte, error) {
 	buf = wire.AppendUvarint(buf, r.ID)
 	buf = wire.AppendBytes(buf, r.Body)
-	return wire.AppendString(buf, r.Err), nil
+	buf = wire.AppendString(buf, r.Err)
+	return wire.AppendUvarint(buf, r.Epoch), nil
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
@@ -46,19 +54,22 @@ func (r *rpcResponse) UnmarshalWire(d *wire.Decoder) error {
 	r.ID = d.Uvarint()
 	r.Body = d.Bytes()
 	r.Err = d.String()
+	r.Epoch = d.Uvarint()
 	return nil
 }
 
 // AppendWire implements wire.Marshaler.
 func (m *oneWayMsg) AppendWire(buf []byte) ([]byte, error) {
 	buf = wire.AppendString(buf, m.Method)
-	return wire.AppendBytes(buf, m.Body), nil
+	buf = wire.AppendBytes(buf, m.Body)
+	return wire.AppendUvarint(buf, m.Epoch), nil
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
 func (m *oneWayMsg) UnmarshalWire(d *wire.Decoder) error {
 	m.Method = d.String()
 	m.Body = d.Bytes()
+	m.Epoch = d.Uvarint()
 	return nil
 }
 

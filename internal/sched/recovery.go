@@ -51,6 +51,21 @@ func (s *Scheduler) untrackInflight(id uint64) {
 	s.inflightMu.Unlock()
 }
 
+// takeInflight removes the entry and reports whether it was still
+// present. It arbitrates re-execution ownership between the ship-
+// failure fallback and the recovery coordinator's HandleDeath: only
+// the side that takes the entry may re-execute the task, so a failed
+// ship racing a death report cannot run the task twice.
+func (s *Scheduler) takeInflight(id uint64) bool {
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
+	if _, ok := s.inflight[id]; !ok {
+		return false
+	}
+	delete(s.inflight, id)
+	return true
+}
+
 func (s *Scheduler) trackHandoff(spec *TaskSpec, thief int) {
 	s.inflightMu.Lock()
 	defer s.inflightMu.Unlock()
@@ -100,13 +115,14 @@ func (s *Scheduler) Respawn(spec TaskSpec) error {
 // Respawns returns the number of tasks re-scheduled after peer deaths.
 func (s *Scheduler) Respawns() uint64 { return s.stats.respawns.Value() }
 
-// nextLive returns the first live rank after target (wrapping),
-// falling back to the local rank when every other rank is dead.
+// nextLive returns the first live, unsuspected rank after target
+// (wrapping), falling back to the local rank when every other rank is
+// dead or suspect.
 func (s *Scheduler) nextLive(target int) int {
 	size := s.loc.Size()
 	for off := 1; off < size; off++ {
 		r := (target + off) % size
-		if r == s.loc.Rank() || !s.loc.IsDead(r) {
+		if r == s.loc.Rank() || !(s.loc.IsDead(r) || s.loc.IsSuspect(r)) {
 			return r
 		}
 	}

@@ -200,12 +200,17 @@ func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 	if lb, ok := policy.(loadBinder); ok {
 		lb.BindLoad(s.Load)
 	}
-	loc.HandleOneWay(methodRun, func(from int, body []byte) {
+	// Task ships are acknowledged RPCs, not one-way messages: the ack
+	// only confirms acceptance (execution continues asynchronously), so
+	// a lost ship can be retried — and the dedup flag the supervised
+	// caller sets guarantees a retried ship spawns the task once.
+	loc.Handle(methodRun, func(from int, body []byte) ([]byte, error) {
 		var args runArgs
 		if err := decodeWire(body, &args); err != nil {
-			return
+			return nil, err
 		}
-		s.execute(&args.Spec, args.Variant)
+		go s.execute(&args.Spec, args.Variant)
+		return nil, nil
 	})
 	return s
 }
@@ -328,9 +333,11 @@ func (s *Scheduler) assign(spec *TaskSpec) error {
 		target = s.policy.PickTarget(spec, s.loc.Size()) // line 12
 		s.stats.polPlaced.Inc()
 	}
-	// Dead ranks are excluded from placement: remap a dead policy pick
-	// to the next live rank (coveringRank already skips dead owners).
-	if target != s.loc.Rank() && s.loc.IsDead(target) {
+	// Dead and suspect ranks are excluded from placement: remap to the
+	// next usable rank (coveringRank already skips dead/suspect
+	// owners). Suspicion is a pause, not a verdict — it lifts as soon
+	// as a confirmation ping succeeds.
+	if target != s.loc.Rank() && (s.loc.IsDead(target) || s.loc.IsSuspect(target)) {
 		target = s.nextLive(target)
 	}
 
@@ -341,13 +348,24 @@ func (s *Scheduler) assign(spec *TaskSpec) error {
 	}
 	s.stats.remotePlaced.Inc()
 	s.trackInflight(spec, target)
-	if err := s.loc.Send(target, methodRun, &runArgs{Spec: *spec, Variant: variant}); err != nil {
-		// The peer raced into death between the liveness check and the
-		// send: keep the task rather than losing it.
-		s.untrackInflight(spec.ID)
-		s.stats.localPlaced.Inc()
-		go s.execute(spec, variant)
-	}
+	// Ship under the control-plane delivery policy: lost frames are
+	// retried under one call ID with server-side dedup, so the task is
+	// spawned exactly once even on a lossy fabric. The ship is
+	// confirmed asynchronously; on failure (timeout or peer death) the
+	// task falls back to local execution — unless the recovery
+	// coordinator already drained the inflight entry and owns the
+	// re-execution (takeInflight arbitrates the race).
+	ship := *spec
+	fut := s.loc.CallAsync(target, methodRun, &runArgs{Spec: ship, Variant: variant},
+		runtime.WithSpec(s.loc.ControlSpec()))
+	go func() {
+		if _, err := fut.Wait(); err != nil {
+			if s.takeInflight(ship.ID) {
+				s.stats.localPlaced.Inc()
+				s.execute(&ship, variant)
+			}
+		}
+	}()
 	return nil
 }
 
@@ -381,7 +399,7 @@ func (s *Scheduler) coveringRank(reqs []dim.Requirement, writeOnly bool) int {
 		}
 		covering := make(map[int]bool)
 		for rank, cov := range perRank {
-			if s.loc.IsDead(rank) {
+			if s.loc.IsDead(rank) || (rank != s.loc.Rank() && s.loc.IsSuspect(rank)) {
 				continue
 			}
 			if rq.Region.Difference(cov).IsEmpty() {

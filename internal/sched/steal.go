@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"allscale/internal/runtime"
 )
 
 // This file implements node-local task queues with inter-node work
@@ -175,10 +177,14 @@ func (s *Scheduler) worker(seed int) {
 			if victim >= s.Rank() {
 				victim++
 			}
-			if !s.loc.IsDead(victim) {
+			if !s.loc.IsDead(victim) && !s.loc.IsSuspect(victim) {
 				s.stats.stealAttempts.Inc()
+				// Bounded + retried with dedup: a granted steal whose reply
+				// frame is lost is replayed instead of losing the task.
 				var reply stealReply
-				if err := s.loc.Call(victim, methodSteal, struct{}{}, &reply); err == nil && reply.Found {
+				err := s.loc.Call(victim, methodSteal, struct{}{}, &reply,
+					runtime.WithSpec(s.loc.ControlSpec()))
+				if err == nil && reply.Found {
 					s.stats.stolen.Inc()
 					idle = 0
 					s.executeNow(&reply.Spec, VariantProcess)
