@@ -290,6 +290,30 @@ func BenchmarkStencil(b *testing.B) {
 	}
 	b.Run("trace-off", func(b *testing.B) { run(b, 0) })
 	b.Run("trace-on", func(b *testing.B) { run(b, 1<<16) })
+
+	// small-grain shrinks the block size until the run is dominated by
+	// task management rather than arithmetic — the scheduler fast-path
+	// regression gauge of EXPERIMENTS.md E12.
+	b.Run("small-grain-64", func(b *testing.B) {
+		small := stencil.Params{N: 64, Steps: 4, C: 0.1, MinGrain: 64}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sys := core.NewSystem(core.Config{
+				Localities: 2,
+				Policy:     &sched.DefaultPolicy{ExtraDepth: 5},
+			})
+			app := stencil.NewAllScale(sys, small)
+			sys.Start()
+			err := app.Run()
+			if err == nil {
+				_, err = app.Result()
+			}
+			sys.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---------------------------------------------------------------

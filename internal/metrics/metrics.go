@@ -37,6 +37,21 @@ func (c *Counter) Inc() { c.n.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n.Load() }
 
+// Gauge is an instantaneous level — queue depths, pool occupancy —
+// that can move both ways, unlike the monotone Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // NumBuckets is the fixed bucket count of every Histogram: bucket i
 // holds observations d with 2^(i-1)µs <= d < 2^i µs (bucket 0 holds
 // sub-microsecond observations, the last bucket is a catch-all), so
@@ -80,6 +95,21 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d > 0 {
 		h.sum.Add(uint64(d))
 	}
+}
+
+// ObserveValue records one dimensionless observation (batch sizes,
+// depths): buckets become powers of two of the raw value rather than
+// of microseconds, and the snapshot's SumNanos field holds the raw
+// sum. A histogram should be fed through either Observe or
+// ObserveValue, never both.
+func (h *Histogram) ObserveValue(v uint64) {
+	i := bits.Len64(v)
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
 }
 
 // Count returns the number of observations.
@@ -144,6 +174,7 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -151,6 +182,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -167,6 +199,31 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. The returned pointer is stable, like Counter's.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeValue returns the level of the named gauge, or 0 when no such
+// gauge was ever registered.
+func (r *Registry) GaugeValue(name string) int64 {
+	r.mu.Lock()
+	g := r.gauges[name]
+	r.mu.Unlock()
+	if g == nil {
+		return 0
+	}
+	return g.Value()
 }
 
 // Histogram returns the histogram registered under name, creating it
@@ -201,6 +258,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.counters {
 		counters[k] = v
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, v := range r.hists {
 		hists[k] = v
@@ -209,10 +270,14 @@ func (r *Registry) Snapshot() Snapshot {
 
 	s := Snapshot{
 		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(hists)),
 	}
 	for k, v := range counters {
 		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
 	}
 	for k, v := range hists {
 		s.Histograms[k] = v.Snapshot()
@@ -223,6 +288,7 @@ func (r *Registry) Snapshot() Snapshot {
 // Snapshot is one point-in-time copy of a whole registry.
 type Snapshot struct {
 	Counters   map[string]uint64
+	Gauges     map[string]int64
 	Histograms map[string]HistogramSnapshot
 }
 
@@ -237,6 +303,14 @@ func (s Snapshot) String() string {
 	sort.Strings(names)
 	for _, k := range names {
 		fmt.Fprintf(&b, "%-32s %d\n", k, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-32s %d (gauge)\n", k, s.Gauges[k])
 	}
 	names = names[:0]
 	for k := range s.Histograms {

@@ -8,42 +8,66 @@ package sched
 // (Section 3.2, Algorithm 2 line 3).
 //
 // Beyond the baseline split depth (covering the system), the policy
-// keeps splitting while the local scheduler looks starved (few queued
-// or running tasks), up to MaxExtraDepth additional levels; a loaded
-// locality stops splitting early to avoid task-management overhead.
+// keeps splitting while the local scheduler looks starved (idle
+// workers or a short run queue), up to MaxExtraDepth additional
+// levels; a loaded locality stops splitting early to avoid
+// task-management overhead.
+//
+// Construct with NewAdaptivePolicy for the defaults. Explicitly set
+// zero fields are honored (BaseExtraDepth=0 really means no headroom);
+// negative values select the defaults. Before PR 6 a zero field
+// silently meant "default", making 0 unconfigurable.
 type AdaptivePolicy struct {
 	// BaseExtraDepth is the guaranteed split headroom beyond
-	// log2(P); default 1.
+	// log2(P); negative selects the default 1.
 	BaseExtraDepth int
-	// MaxExtraDepth bounds additional load-driven splitting; default 3.
+	// MaxExtraDepth bounds additional load-driven splitting; negative
+	// selects the default 3.
 	MaxExtraDepth int
-	// LowLoad is the queued+running threshold under which the
-	// locality counts as starved; default 2× the worker estimate (4).
+	// LowLoad is the queue-depth (or, unbound, queued+running)
+	// threshold under which the locality counts as starved; negative
+	// selects the default 4 (2× the worker estimate).
 	LowLoad int64
 
-	load func() int64
+	load        func() int64
+	queueDepth  func() int64
+	idleWorkers func() int64
+}
+
+// NewAdaptivePolicy returns a policy with the default tuning
+// materialized: BaseExtraDepth 1, MaxExtraDepth 3, LowLoad 4.
+func NewAdaptivePolicy() *AdaptivePolicy {
+	return &AdaptivePolicy{BaseExtraDepth: 1, MaxExtraDepth: 3, LowLoad: 4}
 }
 
 // BindLoad gives the policy access to the hosting scheduler's load;
 // the scheduler calls this automatically at construction.
 func (p *AdaptivePolicy) BindLoad(load func() int64) { p.load = load }
 
+// BindQueueSignals gives the policy the run queue's live depth and
+// idle-worker-count signals; EnableQueue calls this automatically.
+// When bound, these replace the coarse BindLoad signal.
+func (p *AdaptivePolicy) BindQueueSignals(depth, idle func() int64) {
+	p.queueDepth = depth
+	p.idleWorkers = idle
+}
+
 func (p *AdaptivePolicy) base() int {
-	if p.BaseExtraDepth == 0 {
+	if p.BaseExtraDepth < 0 {
 		return 1
 	}
 	return p.BaseExtraDepth
 }
 
 func (p *AdaptivePolicy) maxExtra() int {
-	if p.MaxExtraDepth == 0 {
+	if p.MaxExtraDepth < 0 {
 		return 3
 	}
 	return p.MaxExtraDepth
 }
 
 func (p *AdaptivePolicy) lowLoad() int64 {
-	if p.LowLoad == 0 {
+	if p.LowLoad < 0 {
 		return 4
 	}
 	return p.LowLoad
@@ -58,8 +82,22 @@ func (p *AdaptivePolicy) PickVariant(spec *TaskSpec, splittable bool, size int) 
 	if spec.Depth < depth {
 		return VariantSplit
 	}
+	if spec.Depth >= depth+p.maxExtra() {
+		return VariantProcess
+	}
 	// Past the guaranteed depth: keep splitting only while starved.
-	if spec.Depth < depth+p.maxExtra() && p.load != nil && p.load() < p.lowLoad() {
+	// Prefer the precise deque signals when a run queue is enabled —
+	// parked workers or a short queue both mean more tasks are welcome.
+	if p.idleWorkers != nil && p.idleWorkers() > 0 {
+		return VariantSplit
+	}
+	if p.queueDepth != nil {
+		if p.queueDepth() < p.lowLoad() {
+			return VariantSplit
+		}
+		return VariantProcess
+	}
+	if p.load != nil && p.load() < p.lowLoad() {
 		return VariantSplit
 	}
 	return VariantProcess
@@ -74,4 +112,10 @@ func (p *AdaptivePolicy) PickTarget(spec *TaskSpec, size int) int {
 // loadBinder is implemented by policies that want load feedback.
 type loadBinder interface {
 	BindLoad(func() int64)
+}
+
+// queueSignalBinder is implemented by policies that want the live
+// queue-depth and idle-worker signals of the work-stealing run queue.
+type queueSignalBinder interface {
+	BindQueueSignals(depth, idle func() int64)
 }

@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"allscale/internal/metrics"
+	"allscale/internal/trace"
+)
+
+// queuedTask is one run-queue slot: the task spec plus its
+// task.enqueue span, which measures queue residency (begun when the
+// task enters a deque, ended when a worker pops it or a thief takes
+// it).
+type queuedTask struct {
+	spec TaskSpec
+	sp   *trace.Span
+}
+
+// deque is one worker's run queue: a growable ring buffer under a
+// per-deque mutex. The owner pushes and pops at the tail (LIFO keeps
+// the working set warm); thieves — sibling workers and the remote
+// steal handler — take batches from the head (FIFO: old tasks are the
+// least likely to be in anyone's cache). size mirrors the occupancy
+// so victim selection can scan deques without taking their locks.
+type deque struct {
+	mu    sync.Mutex
+	buf   []queuedTask // ring storage; len(buf) is the capacity
+	head  int          // index of the oldest element
+	n     int          // occupancy
+	size  atomic.Int64 // lock-free mirror of n
+	gauge *metrics.Gauge
+}
+
+// dequeMinCap is the initial ring capacity (power of two).
+const dequeMinCap = 64
+
+func newDeque(gauge *metrics.Gauge) *deque {
+	return &deque{buf: make([]queuedTask, dequeMinCap), gauge: gauge}
+}
+
+// setSize updates the lock-free mirror and the published gauge; called
+// with d.mu held.
+func (d *deque) setSize() {
+	d.size.Store(int64(d.n))
+	d.gauge.Set(int64(d.n))
+}
+
+// pushTail appends t as the newest element, growing the ring when
+// full.
+func (d *deque) pushTail(t queuedTask) {
+	d.mu.Lock()
+	if d.n == len(d.buf) {
+		grown := make([]queuedTask, 2*len(d.buf))
+		for i := 0; i < d.n; i++ {
+			grown[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+		}
+		d.buf = grown
+		d.head = 0
+	}
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = t
+	d.n++
+	d.setSize()
+	d.mu.Unlock()
+}
+
+// popTail removes and returns the newest element (owner LIFO).
+func (d *deque) popTail() (queuedTask, bool) {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return queuedTask{}, false
+	}
+	d.n--
+	i := (d.head + d.n) & (len(d.buf) - 1)
+	t := d.buf[i]
+	d.buf[i] = queuedTask{} // release references held by the slot
+	d.setSize()
+	d.mu.Unlock()
+	return t, true
+}
+
+// stealHead removes up to max elements from the head (thief FIFO),
+// taking at most half of the occupancy — but always at least one when
+// the deque is non-empty — so the owner is never fully drained by a
+// single thief.
+func (d *deque) stealHead(max int) []queuedTask {
+	d.mu.Lock()
+	if d.n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	k := (d.n + 1) / 2
+	if k > max {
+		k = max
+	}
+	out := make([]queuedTask, k)
+	for i := 0; i < k; i++ {
+		out[i] = d.buf[d.head]
+		d.buf[d.head] = queuedTask{}
+		d.head = (d.head + 1) & (len(d.buf) - 1)
+	}
+	d.n -= k
+	d.setSize()
+	d.mu.Unlock()
+	return out
+}
+
+// drain removes and returns everything (queue shutdown).
+func (d *deque) drain() []queuedTask {
+	d.mu.Lock()
+	out := make([]queuedTask, 0, d.n)
+	for d.n > 0 {
+		out = append(out, d.buf[d.head])
+		d.buf[d.head] = queuedTask{}
+		d.head = (d.head + 1) & (len(d.buf) - 1)
+		d.n--
+	}
+	d.setSize()
+	d.mu.Unlock()
+	return out
+}

@@ -66,6 +66,17 @@ func (s *Scheduler) takeInflight(id uint64) bool {
 	return true
 }
 
+// stillInflight reports whether the entry is still tracked, without
+// removing it: the ship confirmation loop uses it to drop tasks whose
+// re-execution the recovery coordinator has already taken over before
+// re-shipping a timed-out batch.
+func (s *Scheduler) stillInflight(id uint64) bool {
+	s.inflightMu.Lock()
+	_, ok := s.inflight[id]
+	s.inflightMu.Unlock()
+	return ok
+}
+
 func (s *Scheduler) trackHandoff(spec *TaskSpec, thief int) {
 	s.inflightMu.Lock()
 	defer s.inflightMu.Unlock()

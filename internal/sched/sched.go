@@ -117,6 +117,19 @@ const (
 	MetricStolenFrom    = "sched.stolen_from"
 	MetricTaskExec      = "sched.task_exec"
 	MetricRespawns      = "sched.respawns"
+	// MetricWorkerIdleUs accumulates microseconds workers spent parked.
+	MetricWorkerIdleUs = "sched.worker_idle_us"
+	// MetricStealBatch / MetricShipBatch are value histograms of the
+	// task counts per steal grant and per placement frame.
+	MetricStealBatch = "sched.steal_batch"
+	MetricShipBatch  = "sched.ship_batch"
+	// MetricShipDups counts shipped specs suppressed by the receiver's
+	// spec-ID dedup set; MetricReships counts re-shipped specs.
+	MetricShipDups = "sched.ship_dups"
+	MetricReships  = "sched.reships"
+	// MetricQueueDepthPrefix prefixes the per-worker deque depth
+	// gauges ("sched.queue_depth.w0", "sched.queue_depth.w1", ...).
+	MetricQueueDepthPrefix = "sched.queue_depth.w"
 )
 
 // Stats aggregates per-locality scheduling counters.
@@ -156,6 +169,15 @@ type Scheduler struct {
 	inflight   map[uint64]inflightEntry
 	handoffs   []handoffEntry
 
+	// shippers coalesce remote placements per destination; seenSet is
+	// the receiver-side spec-ID dedup set making re-shipped batches
+	// idempotent (see ship.go).
+	shippers []shipper
+	seenMu   sync.Mutex
+	seenSet  map[uint64]struct{}
+	seenRing []uint64
+	seenNext int
+
 	// stats are counters cached from the locality registry, which is
 	// the single source of truth read by monitor and tests.
 	stats struct {
@@ -163,13 +185,14 @@ type Scheduler struct {
 		localPlaced, remotePlaced           *metrics.Counter
 		coveredAll, coveredWrite, polPlaced *metrics.Counter
 		stealAttempts, stolen, stolenFrom   *metrics.Counter
-		respawns                            *metrics.Counter
+		respawns, workerIdleUs              *metrics.Counter
+		shipDups, reships                   *metrics.Counter
+		stealBatch, shipBatch               *metrics.Histogram
 	}
 	execHist *metrics.Histogram
 }
 
-const methodRun = "sched.run"
-
+// runArgs is one task placement inside a runBatch frame (ship.go).
 type runArgs struct {
 	Spec    TaskSpec
 	Variant Variant
@@ -182,6 +205,8 @@ func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 		loc: loc, mgr: mgr, policy: policy,
 		kinds:    make(map[string]*Kind),
 		inflight: make(map[uint64]inflightEntry),
+		shippers: make([]shipper, loc.Size()),
+		seenSet:  make(map[uint64]struct{}),
 	}
 	reg := loc.Metrics()
 	s.stats.spawned = reg.Counter(MetricSpawned)
@@ -196,20 +221,33 @@ func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 	s.stats.stolen = reg.Counter(MetricSteals)
 	s.stats.stolenFrom = reg.Counter(MetricStolenFrom)
 	s.stats.respawns = reg.Counter(MetricRespawns)
+	s.stats.workerIdleUs = reg.Counter(MetricWorkerIdleUs)
+	s.stats.shipDups = reg.Counter(MetricShipDups)
+	s.stats.reships = reg.Counter(MetricReships)
+	s.stats.stealBatch = reg.Histogram(MetricStealBatch)
+	s.stats.shipBatch = reg.Histogram(MetricShipBatch)
 	s.execHist = reg.Histogram(MetricTaskExec)
 	if lb, ok := policy.(loadBinder); ok {
 		lb.BindLoad(s.Load)
 	}
 	// Task ships are acknowledged RPCs, not one-way messages: the ack
 	// only confirms acceptance (execution continues asynchronously), so
-	// a lost ship can be retried — and the dedup flag the supervised
-	// caller sets guarantees a retried ship spawns the task once.
-	loc.Handle(methodRun, func(from int, body []byte) ([]byte, error) {
-		var args runArgs
-		if err := decodeWire(body, &args); err != nil {
+	// a lost frame can be retried — the RPC dedup window makes retries
+	// of one call idempotent, and markSeen makes whole re-shipped
+	// batches idempotent (see ship.go).
+	loc.Handle(methodRunBatch, func(from int, body []byte) ([]byte, error) {
+		var b runBatch
+		if err := decodeWire(body, &b); err != nil {
 			return nil, err
 		}
-		go s.execute(&args.Spec, args.Variant)
+		for i := range b.Tasks {
+			t := &b.Tasks[i]
+			if !s.markSeen(t.Spec.ID) {
+				s.stats.shipDups.Inc()
+				continue
+			}
+			s.executeAsync(&t.Spec, t.Variant)
+		}
 		return nil, nil
 	})
 	return s
@@ -343,29 +381,20 @@ func (s *Scheduler) assign(spec *TaskSpec) error {
 
 	if target == s.loc.Rank() {
 		s.stats.localPlaced.Inc()
-		go s.execute(spec, variant)
+		// Queued process variants enqueue inline — no goroutine spawn
+		// on the hot path; everything else starts on its own goroutine.
+		s.executeAsync(spec, variant)
 		return nil
 	}
 	s.stats.remotePlaced.Inc()
 	s.trackInflight(spec, target)
-	// Ship under the control-plane delivery policy: lost frames are
-	// retried under one call ID with server-side dedup, so the task is
-	// spawned exactly once even on a lossy fabric. The ship is
-	// confirmed asynchronously; on failure (timeout or peer death) the
-	// task falls back to local execution — unless the recovery
-	// coordinator already drained the inflight entry and owns the
-	// re-execution (takeInflight arbitrates the race).
-	ship := *spec
-	fut := s.loc.CallAsync(target, methodRun, &runArgs{Spec: ship, Variant: variant},
-		runtime.WithSpec(s.loc.ControlSpec()))
-	go func() {
-		if _, err := fut.Wait(); err != nil {
-			if s.takeInflight(ship.ID) {
-				s.stats.localPlaced.Inc()
-				s.execute(&ship, variant)
-			}
-		}
-	}()
+	// Hand the placement to the per-destination shipper: it coalesces
+	// bursts into batched sched.runb frames, confirms them
+	// asynchronously, and owns the failure policy — re-ship on timeout
+	// (idempotent via the receiver's dedup set), local fallback only on
+	// peer death, arbitrated against recovery via takeInflight
+	// (ship.go).
+	s.ship(target, runArgs{Spec: *spec, Variant: variant})
 	return nil
 }
 
@@ -435,18 +464,20 @@ func (s *Scheduler) coveringRank(reqs []dim.Requirement, writeOnly bool) int {
 	return best
 }
 
-// execute runs (or, with work stealing enabled, enqueues) one variant
-// of a task on this locality. Only process variants are queued and
-// stealable: split variants merely spawn and wait, and must neither
-// occupy a bounded worker nor migrate once created (their spawn-tree
-// position is locality-bound state).
-func (s *Scheduler) execute(spec *TaskSpec, variant Variant) {
+// executeAsync begins execution without blocking the caller: process
+// variants go through the run queue when one is enabled (only process
+// variants are queued and stealable — split variants merely spawn and
+// wait, and must neither occupy a bounded worker nor migrate once
+// created), everything else runs on a fresh goroutine. Used on the
+// local placement path, the placement RPC handler, and the ship
+// fallback.
+func (s *Scheduler) executeAsync(spec *TaskSpec, variant Variant) {
 	if s.queue != nil && variant == VariantProcess {
-		s.queued.Add(1)
 		s.enqueueLocal(spec)
 		return
 	}
-	s.executeNow(spec, variant)
+	cp := *spec
+	go s.executeNow(&cp, variant)
 }
 
 // executeNow runs one variant immediately on the calling goroutine.

@@ -428,7 +428,7 @@ func TestAdaptivePolicyVariantSelection(t *testing.T) {
 }
 
 func TestAdaptivePolicyEndToEnd(t *testing.T) {
-	c := newCluster(t, 2, &AdaptivePolicy{})
+	c := newCluster(t, 2, NewAdaptivePolicy())
 	registerSum(c)
 	c.start()
 	fut, err := c.scheds[0].Spawn("sum", &sumRange{0, 500})

@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"allscale/internal/runtime"
+)
+
+// Batched remote task placement (DESIGN.md §6e). assign's remote path
+// does not issue one CallAsync per task: placements are appended to a
+// per-destination shipper and coalesce into sched.runb frames of up to
+// maxShipBatch tasks, so a burst of fine-grained remote spawns crosses
+// the fabric as a few large frames.
+//
+// Delivery is exactly-once in effect. The control-plane RPC spec
+// retries lost frames under one call ID with server-side dedup; on top
+// of that, the receiver keeps a bounded spec-ID dedup set (markSeen)
+// so a batch re-shipped under a fresh call ID — after a confirmation
+// timeout whose original may still be delivered late — cannot spawn a
+// task twice. Local fallback execution happens only when the target is
+// dead, arbitrated against the recovery coordinator via takeInflight.
+
+// methodRunBatch replaces the PR 1 per-task "sched.run" placement RPC.
+const methodRunBatch = "sched.runb"
+
+// runBatch is the wire envelope of one coalesced placement frame.
+type runBatch struct {
+	Tasks []runArgs
+}
+
+const (
+	// maxShipBatch bounds the tasks coalesced into one frame.
+	maxShipBatch = 64
+	// reshipBackoff is the pause before re-shipping a batch whose
+	// confirmation timed out with the target still live.
+	reshipBackoff = 50 * time.Millisecond
+	// execSeenCap bounds the receiver's spec-ID dedup set (FIFO
+	// eviction; 32K IDs comfortably outlive any re-ship window).
+	execSeenCap = 1 << 15
+)
+
+// shipper is the per-destination coalescing buffer.
+type shipper struct {
+	mu      sync.Mutex
+	pending []runArgs
+	active  bool
+}
+
+// ship hands one placement to the target's shipper. The first
+// appender of an idle shipper becomes its flusher; placements arriving
+// while a flush is encoding or awaiting the send path coalesce into
+// the next batch.
+func (s *Scheduler) ship(target int, item runArgs) {
+	sh := &s.shippers[target]
+	sh.mu.Lock()
+	sh.pending = append(sh.pending, item)
+	spawn := !sh.active
+	sh.active = true
+	sh.mu.Unlock()
+	if spawn {
+		go s.shipLoop(target)
+	}
+}
+
+// shipLoop drains the shipper until it runs dry, sending chunks of at
+// most maxShipBatch tasks and confirming each asynchronously.
+func (s *Scheduler) shipLoop(target int) {
+	sh := &s.shippers[target]
+	for {
+		sh.mu.Lock()
+		if len(sh.pending) == 0 {
+			sh.active = false
+			sh.mu.Unlock()
+			return
+		}
+		batch := sh.pending
+		sh.pending = nil
+		sh.mu.Unlock()
+		for len(batch) > 0 {
+			n := len(batch)
+			if n > maxShipBatch {
+				n = maxShipBatch
+			}
+			chunk := batch[:n:n]
+			batch = batch[n:]
+			s.stats.shipBatch.ObserveValue(uint64(n))
+			fut := s.loc.CallAsync(target, methodRunBatch, &runBatch{Tasks: chunk},
+				runtime.WithSpec(s.loc.ControlSpec()))
+			go s.confirmShip(target, chunk, fut)
+		}
+	}
+}
+
+// confirmShip waits for a batch's acceptance ack and owns the failure
+// policy: a confirmed batch is done; a dead target releases its tasks
+// to local re-execution under takeInflight arbitration with the
+// recovery coordinator; a timeout with the target still live must NOT
+// fall back locally — a late-delivered retry of the lost frame may
+// still spawn the tasks remotely — so the batch is re-shipped under a
+// fresh call ID instead, and the target's spec-ID dedup set absorbs
+// the potential double delivery.
+func (s *Scheduler) confirmShip(target int, batch []runArgs, fut *runtime.Future) {
+	for {
+		_, err := fut.Wait()
+		if err == nil {
+			return
+		}
+		if s.loc.Closed() {
+			return
+		}
+		if errors.Is(err, runtime.ErrPeerFailed) || s.loc.IsDead(target) {
+			for i := range batch {
+				if s.takeInflight(batch[i].Spec.ID) {
+					s.stats.localPlaced.Inc()
+					s.executeAsync(&batch[i].Spec, batch[i].Variant)
+				}
+			}
+			return
+		}
+		// Timed out with a live peer: drop tasks whose re-execution
+		// the recovery coordinator already took over, re-ship the rest.
+		retry := batch[:0]
+		for i := range batch {
+			if s.stillInflight(batch[i].Spec.ID) {
+				retry = append(retry, batch[i])
+			}
+		}
+		if len(retry) == 0 {
+			return
+		}
+		batch = retry
+		s.stats.reships.Add(uint64(len(batch)))
+		time.Sleep(reshipBackoff)
+		if s.loc.Closed() {
+			return
+		}
+		fut = s.loc.CallAsync(target, methodRunBatch, &runBatch{Tasks: batch},
+			runtime.WithSpec(s.loc.ControlSpec()))
+	}
+}
+
+// markSeen records a remotely shipped spec ID and reports whether it
+// was new. The RPC layer's dedup window suppresses duplicate frames of
+// one call; this set additionally suppresses duplicates across calls —
+// a re-shipped batch whose original is eventually delivered anyway.
+func (s *Scheduler) markSeen(id uint64) bool {
+	s.seenMu.Lock()
+	defer s.seenMu.Unlock()
+	if _, dup := s.seenSet[id]; dup {
+		return false
+	}
+	if len(s.seenRing) < execSeenCap {
+		s.seenRing = append(s.seenRing, id)
+	} else {
+		delete(s.seenSet, s.seenRing[s.seenNext])
+		s.seenRing[s.seenNext] = id
+		s.seenNext++
+		if s.seenNext == execSeenCap {
+			s.seenNext = 0
+		}
+	}
+	s.seenSet[id] = struct{}{}
+	return true
+}

@@ -1,11 +1,14 @@
 package sched
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"allscale/internal/runtime"
+	"allscale/internal/trace"
 )
 
 // This file implements node-local task queues with inter-node work
@@ -17,23 +20,46 @@ import (
 // (Section 3.2.)
 //
 // Stealing is opt-in via EnableQueue: process-variant executions are
-// then held in a bounded-worker queue from which idle peers may steal
-// (only not-yet-started tasks move, matching the model). Split
-// variants keep running on their own goroutines — they only spawn and
-// wait, and must not occupy a worker while blocked on children.
+// then held in per-worker deques (see deque.go) from which idle
+// workers and idle peers may take work (only not-yet-started tasks
+// move, matching the model). Split variants keep running on their own
+// goroutines — they only spawn and wait, and must not occupy a worker
+// while blocked on children.
+//
+// The data plane is tiered for throughput (DESIGN.md §6e): a worker
+// pops its own deque LIFO, then raids sibling deques FIFO, and only
+// then issues a remote sched.steal RPC — which grants up to half the
+// victim's queue in one frame. Idle workers park on a wake channel
+// notified by enqueues (no polling); when remote work might exist they
+// additionally wake on a randomized, exponentially growing backoff
+// timer to retry remote steals.
 
 const methodSteal = "sched.steal"
 
+// stealReply carries a batch of granted tasks (empty = nothing to
+// steal).
 type stealReply struct {
-	Found bool
-	Spec  TaskSpec
+	Specs []TaskSpec
 }
+
+const (
+	// localStealCap bounds one sibling-deque raid.
+	localStealCap = 16
+	// remoteStealCap bounds one remote steal grant.
+	remoteStealCap = 64
+	// remoteStealBase/Max bound the randomized idle backoff between
+	// remote steal rounds.
+	remoteStealBase = 100 * time.Microsecond
+	remoteStealMax  = 2 * time.Millisecond
+)
 
 // queueState holds the optional work-stealing run queue.
 type queueState struct {
-	mu       sync.Mutex
-	tasks    []TaskSpec
 	workers  int
+	deques   []*deque
+	rr       atomic.Uint64 // round-robin enqueue cursor
+	wake     chan struct{} // enqueue → parked-worker notification
+	idle     atomic.Int64  // number of workers currently parked
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -50,16 +76,39 @@ func (s *Scheduler) EnableQueue(workers int) {
 	if s.queue != nil {
 		panic("sched: EnableQueue called twice")
 	}
-	q := &queueState{workers: workers, stop: make(chan struct{})}
+	q := &queueState{
+		workers: workers,
+		deques:  make([]*deque, workers),
+		wake:    make(chan struct{}, workers),
+		stop:    make(chan struct{}),
+	}
+	reg := s.loc.Metrics()
+	for w := range q.deques {
+		q.deques[w] = newDeque(reg.Gauge(fmt.Sprintf("%s%d", MetricQueueDepthPrefix, w)))
+	}
 	s.queue = q
+	// Give the policy the live queue signals of Algorithm 2 ("task
+	// queue lengths and worker idle rates").
+	if qb, ok := s.policy.(queueSignalBinder); ok {
+		qb.BindQueueSignals(
+			func() int64 { return s.queued.Load() },
+			func() int64 { return q.idle.Load() },
+		)
+	}
 	s.loc.Handle(methodSteal, func(from int, body []byte) ([]byte, error) {
-		spec, ok := s.stealLocal()
-		if !ok {
+		batch := s.stealForRemote(remoteStealCap)
+		if len(batch) == 0 {
 			return encodeWire(&stealReply{})
 		}
-		s.stats.stolenFrom.Inc()
-		s.trackHandoff(&spec, from)
-		return encodeWire(&stealReply{Found: true, Spec: spec})
+		reply := &stealReply{Specs: make([]TaskSpec, len(batch))}
+		for i := range batch {
+			batch[i].sp.End() // the task leaves this rank's queues
+			s.trackHandoff(&batch[i].spec, from)
+			reply.Specs[i] = batch[i].spec
+		}
+		s.stats.stolenFrom.Add(uint64(len(batch)))
+		s.stats.stealBatch.ObserveValue(uint64(len(batch)))
+		return encodeWire(reply)
 	})
 	for w := 0; w < workers; w++ {
 		q.wg.Add(1)
@@ -69,13 +118,16 @@ func (s *Scheduler) EnableQueue(workers int) {
 
 // StopQueue terminates the worker pool and waits for the workers to
 // exit (used by tests; systems normally live for the process
-// lifetime). It is idempotent.
+// lifetime). It is idempotent. Tasks still queued are discarded —
+// their promises fail when the locality closes — with their enqueue
+// spans ended so the tracer reports no leaked spans.
 func (s *Scheduler) StopQueue() {
 	if s.queue == nil {
 		return
 	}
 	s.queue.stopOnce.Do(func() { close(s.queue.stop) })
 	s.queue.wg.Wait()
+	s.drainQueues()
 }
 
 // AbortQueue signals the worker pool to stop without waiting for the
@@ -86,9 +138,21 @@ func (s *Scheduler) AbortQueue() {
 		return
 	}
 	s.queue.stopOnce.Do(func() { close(s.queue.stop) })
+	s.drainQueues()
 }
 
-// StealStats reports (stolen-by-us, stolen-from-us).
+// drainQueues empties every deque, ending the enqueue spans of the
+// discarded tasks.
+func (s *Scheduler) drainQueues() {
+	for _, d := range s.queue.deques {
+		for _, t := range d.drain() {
+			t.sp.End()
+			s.queued.Add(-1)
+		}
+	}
+}
+
+// StealStats reports (stolen-by-us, stolen-from-us) task counts.
 func (s *Scheduler) StealStats() (uint64, uint64) {
 	if s.queue == nil {
 		return 0, 0
@@ -96,50 +160,64 @@ func (s *Scheduler) StealStats() (uint64, uint64) {
 	return s.stats.stolen.Value(), s.stats.stolenFrom.Value()
 }
 
-// enqueueLocal places a process-variant task into the local queue.
+// enqueueLocal places a process-variant task into a local deque picked
+// round-robin.
 func (s *Scheduler) enqueueLocal(spec *TaskSpec) {
-	q := s.queue
-	q.mu.Lock()
-	q.tasks = append(q.tasks, *spec)
-	q.mu.Unlock()
+	s.enqueueAt(-1, spec)
 }
 
-// dequeueLocal pops the newest local task (LIFO for locality).
-func (s *Scheduler) dequeueLocal() (TaskSpec, bool) {
+// enqueueAt pushes onto worker w's deque (round-robin when w < 0),
+// beginning the task.enqueue span that measures queue residency, and
+// wakes a parked worker if there is one. The queued counter is
+// incremented before the idle check: together with the reverse order
+// in worker parking (idle up, then queued check) this makes lost
+// wakeups impossible.
+func (s *Scheduler) enqueueAt(w int, spec *TaskSpec) {
 	q := s.queue
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	n := len(q.tasks)
-	if n == 0 {
-		return TaskSpec{}, false
+	sp := s.loc.Tracer().Begin("task.enqueue", spec.Kind, trace.SpanID(spec.Span))
+	sp.SetTask(spec.ID)
+	if w < 0 {
+		w = int(q.rr.Add(1) % uint64(q.workers))
 	}
-	spec := q.tasks[n-1]
-	q.tasks[n-1] = TaskSpec{} // release references held by the popped slot
-	q.tasks = q.tasks[:n-1]
-	s.queued.Add(-1)
-	return spec, true
+	q.deques[w].pushTail(queuedTask{spec: *spec, sp: sp})
+	s.queued.Add(1)
+	if q.idle.Load() > 0 {
+		select {
+		case q.wake <- struct{}{}:
+		default:
+		}
+	}
 }
 
-// stealLocal pops the oldest local task (FIFO for thieves: old tasks
-// are likely far from this locality's working set anyway).
-func (s *Scheduler) stealLocal() (TaskSpec, bool) {
+// stealForRemote drains up to half the queued tasks (capped at max)
+// for a remote thief, sweeping deques head-first.
+func (s *Scheduler) stealForRemote(max int) []queuedTask {
 	q := s.queue
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	n := len(q.tasks)
-	if n == 0 {
-		return TaskSpec{}, false
+	if q == nil {
+		return nil
 	}
-	// Compact in place rather than re-slicing from the front:
-	// q.tasks[1:] would pin the popped head (and everything it
-	// references) in the backing array forever. Steals are rare next
-	// to local pops, so the O(n) copy is cheap.
-	spec := q.tasks[0]
-	copy(q.tasks, q.tasks[1:])
-	q.tasks[n-1] = TaskSpec{}
-	q.tasks = q.tasks[:n-1]
-	s.queued.Add(-1)
-	return spec, true
+	total := int(s.queued.Load())
+	if total <= 0 {
+		return nil
+	}
+	want := (total + 1) / 2
+	if want > max {
+		want = max
+	}
+	var out []queuedTask
+	for _, d := range q.deques {
+		if len(out) >= want {
+			break
+		}
+		if d.size.Load() == 0 {
+			continue
+		}
+		out = append(out, d.stealHead(want-len(out))...)
+	}
+	if len(out) > 0 {
+		s.queued.Add(-int64(len(out)))
+	}
+	return out
 }
 
 // QueueLen returns the number of queued, not yet started tasks.
@@ -147,59 +225,162 @@ func (s *Scheduler) QueueLen() int {
 	if s.queue == nil {
 		return 0
 	}
-	s.queue.mu.Lock()
-	defer s.queue.mu.Unlock()
-	return len(s.queue.tasks)
+	n := s.queued.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
 }
 
-// worker executes queued process-variant tasks, stealing from random
-// peers when the local queue is empty.
-func (s *Scheduler) worker(seed int) {
+// runQueued ends the task's queue-residency span and executes it.
+func (s *Scheduler) runQueued(t queuedTask) {
+	t.sp.End()
+	s.executeNow(&t.spec, VariantProcess)
+}
+
+// worker is one executor goroutine: pop own deque, raid siblings,
+// steal remotely, park.
+func (s *Scheduler) worker(w int) {
 	q := s.queue
 	defer q.wg.Done()
-	rng := rand.New(rand.NewSource(int64(s.Rank())*1000 + int64(seed)))
-	idle := time.Duration(0)
+	self := q.deques[w]
+	rng := rand.New(rand.NewSource(int64(s.Rank())*1669 + int64(w)))
+	// One reused timer for the remote-steal backoff (the old code
+	// allocated a fresh time.After timer per idle iteration).
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	backoff := remoteStealBase
 	for {
 		select {
 		case <-q.stop:
 			return
 		default:
 		}
-		if spec, ok := s.dequeueLocal(); ok {
-			idle = 0
-			s.executeNow(&spec, VariantProcess)
+		if t, ok := self.popTail(); ok {
+			s.queued.Add(-1)
+			backoff = remoteStealBase
+			s.runQueued(t)
 			continue
 		}
-		// Try to steal from a random live peer (dead peers fall
-		// through to the backoff — no point hammering them).
+		if t, ok := s.stealSiblings(w, rng); ok {
+			backoff = remoteStealBase
+			s.runQueued(t)
+			continue
+		}
+		if t, ok := s.stealRemote(w, rng); ok {
+			backoff = remoteStealBase
+			s.runQueued(t)
+			continue
+		}
+		// Nothing anywhere: park until an enqueue wakes us. The idle
+		// increment happens before the queued re-check — the mirror of
+		// enqueueAt's publication order — so a concurrent enqueue
+		// either becomes visible to the re-check or sees idle > 0 and
+		// signals the wake channel.
+		q.idle.Add(1)
+		if s.queued.Load() > 0 {
+			q.idle.Add(-1)
+			continue
+		}
+		idleStart := time.Now()
 		if s.loc.Size() > 1 {
-			victim := rng.Intn(s.loc.Size() - 1)
-			if victim >= s.Rank() {
-				victim++
+			// Peers may have work: also wake on a randomized backoff
+			// to retry remote steals, doubling while idle persists.
+			fired := false
+			timer.Reset(backoff/2 + time.Duration(rng.Int63n(int64(backoff))))
+			select {
+			case <-q.stop:
+				q.idle.Add(-1)
+				return
+			case <-q.wake:
+			case <-timer.C:
+				fired = true
 			}
-			if !s.loc.IsDead(victim) && !s.loc.IsSuspect(victim) {
-				s.stats.stealAttempts.Inc()
-				// Bounded + retried with dedup: a granted steal whose reply
-				// frame is lost is replayed instead of losing the task.
-				var reply stealReply
-				err := s.loc.Call(victim, methodSteal, struct{}{}, &reply,
-					runtime.WithSpec(s.loc.ControlSpec()))
-				if err == nil && reply.Found {
-					s.stats.stolen.Inc()
-					idle = 0
-					s.executeNow(&reply.Spec, VariantProcess)
-					continue
-				}
+			if !fired && !timer.Stop() {
+				<-timer.C
+			}
+			if backoff < remoteStealMax {
+				backoff *= 2
+			}
+		} else {
+			select {
+			case <-q.stop:
+				q.idle.Add(-1)
+				return
+			case <-q.wake:
 			}
 		}
-		// Nothing anywhere: back off briefly.
-		if idle < 2*time.Millisecond {
-			idle += 100 * time.Microsecond
+		q.idle.Add(-1)
+		s.stats.workerIdleUs.Add(uint64(time.Since(idleStart).Microseconds()))
+	}
+}
+
+// stealSiblings raids the deque of another worker of this locality,
+// moving a batch into worker w's own deque and returning the first
+// task for immediate execution. Intra-locality moves keep their
+// enqueue spans running: the tasks never left this rank's queues.
+func (s *Scheduler) stealSiblings(w int, rng *rand.Rand) (queuedTask, bool) {
+	q := s.queue
+	if q.workers == 1 {
+		return queuedTask{}, false
+	}
+	start := rng.Intn(q.workers)
+	for off := 0; off < q.workers; off++ {
+		v := (start + off) % q.workers
+		if v == w || q.deques[v].size.Load() == 0 {
+			continue
 		}
-		select {
-		case <-q.stop:
-			return
-		case <-time.After(idle):
+		batch := q.deques[v].stealHead(localStealCap)
+		if len(batch) == 0 {
+			continue
+		}
+		self := q.deques[w]
+		for _, t := range batch[1:] {
+			self.pushTail(t)
+		}
+		s.queued.Add(-1) // only the task we are about to run left the queues
+		return batch[0], true
+	}
+	return queuedTask{}, false
+}
+
+// stealRemote asks one random live peer for work. A granted batch is
+// recorded task-by-task with task.steal spans; the first task is
+// returned for immediate execution, the rest land in worker w's deque
+// (waking parked siblings via the enqueue path).
+func (s *Scheduler) stealRemote(w int, rng *rand.Rand) (queuedTask, bool) {
+	if s.loc.Size() <= 1 {
+		return queuedTask{}, false
+	}
+	victim := rng.Intn(s.loc.Size() - 1)
+	if victim >= s.Rank() {
+		victim++
+	}
+	// Dead peers fall through to the backoff — no point hammering them.
+	if s.loc.IsDead(victim) || s.loc.IsSuspect(victim) {
+		return queuedTask{}, false
+	}
+	s.stats.stealAttempts.Inc()
+	// Bounded + retried with dedup: a granted steal whose reply frame
+	// is lost is replayed instead of losing the batch.
+	var reply stealReply
+	err := s.loc.Call(victim, methodSteal, struct{}{}, &reply,
+		runtime.WithSpec(s.loc.ControlSpec()))
+	if err != nil || len(reply.Specs) == 0 {
+		return queuedTask{}, false
+	}
+	s.stats.stolen.Add(uint64(len(reply.Specs)))
+	tr := s.loc.Tracer()
+	for i := range reply.Specs {
+		spec := &reply.Specs[i]
+		ssp := tr.Begin("task.steal", spec.Kind, trace.SpanID(spec.Span))
+		ssp.SetTask(spec.ID)
+		ssp.End()
+		if i > 0 {
+			s.enqueueAt(w, spec)
 		}
 	}
+	return queuedTask{spec: reply.Specs[0]}, true
 }

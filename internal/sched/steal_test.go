@@ -169,35 +169,54 @@ func TestStealStatsWithoutQueue(t *testing.T) {
 	c.scheds[0].StopQueue() // no-op
 }
 
-// TestStealLocalOrderAndCompaction checks the FIFO thief-side pop
-// directly: order is preserved and the queue drains fully (the pop
-// compacts the backing array instead of re-slicing from the front,
-// which would pin every popped head alive).
-func TestStealLocalOrderAndCompaction(t *testing.T) {
-	c := newCluster(t, 1, &DefaultPolicy{})
-	s := c.scheds[0]
-	s.EnableQueue(1)
-	defer s.StopQueue()
+// TestStealBatchingAccounting checks that remote steals move tasks in
+// batches and that the StealStats counters and the steal_batch
+// histogram agree: the victim's stolen-from count equals the sum of
+// the thieves' stolen counts, and the number of steal grants (histogram
+// observations) is strictly smaller than the number of stolen tasks —
+// i.e. batching actually coalesced.
+func TestStealBatchingAccounting(t *testing.T) {
+	// One worker at the victim, blocked behind slow tasks, so a large
+	// backlog accumulates for the idle rank to steal in batches.
+	c := newQueuedCluster(t, 2, 1, &LocalPolicy{})
+	var mu sync.Mutex
+	ranks := map[int]int{}
+	registerSlow(c, &mu, ranks)
+	c.start()
 
-	const n = 64
+	const n = 120
+	var futs []interface{ Wait() ([]byte, error) }
 	for i := 0; i < n; i++ {
-		s.queued.Add(1)
-		s.enqueueLocal(&TaskSpec{ID: uint64(i + 1)})
-	}
-	for i := 0; i < n; i++ {
-		spec, ok := s.stealLocal()
-		if !ok {
-			t.Fatalf("queue empty after %d steals, want %d", i, n)
+		fut, err := c.scheds[0].Spawn("slow", struct{}{})
+		if err != nil {
+			t.Fatal(err)
 		}
-		if spec.ID != uint64(i+1) {
-			t.Fatalf("steal %d returned task %d, want FIFO order", i, spec.ID)
+		futs = append(futs, fut)
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
 		}
 	}
-	if _, ok := s.stealLocal(); ok {
-		t.Fatal("steal from drained queue succeeded")
+
+	_, stolenFrom0 := c.scheds[0].StealStats()
+	stolen1, _ := c.scheds[1].StealStats()
+	if stolen1 == 0 {
+		t.Fatal("idle rank stole nothing")
 	}
-	if got := s.QueueLen(); got != 0 {
-		t.Fatalf("QueueLen = %d after drain", got)
+	if stolen1 != stolenFrom0 {
+		t.Fatalf("steal accounting mismatch: rank 1 stole %d, rank 0 reports %d stolen from it",
+			stolen1, stolenFrom0)
+	}
+	hist := c.scheds[0].loc.Metrics().Histogram(MetricStealBatch).Snapshot()
+	if hist.Count == 0 {
+		t.Fatal("steal_batch histogram recorded no grants")
+	}
+	if hist.SumNanos != stolenFrom0 {
+		t.Fatalf("steal_batch histogram sums %d tasks, counters say %d", hist.SumNanos, stolenFrom0)
+	}
+	if hist.Count >= stolenFrom0 {
+		t.Fatalf("no batching: %d grants for %d stolen tasks", hist.Count, stolenFrom0)
 	}
 }
 

@@ -1,11 +1,19 @@
 package sched
 
-import "allscale/internal/wire"
+import (
+	"fmt"
+
+	"allscale/internal/wire"
+)
 
 // Hand-written binary codecs for the scheduler's hot wire types
 // (DESIGN.md §6a "Wire formats"): every task placement crosses the
-// transport as a runArgs envelope and every successful steal as a
-// stealReply, so both skip gob's reflect walk.
+// transport as a runBatch of runArgs envelopes and every successful
+// steal as a batched stealReply, so both skip gob's reflect walk.
+
+// maxWireBatch is a sanity bound on decoded batch lengths, far above
+// anything the senders produce (maxShipBatch / remoteStealCap).
+const maxWireBatch = 1 << 20
 
 // appendTaskSpec appends the flat TaskSpec fields.
 func appendTaskSpec(buf []byte, s *TaskSpec) []byte {
@@ -48,14 +56,51 @@ func (a *runArgs) UnmarshalWire(d *wire.Decoder) error {
 }
 
 // AppendWire implements wire.Marshaler.
+func (b *runBatch) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(len(b.Tasks)))
+	for i := range b.Tasks {
+		buf = appendTaskSpec(buf, &b.Tasks[i].Spec)
+		buf = wire.AppendVarint(buf, int64(b.Tasks[i].Variant))
+	}
+	return buf, nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (b *runBatch) UnmarshalWire(d *wire.Decoder) error {
+	n := d.Uvarint()
+	if n > maxWireBatch {
+		return fmt.Errorf("sched: runBatch length %d exceeds bound", n)
+	}
+	if n > 0 {
+		b.Tasks = make([]runArgs, n)
+	}
+	for i := range b.Tasks {
+		decodeTaskSpec(d, &b.Tasks[i].Spec)
+		b.Tasks[i].Variant = Variant(d.Int())
+	}
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
 func (r *stealReply) AppendWire(buf []byte) ([]byte, error) {
-	buf = wire.AppendBool(buf, r.Found)
-	return appendTaskSpec(buf, &r.Spec), nil
+	buf = wire.AppendUvarint(buf, uint64(len(r.Specs)))
+	for i := range r.Specs {
+		buf = appendTaskSpec(buf, &r.Specs[i])
+	}
+	return buf, nil
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
 func (r *stealReply) UnmarshalWire(d *wire.Decoder) error {
-	r.Found = d.Bool()
-	decodeTaskSpec(d, &r.Spec)
+	n := d.Uvarint()
+	if n > maxWireBatch {
+		return fmt.Errorf("sched: stealReply length %d exceeds bound", n)
+	}
+	if n > 0 {
+		r.Specs = make([]TaskSpec, n)
+	}
+	for i := range r.Specs {
+		decodeTaskSpec(d, &r.Specs[i])
+	}
 	return nil
 }
