@@ -123,8 +123,9 @@ const (
 	// task counts per steal grant and per placement frame.
 	MetricStealBatch = "sched.steal_batch"
 	MetricShipBatch  = "sched.ship_batch"
-	// MetricShipDups counts shipped specs suppressed by the receiver's
-	// spec-ID dedup set; MetricReships counts re-shipped specs.
+	// MetricShipDups counts shipped specs arriving in duplicate
+	// placement frames suppressed by the receiver's per-attempt ship
+	// dedup; MetricReships counts re-shipped specs.
 	MetricShipDups = "sched.ship_dups"
 	MetricReships  = "sched.reships"
 	// MetricQueueDepthPrefix prefixes the per-worker deque depth
@@ -169,14 +170,13 @@ type Scheduler struct {
 	inflight   map[uint64]inflightEntry
 	handoffs   []handoffEntry
 
-	// shippers coalesce remote placements per destination; seenSet is
-	// the receiver-side spec-ID dedup set making re-shipped batches
-	// idempotent (see ship.go).
+	// shippers coalesce remote placements per destination and allocate
+	// ship seqs; shipSeen is the receiver half of the ship dedup
+	// protocol — per-sender admitted seqs under an ack watermark —
+	// making re-shipped batches idempotent without suppressing later
+	// placement attempts of the same task (see ship.go).
 	shippers []shipper
-	seenMu   sync.Mutex
-	seenSet  map[uint64]struct{}
-	seenRing []uint64
-	seenNext int
+	shipSeen []shipSeenState
 
 	// stats are counters cached from the locality registry, which is
 	// the single source of truth read by monitor and tests.
@@ -206,7 +206,7 @@ func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 		kinds:    make(map[string]*Kind),
 		inflight: make(map[uint64]inflightEntry),
 		shippers: make([]shipper, loc.Size()),
-		seenSet:  make(map[uint64]struct{}),
+		shipSeen: make([]shipSeenState, loc.Size()),
 	}
 	reg := loc.Metrics()
 	s.stats.spawned = reg.Counter(MetricSpawned)
@@ -233,19 +233,19 @@ func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 	// Task ships are acknowledged RPCs, not one-way messages: the ack
 	// only confirms acceptance (execution continues asynchronously), so
 	// a lost frame can be retried — the RPC dedup window makes retries
-	// of one call idempotent, and markSeen makes whole re-shipped
-	// batches idempotent (see ship.go).
+	// of one call idempotent, and admitShip makes whole re-shipped
+	// batches (fresh call IDs, same ship seq) idempotent (see ship.go).
 	loc.Handle(methodRunBatch, func(from int, body []byte) ([]byte, error) {
 		var b runBatch
 		if err := decodeWire(body, &b); err != nil {
 			return nil, err
 		}
+		if !s.admitShip(from, b.Seq, b.Ack) {
+			s.stats.shipDups.Add(uint64(len(b.Tasks)))
+			return nil, nil
+		}
 		for i := range b.Tasks {
 			t := &b.Tasks[i]
-			if !s.markSeen(t.Spec.ID) {
-				s.stats.shipDups.Inc()
-				continue
-			}
 			s.executeAsync(&t.Spec, t.Variant)
 		}
 		return nil, nil

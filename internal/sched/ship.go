@@ -14,38 +14,159 @@ import (
 // maxShipBatch tasks, so a burst of fine-grained remote spawns crosses
 // the fabric as a few large frames.
 //
-// Delivery is exactly-once in effect. The control-plane RPC spec
-// retries lost frames under one call ID with server-side dedup; on top
-// of that, the receiver keeps a bounded spec-ID dedup set (markSeen)
-// so a batch re-shipped under a fresh call ID — after a confirmation
-// timeout whose original may still be delivered late — cannot spawn a
-// task twice. Local fallback execution happens only when the target is
-// dead, arbitrated against the recovery coordinator via takeInflight.
+// Delivery is exactly-once in effect, keyed on the ship ATTEMPT, not
+// the task: each batch frame carries a sequence number (Seq),
+// allocated per destination by the shipper and reused verbatim when
+// confirmShip re-ships the batch after a confirmation timeout, plus
+// an ack watermark (Ack) — the highest seq at or below which every
+// ship to that destination is resolved at the sender (confirmed,
+// failed over locally, or abandoned to recovery) and hence will never
+// be re-shipped. The receiver admits each (sender, seq) at most once
+// and drops whole frames at or below the sender's watermark, so a
+// re-shipped batch and a late-delivered original of the same attempt
+// cannot both spawn tasks. This sits above the per-call-ID dedup of
+// the RPC layer, which retries lost frames of ONE call; a re-ship is
+// a fresh call ID the RPC window cannot correlate.
+//
+// Two properties the seq keying buys over the earlier spec-ID dedup
+// ring:
+//
+//   - A task legitimately re-placed on the same rank by a LATER
+//     placement attempt — e.g. shipped here, stolen away, then
+//     respawned back by crash recovery after the thief died — arrives
+//     under a fresh seq and executes; a spec-ID set conflated that
+//     respawn with a re-ship of the old attempt and silently dropped
+//     the task.
+//   - The receiver's seen set is pruned by the piggybacked watermark
+//     and thus bounded by the sender's unresolved ships, instead of a
+//     fixed eviction cap that sustained throughput could cycle
+//     through within a re-ship window, forgetting an attempt whose
+//     duplicate was still deliverable.
+//
+// Local fallback execution happens only when the target is dead,
+// arbitrated against the recovery coordinator via takeInflight.
 
 // methodRunBatch replaces the PR 1 per-task "sched.run" placement RPC.
 const methodRunBatch = "sched.runb"
 
 // runBatch is the wire envelope of one coalesced placement frame.
 type runBatch struct {
+	// Seq identifies the ship attempt at the sending rank (per
+	// destination, monotonically increasing, stable across re-ships);
+	// Ack is the sender's resolved-ship watermark for this destination.
+	Seq   uint64
+	Ack   uint64
 	Tasks []runArgs
 }
 
 const (
 	// maxShipBatch bounds the tasks coalesced into one frame.
 	maxShipBatch = 64
-	// reshipBackoff is the pause before re-shipping a batch whose
-	// confirmation timed out with the target still live.
+	// reshipBackoff is the initial pause before re-shipping a batch
+	// whose confirmation timed out with the target still live; it
+	// doubles per retry up to reshipMax, so a live-but-unreachable
+	// peer (asymmetric partition) is probed, not hammered, until the
+	// failure detector declares it dead or recovery takes the tasks.
 	reshipBackoff = 50 * time.Millisecond
-	// execSeenCap bounds the receiver's spec-ID dedup set (FIFO
-	// eviction; 32K IDs comfortably outlive any re-ship window).
-	execSeenCap = 1 << 15
+	reshipMax     = 2 * time.Second
 )
 
-// shipper is the per-destination coalescing buffer.
+// shipper is the per-destination coalescing buffer plus the sender
+// half of the ship dedup protocol (seq allocation, resolved
+// watermark).
 type shipper struct {
 	mu      sync.Mutex
 	pending []runArgs
 	active  bool
+	// nextSeq is the last allocated ship seq; unresolved holds the
+	// seqs of ships still owned by a confirmShip loop (and thus still
+	// re-shippable). The ack watermark is the floor below min
+	// unresolved.
+	nextSeq    uint64
+	unresolved map[uint64]struct{}
+}
+
+// allocSeq assigns the next ship seq and returns it with the current
+// ack watermark.
+func (sh *shipper) allocSeq() (seq, ack uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.nextSeq++
+	seq = sh.nextSeq
+	if sh.unresolved == nil {
+		sh.unresolved = make(map[uint64]struct{})
+	}
+	sh.unresolved[seq] = struct{}{}
+	return seq, sh.ackFloorLocked()
+}
+
+// ackFloor returns the watermark: every seq at or below it is
+// resolved and will never be (re-)shipped again.
+func (sh *shipper) ackFloor() uint64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ackFloorLocked()
+}
+
+func (sh *shipper) ackFloorLocked() uint64 {
+	floor := sh.nextSeq
+	for seq := range sh.unresolved {
+		if seq-1 < floor {
+			floor = seq - 1
+		}
+	}
+	return floor
+}
+
+// resolve marks a ship attempt finished — confirmed, failed over to
+// local execution, or abandoned to recovery — allowing the watermark
+// to advance past it.
+func (sh *shipper) resolve(seq uint64) {
+	sh.mu.Lock()
+	delete(sh.unresolved, seq)
+	sh.mu.Unlock()
+}
+
+// shipSeenState is the receiver half of the ship dedup protocol for
+// one sender: ack is the highest watermark seen from it, seen the
+// admitted seqs above that. seen needs no eviction cap — entries
+// leave as the piggybacked watermark advances, so its size is bounded
+// by the sender's unresolved ships.
+type shipSeenState struct {
+	mu   sync.Mutex
+	ack  uint64
+	seen map[uint64]struct{}
+}
+
+// admitShip decides whether a placement frame (from, seq, ack) is new
+// and must execute, recording it if so. A frame at or below the
+// sender's watermark is a stale duplicate even when its seq was never
+// admitted here: the sender resolved that attempt another way (a
+// confirmed re-ship, or recovery/fallback re-execution), so running
+// it now would double-execute.
+func (s *Scheduler) admitShip(from int, seq, ack uint64) bool {
+	st := &s.shipSeen[from]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ack > st.ack {
+		st.ack = ack
+		for q := range st.seen {
+			if q <= ack {
+				delete(st.seen, q)
+			}
+		}
+	}
+	if seq <= st.ack {
+		return false
+	}
+	if _, dup := st.seen[seq]; dup {
+		return false
+	}
+	if st.seen == nil {
+		st.seen = make(map[uint64]struct{})
+	}
+	st.seen[seq] = struct{}{}
+	return true
 }
 
 // ship hands one placement to the target's shipper. The first
@@ -86,9 +207,11 @@ func (s *Scheduler) shipLoop(target int) {
 			chunk := batch[:n:n]
 			batch = batch[n:]
 			s.stats.shipBatch.ObserveValue(uint64(n))
-			fut := s.loc.CallAsync(target, methodRunBatch, &runBatch{Tasks: chunk},
+			seq, ack := sh.allocSeq()
+			fut := s.loc.CallAsync(target, methodRunBatch,
+				&runBatch{Seq: seq, Ack: ack, Tasks: chunk},
 				runtime.WithSpec(s.loc.ControlSpec()))
-			go s.confirmShip(target, chunk, fut)
+			go s.confirmShip(target, seq, chunk, fut)
 		}
 	}
 }
@@ -99,9 +222,13 @@ func (s *Scheduler) shipLoop(target int) {
 // recovery coordinator; a timeout with the target still live must NOT
 // fall back locally — a late-delivered retry of the lost frame may
 // still spawn the tasks remotely — so the batch is re-shipped under a
-// fresh call ID instead, and the target's spec-ID dedup set absorbs
-// the potential double delivery.
-func (s *Scheduler) confirmShip(target int, batch []runArgs, fut *runtime.Future) {
+// fresh call ID but the SAME ship seq, which the target admits at
+// most once. Whichever way the loop exits, the seq resolves and the
+// destination's ack watermark may advance past it.
+func (s *Scheduler) confirmShip(target int, seq uint64, batch []runArgs, fut *runtime.Future) {
+	sh := &s.shippers[target]
+	defer sh.resolve(seq)
+	backoff := reshipBackoff
 	for {
 		_, err := fut.Wait()
 		if err == nil {
@@ -121,6 +248,9 @@ func (s *Scheduler) confirmShip(target int, batch []runArgs, fut *runtime.Future
 		}
 		// Timed out with a live peer: drop tasks whose re-execution
 		// the recovery coordinator already took over, re-ship the rest.
+		// The re-ship is a subset of the original under the same seq,
+		// so whichever frame the receiver admits covers every task the
+		// sender still owns.
 		retry := batch[:0]
 		for i := range batch {
 			if s.stillInflight(batch[i].Spec.ID) {
@@ -132,35 +262,17 @@ func (s *Scheduler) confirmShip(target int, batch []runArgs, fut *runtime.Future
 		}
 		batch = retry
 		s.stats.reships.Add(uint64(len(batch)))
-		time.Sleep(reshipBackoff)
+		time.Sleep(backoff)
+		if backoff < reshipMax {
+			if backoff *= 2; backoff > reshipMax {
+				backoff = reshipMax
+			}
+		}
 		if s.loc.Closed() {
 			return
 		}
-		fut = s.loc.CallAsync(target, methodRunBatch, &runBatch{Tasks: batch},
+		fut = s.loc.CallAsync(target, methodRunBatch,
+			&runBatch{Seq: seq, Ack: sh.ackFloor(), Tasks: batch},
 			runtime.WithSpec(s.loc.ControlSpec()))
 	}
-}
-
-// markSeen records a remotely shipped spec ID and reports whether it
-// was new. The RPC layer's dedup window suppresses duplicate frames of
-// one call; this set additionally suppresses duplicates across calls —
-// a re-shipped batch whose original is eventually delivered anyway.
-func (s *Scheduler) markSeen(id uint64) bool {
-	s.seenMu.Lock()
-	defer s.seenMu.Unlock()
-	if _, dup := s.seenSet[id]; dup {
-		return false
-	}
-	if len(s.seenRing) < execSeenCap {
-		s.seenRing = append(s.seenRing, id)
-	} else {
-		delete(s.seenSet, s.seenRing[s.seenNext])
-		s.seenRing[s.seenNext] = id
-		s.seenNext++
-		if s.seenNext == execSeenCap {
-			s.seenNext = 0
-		}
-	}
-	s.seenSet[id] = struct{}{}
-	return true
 }

@@ -25,8 +25,8 @@ func (p *pinPolicy) PickTarget(*TaskSpec, int) int            { return p.target 
 // out while the shipped frame is still in flight. The old code then
 // executed the task locally AND the late frame executed it remotely —
 // twice. The fix re-ships on timeout (idempotent via the receiver's
-// spec-ID dedup set) and falls back locally only on peer death, so
-// every task must execute exactly once.
+// per-attempt ship dedup) and falls back locally only on peer death,
+// so every task must execute exactly once.
 func TestShipExactlyOnceUnderChaos(t *testing.T) {
 	const n = 2
 	const tasks = 300

@@ -68,10 +68,10 @@ type queueState struct {
 // EnableQueue switches the scheduler from goroutine-per-task to a
 // bounded worker pool with work stealing. Must be called on every
 // scheduler of the system before Start; workers is the number of
-// executor goroutines per locality.
+// executor goroutines per locality and must be positive.
 func (s *Scheduler) EnableQueue(workers int) {
 	if workers <= 0 {
-		workers = 4
+		panic(fmt.Sprintf("sched: EnableQueue needs workers > 0, got %d", workers))
 	}
 	if s.queue != nil {
 		panic("sched: EnableQueue called twice")

@@ -157,6 +157,16 @@ func TestEnableQueueTwicePanics(t *testing.T) {
 	c.scheds[0].EnableQueue(1)
 }
 
+func TestEnableQueueZeroWorkersPanics(t *testing.T) {
+	c := newCluster(t, 1, &DefaultPolicy{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableQueue(0) must panic")
+		}
+	}()
+	c.scheds[0].EnableQueue(0)
+}
+
 func TestStealStatsWithoutQueue(t *testing.T) {
 	c := newCluster(t, 1, &DefaultPolicy{})
 	a, b := c.scheds[0].StealStats()

@@ -57,6 +57,8 @@ func (a *runArgs) UnmarshalWire(d *wire.Decoder) error {
 
 // AppendWire implements wire.Marshaler.
 func (b *runBatch) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, b.Seq)
+	buf = wire.AppendUvarint(buf, b.Ack)
 	buf = wire.AppendUvarint(buf, uint64(len(b.Tasks)))
 	for i := range b.Tasks {
 		buf = appendTaskSpec(buf, &b.Tasks[i].Spec)
@@ -67,6 +69,8 @@ func (b *runBatch) AppendWire(buf []byte) ([]byte, error) {
 
 // UnmarshalWire implements wire.Unmarshaler.
 func (b *runBatch) UnmarshalWire(d *wire.Decoder) error {
+	b.Seq = d.Uvarint()
+	b.Ack = d.Uvarint()
 	n := d.Uvarint()
 	if n > maxWireBatch {
 		return fmt.Errorf("sched: runBatch length %d exceeds bound", n)
