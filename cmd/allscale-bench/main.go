@@ -9,8 +9,9 @@
 //	allscale-bench -exp table1,fig7-stencil
 //
 // Experiments: table1, fig7-stencil, fig7-ipic3d, fig7-tpc,
-// tree-regions (E5), tpc-dist (E5b), index (E6), sched (E7), validate
-// (real-mode correctness check of all three applications).
+// tree-regions (E5), tpc-dist (E5b), index (E6), sched (E7), locality
+// (E13), validate (real-mode correctness check of all three
+// applications).
 package main
 
 import (
@@ -70,6 +71,16 @@ func main() {
 		} else {
 			fmt.Println(bench.RenderTPCDistRows(rows))
 		}
+	}
+	if run("locality") {
+		rows, err := bench.LocateCacheAblation(4, tpc.Params{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locate cache ablation:", err)
+			failed = true
+		} else {
+			fmt.Println(bench.RenderLocateRows(rows))
+		}
+		fmt.Println(bench.Fig7TPCCached().Render())
 	}
 	if run("sched") {
 		rows, err := bench.SchedulerAblation(4, stencil.Params{})

@@ -92,6 +92,17 @@ type itemState struct {
 	// of all element regions ever allocated, serializing first-touch
 	// allocation claims.
 	allocated dataitem.Region
+	// lcache holds this rank's locate-cache entries for the item;
+	// cgen guards in-flight cache fills against invalidations racing
+	// the walk (see cache.go). Guarded by Manager.mu.
+	lcache []lcEntry
+	cgen   uint64
+	// exclusive is the part of the local fragment provably holding the
+	// item's only copy: grown by first-touch claims and completed write
+	// acquisitions, shrunk by every export (any new replica of our data
+	// must be fetched from us). Write staging and consolidation skip
+	// the authoritative owners walk inside it (see cache.go).
+	exclusive dataitem.Region
 }
 
 // Registry names under which the manager publishes its metrics.
@@ -99,6 +110,14 @@ const (
 	MetricAcquires    = "dim.acquires"
 	MetricLocates     = "dim.locates"
 	MetricAcquireWait = "dim.acquire_wait"
+	// MetricLocateRPCs counts outgoing index-resolution RPCs (batched
+	// resolveBatch frames); on the steady-state hot path the locate
+	// cache keeps it flat while MetricLocates keeps counting.
+	MetricLocateRPCs = "dim.locate_rpcs"
+	// Locate-cache effectiveness counters (DESIGN.md §6f).
+	MetricLocateCacheHits   = "dim.locate_cache.hits"
+	MetricLocateCacheMisses = "dim.locate_cache.misses"
+	MetricLocateCacheInvals = "dim.locate_cache.invalidations"
 )
 
 // Manager is the data item manager instance of one locality.
@@ -111,6 +130,10 @@ type Manager struct {
 	acquires    *metrics.Counter
 	locates     *metrics.Counter
 	acquireWait *metrics.Histogram
+	locateRPCs  *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	cacheInvals *metrics.Counter
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -126,6 +149,9 @@ type Manager struct {
 	// (which raises the epoch and floors all side versions) bars every
 	// stale pre-crash report from resurrecting dead coverage.
 	epoch uint64
+	// cacheOff disables the locate cache (ablations and the E13
+	// before/after measurement). Guarded by mu.
+	cacheOff bool
 
 	// LockWaitTimeout bounds how long lock-conflict waits may block
 	// before failing loudly; it converts application-level deadlocks
@@ -142,6 +168,10 @@ func New(loc *runtime.Locality, reg *dataitem.Registry) *Manager {
 		acquires:        loc.Metrics().Counter(MetricAcquires),
 		locates:         loc.Metrics().Counter(MetricLocates),
 		acquireWait:     loc.Metrics().Histogram(MetricAcquireWait),
+		locateRPCs:      loc.Metrics().Counter(MetricLocateRPCs),
+		cacheHits:       loc.Metrics().Counter(MetricLocateCacheHits),
+		cacheMisses:     loc.Metrics().Counter(MetricLocateCacheMisses),
+		cacheInvals:     loc.Metrics().Counter(MetricLocateCacheInvals),
 		items:           make(map[ItemID]*itemState),
 		pins:            make(map[uint64]int),
 		LockWaitTimeout: 60 * time.Second,

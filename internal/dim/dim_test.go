@@ -19,7 +19,7 @@ type testSystem struct {
 	managers []*Manager
 }
 
-func newTestSystem(t *testing.T, n int, types ...dataitem.Type) *testSystem {
+func newTestSystem(t testing.TB, n int, types ...dataitem.Type) *testSystem {
 	t.Helper()
 	sys := runtime.NewSystem(n)
 	ts := &testSystem{sys: sys}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"allscale/internal/backoff"
 	"allscale/internal/dataitem"
 	"allscale/internal/trace"
 )
@@ -69,6 +70,21 @@ type (
 		Item   ItemID
 		Region dataitem.Region
 	}
+	// batchReq is one resolution sub-request of a dim.resolveBatch
+	// frame; All selects full-descent (Owners-style) resolution.
+	batchReq struct {
+		Item    ItemID
+		Region  dataitem.Region
+		Level   int
+		Descend bool
+		All     bool
+	}
+	batchArgs struct {
+		Reqs []batchReq
+	}
+	batchReply struct {
+		Replies []resolveReply
+	}
 )
 
 const (
@@ -81,6 +97,9 @@ const (
 	methodClaim      = "dim.claim"
 	methodDrop       = "dim.drop"
 	methodUnpin      = "dim.unpin"
+	// methodResolveBatch coalesces many resolution sub-requests into
+	// one frame per target rank (DESIGN.md §6f).
+	methodResolveBatch = "dim.resolveBatch"
 )
 
 func (m *Manager) registerServices() {
@@ -93,6 +112,8 @@ func (m *Manager) registerServices() {
 	m.loc.Handle(methodClaim, rpc(m.handleClaim))
 	m.loc.Handle(methodDrop, rpc(m.handleDrop))
 	m.loc.Handle(methodUnpin, rpc(m.handleUnpin))
+	m.loc.Handle(methodResolveBatch, rpc(m.handleResolveBatch))
+	m.loc.Handle(methodCacheInval, rpc(m.handleCacheInval))
 	m.registerRecoveryServices()
 }
 
@@ -151,6 +172,7 @@ func (m *Manager) handleCreate(_ int, args *createArgs) (*struct{}, error) {
 		index:     make(map[int]*sides),
 		ver:       make(map[int]uint64),
 		allocated: typ.EmptyRegion(),
+		exclusive: typ.EmptyRegion(),
 	}
 	return &struct{}{}, nil
 }
@@ -278,11 +300,20 @@ func (m *Manager) applyReport(id ItemID, level int, left bool, region dataitem.R
 		if seq <= s.leftSeq {
 			return nil, 0, false, nil
 		}
+		// A side losing coverage invalidates this rank's locate cache:
+		// a cached map may point at the shrunk subtree. Pure growth is
+		// harmless (rule 1 in cache.go) and keeps the warm entries.
+		if !s.left.Difference(region).IsEmpty() {
+			m.invalidateLocatesLocked(st)
+		}
 		s.leftSeq = seq
 		s.left = region
 	} else {
 		if seq <= s.rightSeq {
 			return nil, 0, false, nil
+		}
+		if !s.right.Difference(region).IsEmpty() {
+			m.invalidateLocatesLocked(st)
 		}
 		s.rightSeq = seq
 		s.right = region
@@ -312,115 +343,189 @@ func (m *Manager) handleReport(_ int, args *reportArgs) (*struct{}, error) {
 // Algorithm 1 — at this process's leaf and escalating toward the
 // root. The result maps disjoint region segments to one hosting rank
 // each; segments of r nowhere allocated are absent from the result.
+// Cached resolutions are served from local memory; the span detail
+// distinguishes "hit" from "walk".
 func (m *Manager) Lookup(id ItemID, r dataitem.Region) ([]Located, error) {
 	m.locates.Inc()
-	sp := m.loc.Tracer().Begin("dim.locate", "", 0)
+	if out, ok := m.cacheGet(id, r, false); ok {
+		sp := m.loc.Tracer().Begin("dim.locate", "hit", 0)
+		sp.SetTask(uint64(id))
+		sp.End()
+		return out, nil
+	}
+	sp := m.loc.Tracer().Begin("dim.locate", "walk", 0)
 	sp.SetTask(uint64(id))
+	gen := m.cacheGen(id)
 	out, err := m.resolve(id, r, 1, false)
+	if err == nil {
+		m.cachePut(id, r, false, out, gen)
+	}
 	sp.SetErr(err)
 	sp.End()
 	return out, err
 }
 
-// resolve implements RESOLVE(d, r, l). descend suppresses parent
-// escalation for calls walking down into subtrees, guaranteeing
-// termination.
+// resolve implements RESOLVE(d, r, l) on top of the batched engine.
+// descend suppresses parent escalation for calls walking down into
+// subtrees, guaranteeing termination.
 func (m *Manager) resolve(id ItemID, r dataitem.Region, l int, descend bool) ([]Located, error) {
-	if r.IsEmpty() {
-		return nil, nil
+	res, err := m.resolveMulti([]batchReq{{Item: id, Region: r, Level: l, Descend: descend}})
+	if err != nil {
+		return nil, err
 	}
-	var out []Located
-	remaining := r
+	return res[0], nil
+}
 
-	if l == 1 {
-		// Leaf level: add the local share to the result.
-		m.mu.Lock()
-		st, err := m.itemLocked(id)
-		if err != nil {
-			m.mu.Unlock()
-			return nil, err
-		}
-		cov := st.frag.Region()
-		m.mu.Unlock()
-		ri := remaining.Intersect(cov)
-		if !ri.IsEmpty() {
-			out = append(out, Located{Region: ri, Rank: m.Rank()})
-			remaining = remaining.Difference(ri)
-		}
-	} else {
-		// Inner level: consult the children.
-		m.mu.Lock()
-		st, err := m.itemLocked(id)
-		if err != nil {
-			m.mu.Unlock()
-			return nil, err
-		}
-		var lr, rr dataitem.Region = st.typ.EmptyRegion(), st.typ.EmptyRegion()
-		if s := st.index[l]; s != nil {
-			lr, rr = s.left, s.right
-		}
-		m.mu.Unlock()
-
-		lo := nodeLo(m.Rank(), l)
-		half := 1 << uint(l-2)
-		if sub := remaining.Intersect(lr); !sub.IsEmpty() {
-			// The host of an inner node is the left-most live rank of
-			// its subtree, so a live left child is always hosted here;
-			// a fully-dead left child (until its coverage is retracted)
-			// has no reachable data and stays unresolved.
-			if m.liveHost(lo, l-1) == m.Rank() {
-				entries, err := m.resolve(id, sub, l-1, true)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, entries...)
-				remaining = remaining.Difference(lr)
-			}
-		}
-		if rc := m.liveHost(lo+half, l-1); rc >= 0 && !remaining.IsEmpty() {
-			if sub := remaining.Intersect(rr); !sub.IsEmpty() {
-				if rc == m.Rank() {
-					// The whole left subtree is dead and this rank took
-					// over the right child too: descend locally.
-					entries, err := m.resolve(id, sub, l-1, true)
-					if err != nil {
-						return nil, err
-					}
-					out = append(out, entries...)
-				} else {
-					var reply resolveReply
-					if err := m.loc.Call(rc, methodResolve, &resolveArgs{Item: id, Region: sub, Level: l - 1, Descend: true}, &reply, m.ctlOpt()); err != nil {
-						return nil, err
-					}
-					out = append(out, reply.Entries...)
-				}
-				remaining = remaining.Difference(rr)
-			}
-		}
+// resolveMulti is the batched resolution engine behind resolve,
+// resolveAll and OwnersMulti: each request is processed against the
+// locally hosted index nodes exactly as Algorithm 1 prescribes (leaf
+// intersection, child-side consultation with remaining-region
+// subtraction, parent escalation), but instead of issuing one RPC per
+// request per hierarchy level, every remote sub-request a local pass
+// produces — right children at any level, parent escalations — is
+// coalesced into a single dim.resolveBatch frame per target rank.
+// The remote side recurses with the same batching, so a full walk
+// costs O(log P) frames regardless of the requirement count.
+func (m *Manager) resolveMulti(reqs []batchReq) ([][]Located, error) {
+	out := make([][]Located, len(reqs))
+	type remoteSub struct {
+		req batchReq
+		idx int
 	}
+	remotes := make(map[int][]remoteSub)
+	var order []int
 
-	// Fully resolved, or a downward call: done.
-	if remaining.IsEmpty() || descend {
-		return out, nil
-	}
-	// Escalate to the parent.
-	if l < rootLevel(m.size()) {
-		p := m.liveHost(nodeLo(m.Rank(), l+1), l+1)
-		if p == m.Rank() {
-			entries, err := m.resolve(id, remaining, l+1, false)
+	var process func(idx int, rq batchReq) error
+	process = func(idx int, rq batchReq) error {
+		r := rq.Region
+		if r == nil || r.IsEmpty() {
+			return nil
+		}
+		l := rq.Level
+		if l == 1 {
+			// Leaf level: add the local share to the result.
+			m.mu.Lock()
+			st, err := m.itemLocked(rq.Item)
 			if err != nil {
-				return nil, err
+				m.mu.Unlock()
+				return err
 			}
-			out = append(out, entries...)
+			cov := st.frag.Region()
+			m.mu.Unlock()
+			ri := r.Intersect(cov)
+			if !ri.IsEmpty() {
+				out[idx] = append(out[idx], Located{Region: ri, Rank: m.Rank()})
+				r = r.Difference(ri)
+			}
 		} else {
-			var reply resolveReply
-			if err := m.loc.Call(p, methodResolve, &resolveArgs{Item: id, Region: remaining, Level: l + 1}, &reply, m.ctlOpt()); err != nil {
-				return nil, err
+			// Inner level: consult the children.
+			m.mu.Lock()
+			st, err := m.itemLocked(rq.Item)
+			if err != nil {
+				m.mu.Unlock()
+				return err
 			}
-			out = append(out, reply.Entries...)
+			var lr, rr dataitem.Region = st.typ.EmptyRegion(), st.typ.EmptyRegion()
+			if s := st.index[l]; s != nil {
+				lr, rr = s.left, s.right
+			}
+			m.mu.Unlock()
+
+			lo := nodeLo(m.Rank(), l)
+			half := 1 << uint(l-2)
+			if sub := r.Intersect(lr); !sub.IsEmpty() {
+				// The host of an inner node is the left-most live rank of
+				// its subtree, so a live left child is always hosted here;
+				// a fully-dead left child (until its coverage is retracted)
+				// has no reachable data and stays unresolved.
+				if m.liveHost(lo, l-1) == m.Rank() {
+					if err := process(idx, batchReq{Item: rq.Item, Region: sub, Level: l - 1, Descend: true, All: rq.All}); err != nil {
+						return err
+					}
+					if !rq.All {
+						r = r.Difference(lr)
+					}
+				}
+			}
+			if rc := m.liveHost(lo+half, l-1); rc >= 0 && (rq.All || !r.IsEmpty()) {
+				if sub := r.Intersect(rr); !sub.IsEmpty() {
+					child := batchReq{Item: rq.Item, Region: sub, Level: l - 1, Descend: true, All: rq.All}
+					if rc == m.Rank() {
+						// The whole left subtree is dead and this rank took
+						// over the right child too: descend locally.
+						if err := process(idx, child); err != nil {
+							return err
+						}
+					} else {
+						if _, seen := remotes[rc]; !seen {
+							order = append(order, rc)
+						}
+						remotes[rc] = append(remotes[rc], remoteSub{req: child, idx: idx})
+					}
+					if !rq.All {
+						r = r.Difference(rr)
+					}
+				}
+			}
+		}
+
+		// All-mode walks descend only; fully resolved or downward
+		// lookup calls are done too.
+		if rq.All || r.IsEmpty() || rq.Descend {
+			return nil
+		}
+		// Escalate to the parent.
+		if l < rootLevel(m.size()) {
+			esc := batchReq{Item: rq.Item, Region: r, Level: l + 1}
+			p := m.liveHost(nodeLo(m.Rank(), l+1), l+1)
+			if p == m.Rank() {
+				return process(idx, esc)
+			}
+			if _, seen := remotes[p]; !seen {
+				order = append(order, p)
+			}
+			remotes[p] = append(remotes[p], remoteSub{req: esc, idx: idx})
+		}
+		return nil
+	}
+
+	for i, rq := range reqs {
+		if err := process(i, rq); err != nil {
+			return nil, err
+		}
+	}
+	// One frame per target rank for everything the local pass deferred.
+	for _, dst := range order {
+		subs := remotes[dst]
+		args := &batchArgs{Reqs: make([]batchReq, len(subs))}
+		for j, s := range subs {
+			args.Reqs[j] = s.req
+		}
+		var reply batchReply
+		m.locateRPCs.Inc()
+		if err := m.loc.Call(dst, methodResolveBatch, args, &reply, m.ctlOpt()); err != nil {
+			return nil, err
+		}
+		if len(reply.Replies) != len(subs) {
+			return nil, fmt.Errorf("dim: resolveBatch reply size %d != %d", len(reply.Replies), len(subs))
+		}
+		for j, s := range subs {
+			out[s.idx] = append(out[s.idx], reply.Replies[j].Entries...)
 		}
 	}
 	return out, nil
+}
+
+func (m *Manager) handleResolveBatch(_ int, args *batchArgs) (*batchReply, error) {
+	res, err := m.resolveMulti(args.Reqs)
+	if err != nil {
+		return nil, err
+	}
+	reply := &batchReply{Replies: make([]resolveReply, len(res))}
+	for i, entries := range res {
+		reply.Replies[i].Entries = entries
+	}
+	return reply, nil
 }
 
 func (m *Manager) handleResolve(_ int, args *resolveArgs) (*resolveReply, error) {
@@ -434,17 +539,121 @@ func (m *Manager) handleResolve(_ int, args *resolveArgs) (*resolveReply, error)
 // Owners returns every copy of every segment of r: unlike Lookup it
 // descends the whole hierarchy from the root and does not stop at the
 // first owner, so replicated segments appear once per holding rank.
-// The write-consolidation path uses it to enforce exclusive writes.
+// The write-consolidation path uses it to enforce exclusive writes —
+// which is why Owners is always an authoritative walk and never
+// serves from the locate cache: a cached map may undercount replicas
+// created after the fill, and a write consolidation that misses a
+// replica breaks the exclusive-writes invariant. Placement and read
+// staging use OwnersHint/OwnersMulti instead.
 func (m *Manager) Owners(id ItemID, r dataitem.Region) ([]Located, error) {
 	m.locates.Inc()
 	sp := m.loc.Tracer().Begin("dim.locate", "owners", 0)
 	sp.SetTask(uint64(id))
+	gen := m.cacheGen(id)
 	out, err := m.owners(id, r)
+	if err == nil {
+		m.cachePut(id, r, true, out, gen)
+	}
 	sp.SetErr(err)
 	sp.End()
 	return out, err
 }
 
+// OwnersHint is the cached variant of Owners for consumers that
+// tolerate an undercounting map (placement, read staging): any rank
+// listed still held the segment when the entry was filled, and every
+// coverage loss revokes intersecting entries system-wide before it
+// completes. The result must not be mutated.
+func (m *Manager) OwnersHint(id ItemID, r dataitem.Region) ([]Located, error) {
+	m.locates.Inc()
+	if out, ok := m.cacheGet(id, r, true); ok {
+		sp := m.loc.Tracer().Begin("dim.locate", "owners-hit", 0)
+		sp.SetTask(uint64(id))
+		sp.End()
+		return out, nil
+	}
+	sp := m.loc.Tracer().Begin("dim.locate", "owners-walk", 0)
+	sp.SetTask(uint64(id))
+	gen := m.cacheGen(id)
+	out, err := m.owners(id, r)
+	if err == nil {
+		m.cachePut(id, r, true, out, gen)
+	}
+	sp.SetErr(err)
+	sp.End()
+	return out, err
+}
+
+// OwnersMulti resolves the ownership of several requirements at once:
+// cached entries are served from memory and the misses share one
+// batched walk (one resolveBatch frame per rank per level instead of
+// one RPC per requirement per level). The per-requirement results
+// carry the OwnersHint staleness contract and must not be mutated.
+func (m *Manager) OwnersMulti(reqs []Requirement) ([][]Located, error) {
+	out := make([][]Located, len(reqs))
+	var missIdx []int
+	for i, rq := range reqs {
+		m.locates.Inc()
+		if ent, ok := m.cacheGet(rq.Item, rq.Region, true); ok {
+			out[i] = ent
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	detail := "multi-hit"
+	if len(missIdx) > 0 {
+		detail = "multi-walk"
+	}
+	sp := m.loc.Tracer().Begin("dim.locate", detail, 0)
+	defer sp.End()
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	root := rootLevel(m.size())
+	rh := m.liveHost(0, root)
+	if rh < 0 {
+		err := fmt.Errorf("dim: no live index root host")
+		sp.SetErr(err)
+		return nil, err
+	}
+	breqs := make([]batchReq, len(missIdx))
+	gens := make([]uint64, len(missIdx))
+	for j, i := range missIdx {
+		breqs[j] = batchReq{Item: reqs[i].Item, Region: reqs[i].Region, Level: root, Descend: true, All: true}
+		gens[j] = m.cacheGen(reqs[i].Item)
+	}
+	var res [][]Located
+	var err error
+	if m.Rank() == rh {
+		res, err = m.resolveMulti(breqs)
+	} else {
+		args := &batchArgs{Reqs: breqs}
+		var reply batchReply
+		m.locateRPCs.Inc()
+		if err = m.loc.Call(rh, methodResolveBatch, args, &reply, m.ctlOpt()); err == nil {
+			if len(reply.Replies) != len(breqs) {
+				err = fmt.Errorf("dim: resolveBatch reply size %d != %d", len(reply.Replies), len(breqs))
+			} else {
+				res = make([][]Located, len(breqs))
+				for j := range reply.Replies {
+					res[j] = reply.Replies[j].Entries
+				}
+			}
+		}
+	}
+	if err != nil {
+		sp.SetErr(err)
+		return nil, err
+	}
+	for j, i := range missIdx {
+		out[i] = res[j]
+		m.cachePut(reqs[i].Item, reqs[i].Region, true, res[j], gens[j])
+	}
+	return out, nil
+}
+
+// owners performs the authoritative full-descent walk from the live
+// index root.
 func (m *Manager) owners(id ItemID, r dataitem.Region) ([]Located, error) {
 	root := rootLevel(m.size())
 	rh := m.liveHost(0, root)
@@ -455,73 +664,21 @@ func (m *Manager) owners(id ItemID, r dataitem.Region) ([]Located, error) {
 		return m.resolveAll(id, r, root)
 	}
 	var reply resolveReply
+	m.locateRPCs.Inc()
 	if err := m.loc.Call(rh, methodResolveAll, &resolveArgs{Item: id, Region: r, Level: root}, &reply, m.ctlOpt()); err != nil {
 		return nil, err
 	}
 	return reply.Entries, nil
 }
 
+// resolveAll is the full-descent resolution collecting every copy
+// (replicated segments appear once per holding rank).
 func (m *Manager) resolveAll(id ItemID, r dataitem.Region, l int) ([]Located, error) {
-	if r.IsEmpty() {
-		return nil, nil
-	}
-	if l == 1 {
-		m.mu.Lock()
-		st, err := m.itemLocked(id)
-		if err != nil {
-			m.mu.Unlock()
-			return nil, err
-		}
-		cov := st.frag.Region()
-		m.mu.Unlock()
-		ri := r.Intersect(cov)
-		if ri.IsEmpty() {
-			return nil, nil
-		}
-		return []Located{{Region: ri, Rank: m.Rank()}}, nil
-	}
-	m.mu.Lock()
-	st, err := m.itemLocked(id)
+	res, err := m.resolveMulti([]batchReq{{Item: id, Region: r, Level: l, Descend: true, All: true}})
 	if err != nil {
-		m.mu.Unlock()
 		return nil, err
 	}
-	var lr, rr dataitem.Region = st.typ.EmptyRegion(), st.typ.EmptyRegion()
-	if s := st.index[l]; s != nil {
-		lr, rr = s.left, s.right
-	}
-	m.mu.Unlock()
-
-	var out []Located
-	lo := nodeLo(m.Rank(), l)
-	half := 1 << uint(l-2)
-	if sub := r.Intersect(lr); !sub.IsEmpty() {
-		if m.liveHost(lo, l-1) == m.Rank() {
-			entries, err := m.resolveAll(id, sub, l-1)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, entries...)
-		}
-	}
-	if rc := m.liveHost(lo+half, l-1); rc >= 0 {
-		if sub := r.Intersect(rr); !sub.IsEmpty() {
-			if rc == m.Rank() {
-				entries, err := m.resolveAll(id, sub, l-1)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, entries...)
-			} else {
-				var reply resolveReply
-				if err := m.loc.Call(rc, methodResolveAll, &resolveArgs{Item: id, Region: sub, Level: l - 1}, &reply, m.ctlOpt()); err != nil {
-					return nil, err
-				}
-				out = append(out, reply.Entries...)
-			}
-		}
-	}
-	return out, nil
+	return res[0], nil
 }
 
 func (m *Manager) handleResolveAll(_ int, args *resolveArgs) (*resolveReply, error) {
@@ -559,6 +716,10 @@ func (m *Manager) handleFetch(from int, args *fetchArgs) (*fetchReply, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Any export ends our provable sole ownership of the
+			// exported part: the importer holds a copy from now on
+			// (rule 3 in cache.go).
+			st.exclusive = st.exclusive.Difference(part)
 			var pinToken uint64
 			if args.Pin && !args.Remove {
 				m.pinSeq++
@@ -574,9 +735,15 @@ func (m *Manager) handleFetch(from int, args *fetchArgs) (*fetchReply, error) {
 				total := st.frag.Region()
 				st.ver[1]++
 				seq := m.stampLocked(st.ver[1])
-				// Propagate outside the lock.
+				m.invalidateLocatesLocked(st)
+				// Propagate and revoke peer caches outside the lock:
+				// no rank may keep resolving the migrated part to this
+				// rank once the fetch completes (rule 2 in cache.go).
 				m.mu.Unlock()
 				err := m.propagate(args.Item, m.Rank(), 1, total, seq)
+				if err == nil {
+					m.revokeLocates(args.Item, part, from)
+				}
 				m.mu.Lock()
 				if err != nil {
 					return nil, err
@@ -595,7 +762,7 @@ func (m *Manager) handleFetch(from int, args *fetchArgs) (*fetchReply, error) {
 // returning its data; used to evict replicas. It waits until no lock
 // overlaps the region (a locked replica must stay in place —
 // satisfied requirements).
-func (m *Manager) handleDrop(_ int, args *dropArgs) (*struct{}, error) {
+func (m *Manager) handleDrop(from int, args *dropArgs) (*struct{}, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	deadline := time.Now().Add(m.LockWaitTimeout)
@@ -605,15 +772,21 @@ func (m *Manager) handleDrop(_ int, args *dropArgs) (*struct{}, error) {
 			return nil, err
 		}
 		if !m.lockConflictLocked(st, args.Region, true) {
+			dropped := args.Region.Intersect(st.frag.Region())
 			rest := st.frag.Region().Difference(args.Region)
 			if err := st.frag.Resize(rest); err != nil {
 				return nil, err
 			}
+			st.exclusive = st.exclusive.Difference(args.Region)
 			total := st.frag.Region()
 			st.ver[1]++
 			seq := m.stampLocked(st.ver[1])
+			m.invalidateLocatesLocked(st)
 			m.mu.Unlock()
 			err := m.propagate(args.Item, m.Rank(), 1, total, seq)
+			if err == nil && !dropped.IsEmpty() {
+				m.revokeLocates(args.Item, dropped, from)
+			}
 			m.mu.Lock()
 			if err != nil {
 				return nil, err
@@ -758,6 +931,20 @@ func (m *Manager) acquire(token uint64, reqs []Requirement) error {
 			m.Release(token)
 			return err
 		}
+		// The write regions are now locked, locally present and
+		// single-copy: record provable sole ownership so repeat writers
+		// skip the owners walk entirely (rule 3 in cache.go). Sound
+		// because any later export shrinks the region again.
+		m.mu.Lock()
+		for _, rq := range sorted {
+			if rq.Mode != Write {
+				continue
+			}
+			if st, ok := m.items[rq.Item]; ok {
+				st.exclusive = st.exclusive.Union(rq.Region)
+			}
+		}
+		m.mu.Unlock()
 		return nil
 	}
 }
@@ -820,6 +1007,13 @@ func (m *Manager) tryLockAll(token uint64, reqs []Requirement, deadline time.Tim
 func (m *Manager) enforceExclusive(reqs []Requirement, deadline time.Time) error {
 	for _, rq := range reqs {
 		if rq.Mode != Write {
+			continue
+		}
+		// Provable sole ownership (first-touch claims, prior write
+		// acquisitions with no export since) makes the walk
+		// unnecessary. Checked after the locks are taken, so no
+		// replica can appear between the proof and the grant.
+		if m.ExclusivelyOwned(rq.Item, rq.Region) {
 			continue
 		}
 		for {
@@ -894,40 +1088,59 @@ func (m *Manager) LockedRegions(id ItemID) (read, write []dataitem.Region, err e
 }
 
 // ensureLocal stages one requirement's data into the local fragment.
+//
+// Hot path: a read requirement already covered locally, or a write
+// requirement over a provably sole-copy region, returns before any
+// resolution — zero index RPCs. Otherwise each round performs exactly
+// one resolution (the locate cache for reads, the authoritative walk
+// for writes and after a staleness signal) and tracks post-fetch
+// coverage from the fetch replies instead of re-resolving mid-round.
 func (m *Manager) ensureLocal(rq Requirement) error {
+	cov, err := m.Coverage(rq.Item)
+	if err != nil {
+		return err
+	}
+	missing := rq.Region.Difference(cov)
+	if missing.IsEmpty() && (rq.Mode == Read || m.ExclusivelyOwned(rq.Item, rq.Region)) {
+		return nil
+	}
+
 	deadline := time.Now().Add(m.LockWaitTimeout)
-	for round := 0; ; round++ {
-		cov, err := m.Coverage(rq.Item)
+	var bo *backoff.Timer
+	authoritative := rq.Mode == Write
+	for {
+		// Coverage is purely local (no RPC): recompute per round, so
+		// progress made by concurrent stagings on this rank counts.
+		cov, err = m.Coverage(rq.Item)
 		if err != nil {
 			return err
 		}
-		missing := rq.Region.Difference(cov)
-
-		owners, err := m.Owners(rq.Item, rq.Region)
+		missing = rq.Region.Difference(cov)
+		if missing.IsEmpty() && rq.Mode == Read {
+			return nil
+		}
+		var owners []Located
+		if authoritative {
+			owners, err = m.Owners(rq.Item, rq.Region)
+		} else {
+			owners, err = m.OwnersHint(rq.Item, rq.Region)
+		}
 		if err != nil {
 			return err
 		}
 		foreign := owners[:0:0]
-		var located dataitem.Region = missing.Difference(missing) // empty of right type
+		var located dataitem.Region = rq.Region.Difference(rq.Region) // empty of right type
 		for _, o := range owners {
+			located = located.Union(o.Region)
 			if o.Rank != m.Rank() {
 				foreign = append(foreign, o)
-				located = located.Union(o.Region)
 			}
 		}
-
-		done := false
-		switch rq.Mode {
-		case Read:
-			done = missing.IsEmpty()
-		case Write:
-			done = missing.IsEmpty() && len(foreign) == 0
-		}
-		if done {
-			return nil
+		if missing.IsEmpty() && len(foreign) == 0 {
+			return nil // write mode: sole copy confirmed
 		}
 
-		progressed := false
+		progressed, stale := false, false
 		// Pull data from foreign holders.
 		for _, o := range foreign {
 			want := o.Region
@@ -948,6 +1161,12 @@ func (m *Manager) ensureLocal(rq Requirement) error {
 				return fmt.Errorf("dim: fetch %v from rank %d: %w", rq.Item, o.Rank, err)
 			}
 			if reply.Empty {
+				// The holder no longer covers the segment: the map was
+				// stale (a cached entry racing a migration, or a walk
+				// result overtaken by one). Drop the entry and resolve
+				// authoritatively next round.
+				m.InvalidateLocates(rq.Item, want)
+				stale = true
 				continue
 			}
 			// Grow only by what the source actually exported; a
@@ -963,14 +1182,12 @@ func (m *Manager) ensureLocal(rq Requirement) error {
 			if insErr != nil {
 				return insErr
 			}
+			cov = cov.Union(reply.Part)
+			missing = missing.Difference(reply.Part)
 			progressed = true
 		}
 
 		// Allocate never-touched parts (first-touch claim at the root).
-		cov, err = m.Coverage(rq.Item)
-		if err != nil {
-			return err
-		}
 		unresolved := rq.Region.Difference(cov).Difference(located)
 		if !unresolved.IsEmpty() {
 			granted, err := m.claim(rq.Item, unresolved)
@@ -981,17 +1198,36 @@ func (m *Manager) ensureLocal(rq Requirement) error {
 				if err := m.growLocal(rq.Item, granted); err != nil {
 					return err
 				}
+				cov = cov.Union(granted)
+				missing = missing.Difference(granted)
 				progressed = true
+			}
+			if !authoritative && !unresolved.Difference(granted).IsEmpty() {
+				// Allocated somewhere our cached map does not know
+				// about: the entry undercounts, re-walk.
+				m.InvalidateLocates(rq.Item, unresolved)
+				stale = true
 			}
 		}
 
-		if !progressed {
-			// Somebody else is mid-allocation or mid-report; retry
-			// until the index reflects it.
-			if time.Now().After(deadline) {
+		if stale {
+			authoritative = true
+		}
+		if progressed {
+			if bo != nil {
+				bo.Reset()
+			}
+		} else if !stale {
+			// Somebody else is mid-allocation or mid-report; back off
+			// (randomized exponential, 100µs–2ms) until the index
+			// reflects it.
+			if bo == nil {
+				bo = backoff.New(100*time.Microsecond, 2*time.Millisecond,
+					int64(uint64(rq.Item))^int64(m.Rank())<<40^time.Now().UnixNano())
+			}
+			if bo.Sleep(deadline) != nil {
 				return fmt.Errorf("dim: staging %v %v at rank %d made no progress", rq.Item, rq.Mode, m.Rank())
 			}
-			time.Sleep(time.Millisecond)
 		}
 	}
 }
@@ -1013,11 +1249,16 @@ func (m *Manager) insertLocal(id ItemID, region dataitem.Region, data []byte) er
 		m.mu.Unlock()
 		return err
 	}
+	// Local coverage changed: cached maps for this item are out of
+	// date here (they may undercount the new local copy).
+	m.invalidateLocatesLocked(st)
 	m.mu.Unlock()
 	return m.reportUp(id)
 }
 
-// growLocal zero-allocates region in the local fragment.
+// growLocal zero-allocates region in the local fragment. The region
+// was granted by a first-touch claim, so it is provably this item's
+// only copy until exported.
 func (m *Manager) growLocal(id ItemID, region dataitem.Region) error {
 	m.mu.Lock()
 	st, err := m.itemLocked(id)
@@ -1029,6 +1270,8 @@ func (m *Manager) growLocal(id ItemID, region dataitem.Region) error {
 		m.mu.Unlock()
 		return err
 	}
+	st.exclusive = st.exclusive.Union(region)
+	m.invalidateLocatesLocked(st)
 	m.mu.Unlock()
 	return m.reportUp(id)
 }

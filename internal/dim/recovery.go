@@ -103,6 +103,11 @@ func (m *Manager) RetractEpoch(epoch uint64) {
 				s.rightSeq = floor
 			}
 		}
+		// Every cached resolution predates the retraction and may name
+		// the dead rank; sole-ownership proofs may rest on pre-crash
+		// consolidations that the rollback can undo. Drop both.
+		m.invalidateLocatesLocked(st)
+		st.exclusive = st.typ.EmptyRegion()
 	}
 }
 
@@ -178,6 +183,10 @@ func (m *Manager) ResetLocal(id ItemID, snaps []*LocalSnapshot) error {
 			}
 		}
 	}
+	// The fragment was force-replaced: cached maps and sole-ownership
+	// proofs no longer describe reality.
+	m.invalidateLocatesLocked(st)
+	st.exclusive = st.typ.EmptyRegion()
 	return nil
 }
 

@@ -112,6 +112,68 @@ func (r *resolveReply) UnmarshalWire(d *wire.Decoder) error {
 }
 
 // AppendWire implements wire.Marshaler.
+func (a *batchArgs) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(len(a.Reqs)))
+	for _, rq := range a.Reqs {
+		buf = wire.AppendUvarint(buf, uint64(rq.Item))
+		var err error
+		buf, err = dataitem.AppendRegionWire(buf, rq.Region)
+		if err != nil {
+			return nil, err
+		}
+		buf = wire.AppendVarint(buf, int64(rq.Level))
+		buf = wire.AppendBool(buf, rq.Descend)
+		buf = wire.AppendBool(buf, rq.All)
+	}
+	return buf, nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (a *batchArgs) UnmarshalWire(d *wire.Decoder) error {
+	n := int(d.Uvarint())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var rq batchReq
+		rq.Item = ItemID(d.Uvarint())
+		r, err := dataitem.DecodeRegionWire(d)
+		if err != nil {
+			return err
+		}
+		rq.Region = r
+		rq.Level = d.Int()
+		rq.Descend = d.Bool()
+		rq.All = d.Bool()
+		a.Reqs = append(a.Reqs, rq)
+	}
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
+func (r *batchReply) AppendWire(buf []byte) ([]byte, error) {
+	buf = wire.AppendUvarint(buf, uint64(len(r.Replies)))
+	for i := range r.Replies {
+		var err error
+		buf, err = r.Replies[i].AppendWire(buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (r *batchReply) UnmarshalWire(d *wire.Decoder) error {
+	n := int(d.Uvarint())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var rep resolveReply
+		if err := rep.UnmarshalWire(d); err != nil {
+			return err
+		}
+		r.Replies = append(r.Replies, rep)
+	}
+	return nil
+}
+
+// AppendWire implements wire.Marshaler.
 func (a *fetchArgs) AppendWire(buf []byte) ([]byte, error) {
 	buf = wire.AppendUvarint(buf, uint64(a.Item))
 	buf, err := dataitem.AppendRegionWire(buf, a.Region)

@@ -35,6 +35,16 @@ type Sample struct {
 	Reconnects    uint64
 	SendErrors    uint64
 	DroppedFrames uint64
+	// Locality fast-path counters (cumulative, DESIGN.md §6f): the
+	// locate-cache effectiveness of the data item manager and the
+	// scheduler's percolation decisions. The balance/resilience
+	// consumers read them like every other registry metric.
+	LocateCacheHits   uint64
+	LocateCacheMisses uint64
+	LocateCacheInvals uint64
+	LocateRPCs        uint64
+	PercolateToData   uint64
+	PercolateToTask   uint64
 	// Coverage maps each live data item to the element count of the
 	// locality's fragment.
 	Coverage map[dim.ItemID]int64
@@ -106,16 +116,22 @@ func (m *Monitor) SampleNow() {
 		// publish into — rather than per-package snapshot structs.
 		reg := m.sys.Metrics(rank)
 		s := Sample{
-			When:          now,
-			Rank:          rank,
-			Load:          sc.Load(),
-			Spawned:       reg.CounterValue(sched.MetricSpawned),
-			Executed:      reg.CounterValue(sched.MetricExecuted),
-			MsgsSent:      reg.CounterValue(transport.MetricMsgsSent),
-			Reconnects:    reg.CounterValue(transport.MetricReconnects),
-			SendErrors:    reg.CounterValue(transport.MetricSendErrors),
-			DroppedFrames: reg.CounterValue(transport.MetricDroppedFrames),
-			Coverage:      make(map[dim.ItemID]int64),
+			When:              now,
+			Rank:              rank,
+			Load:              sc.Load(),
+			Spawned:           reg.CounterValue(sched.MetricSpawned),
+			Executed:          reg.CounterValue(sched.MetricExecuted),
+			MsgsSent:          reg.CounterValue(transport.MetricMsgsSent),
+			Reconnects:        reg.CounterValue(transport.MetricReconnects),
+			SendErrors:        reg.CounterValue(transport.MetricSendErrors),
+			DroppedFrames:     reg.CounterValue(transport.MetricDroppedFrames),
+			LocateCacheHits:   reg.CounterValue(dim.MetricLocateCacheHits),
+			LocateCacheMisses: reg.CounterValue(dim.MetricLocateCacheMisses),
+			LocateCacheInvals: reg.CounterValue(dim.MetricLocateCacheInvals),
+			LocateRPCs:        reg.CounterValue(dim.MetricLocateRPCs),
+			PercolateToData:   reg.CounterValue(sched.MetricPercolateToData),
+			PercolateToTask:   reg.CounterValue(sched.MetricPercolateToTask),
+			Coverage:          make(map[dim.ItemID]int64),
 		}
 		for _, id := range mgr.Items() {
 			if n, err := mgr.CoverageSize(id); err == nil {

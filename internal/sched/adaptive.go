@@ -28,6 +28,12 @@ type AdaptivePolicy struct {
 	// threshold under which the locality counts as starved; negative
 	// selects the default 4 (2× the worker estimate).
 	LowLoad int64
+	// TaskShipNs / ElemMoveNs tune the percolation cost model
+	// (Algorithm 2 extension, DESIGN.md §6f): the modelled nanosecond
+	// cost of shipping one task vs. migrating one data element. Zero
+	// or negative selects the measured defaults.
+	TaskShipNs int64
+	ElemMoveNs int64
 
 	load        func() int64
 	queueDepth  func() int64
@@ -107,6 +113,19 @@ func (p *AdaptivePolicy) PickVariant(spec *TaskSpec, splittable bool, size int) 
 // DefaultPolicy).
 func (p *AdaptivePolicy) PickTarget(spec *TaskSpec, size int) int {
 	return (&DefaultPolicy{}).PickTarget(spec, size)
+}
+
+// PercolationCosts implements percolationCoster, exposing the tunable
+// task-ship vs. element-migration cost constants.
+func (p *AdaptivePolicy) PercolationCosts() (int64, int64) {
+	ship, move := p.TaskShipNs, p.ElemMoveNs
+	if ship <= 0 {
+		ship = defaultTaskShipNs
+	}
+	if move <= 0 {
+		move = defaultElemMoveNs
+	}
+	return ship, move
 }
 
 // loadBinder is implemented by policies that want load feedback.

@@ -131,6 +131,12 @@ const (
 	// MetricQueueDepthPrefix prefixes the per-worker deque depth
 	// gauges ("sched.queue_depth.w0", "sched.queue_depth.w1", ...).
 	MetricQueueDepthPrefix = "sched.queue_depth.w"
+	// MetricPercolateToData / MetricPercolateToTask count percolation
+	// decisions when no rank covers the requirements: the task shipped
+	// to the majority owner (work moves to data) vs. kept local with
+	// fragment migration accepted (data moves to work).
+	MetricPercolateToData = "sched.percolate.to_data"
+	MetricPercolateToTask = "sched.percolate.to_task"
 )
 
 // Stats aggregates per-locality scheduling counters.
@@ -143,6 +149,8 @@ type Stats struct {
 	CoveredAll   uint64 // placements satisfying all requirements (line 6)
 	CoveredWrite uint64 // placements satisfying write requirements (line 9)
 	PolicyPlaced uint64 // placements decided by the policy (line 13)
+	PercToData   uint64 // percolation: task shipped to the majority owner
+	PercToTask   uint64 // percolation: task kept local, data migrates
 }
 
 // Scheduler is the per-locality task scheduler.
@@ -184,6 +192,7 @@ type Scheduler struct {
 		spawned, executed, splits           *metrics.Counter
 		localPlaced, remotePlaced           *metrics.Counter
 		coveredAll, coveredWrite, polPlaced *metrics.Counter
+		percToData, percToTask              *metrics.Counter
 		stealAttempts, stolen, stolenFrom   *metrics.Counter
 		respawns, workerIdleUs              *metrics.Counter
 		shipDups, reships                   *metrics.Counter
@@ -217,6 +226,8 @@ func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 	s.stats.coveredAll = reg.Counter(MetricCoveredAll)
 	s.stats.coveredWrite = reg.Counter(MetricCoveredWrite)
 	s.stats.polPlaced = reg.Counter(MetricPolicyPlaced)
+	s.stats.percToData = reg.Counter(MetricPercolateToData)
+	s.stats.percToTask = reg.Counter(MetricPercolateToTask)
 	s.stats.stealAttempts = reg.Counter(MetricStealAttempts)
 	s.stats.stolen = reg.Counter(MetricSteals)
 	s.stats.stolenFrom = reg.Counter(MetricStolenFrom)
@@ -296,6 +307,8 @@ func (s *Scheduler) Stats() Stats {
 		CoveredAll:   s.stats.coveredAll.Value(),
 		CoveredWrite: s.stats.coveredWrite.Value(),
 		PolicyPlaced: s.stats.polPlaced.Value(),
+		PercToData:   s.stats.percToData.Value(),
+		PercToTask:   s.stats.percToTask.Value(),
 	}
 }
 
@@ -358,14 +371,7 @@ func (s *Scheduler) assign(spec *TaskSpec) error {
 
 	target := -1
 	if variant == VariantProcess && k.Reqs != nil {
-		reqs := k.Reqs(spec.Args)
-		if rank := s.coveringRank(reqs, false); rank >= 0 { // line 4
-			target = rank
-			s.stats.coveredAll.Inc()
-		} else if rank := s.coveringRank(reqs, true); rank >= 0 { // line 7
-			target = rank
-			s.stats.coveredWrite.Inc()
-		}
+		target = s.placeByData(k.Reqs(spec.Args))
 	}
 	if target < 0 {
 		target = s.policy.PickTarget(spec, s.loc.Size()) // line 12
@@ -398,9 +404,169 @@ func (s *Scheduler) assign(spec *TaskSpec) error {
 	return nil
 }
 
+// Percolation cost-model defaults (DESIGN.md §6f), calibrated from
+// the measured constants of EXPERIMENTS.md: shipping a task is one
+// batched placement frame plus remote spawn bookkeeping (~13µs per
+// task at the E12 fine-grained-stencil operating point), while
+// migrating fragment data costs per-element transfer plus
+// index/report upkeep (~25ns/element on the loopback fabric, E9).
+// Policies can override via the percolationCoster interface.
+const (
+	defaultTaskShipNs = 13000
+	defaultElemMoveNs = 25
+)
+
+// percolationCoster is implemented by policies that want to tune the
+// percolation cost model; both values are nanoseconds.
+type percolationCoster interface {
+	// PercolationCosts returns (taskShipNs, elemMoveNs): the modelled
+	// cost of shipping one task vs. moving one data element.
+	PercolationCosts() (int64, int64)
+}
+
+// placeByData implements lines 4–11 of Algorithm 2 plus percolation:
+// it returns the rank to run the task at, or -1 when the requirements
+// impose no constraint (the policy decides — line 12). One batched,
+// cache-served resolution covers every requirement; the full owners
+// map then answers all three placement tiers without further RPCs:
+//
+//  1. a rank covering all requirements (line 4);
+//  2. a rank covering all write requirements (line 7);
+//  3. no covering rank: percolate — ship the task to the rank owning
+//     the most required bytes (work moves to data) unless the map
+//     says migrating the minority remainder is cheaper than a task
+//     ship (data moves to work, locally).
+func (s *Scheduler) placeByData(reqs []dim.Requirement) int {
+	active := reqs[:0:0]
+	for _, rq := range reqs {
+		if !rq.Region.IsEmpty() {
+			active = append(active, rq)
+		}
+	}
+	if len(active) == 0 {
+		return -1
+	}
+	ownerMaps, err := s.mgr.OwnersMulti(active)
+	if err != nil {
+		return -1
+	}
+
+	// Per-requirement per-rank coverage unions, plus the aggregate
+	// owned element counts driving the percolation tiers.
+	usable := func(rank int) bool {
+		return !s.loc.IsDead(rank) && (rank == s.loc.Rank() || !s.loc.IsSuspect(rank))
+	}
+	var candAll, candWrite map[int]bool
+	wroteConstraint := false
+	owned := make(map[int]int64)
+	var total int64
+	for i, rq := range active {
+		perRank := make(map[int]dataitem.Region)
+		for _, o := range ownerMaps[i] {
+			if cur, ok := perRank[o.Rank]; ok {
+				perRank[o.Rank] = cur.Union(o.Region)
+			} else {
+				perRank[o.Rank] = o.Region
+			}
+		}
+		total += rq.Region.Size()
+		covering := make(map[int]bool)
+		for rank, cov := range perRank {
+			if !usable(rank) {
+				continue
+			}
+			owned[rank] += cov.Intersect(rq.Region).Size()
+			if rq.Region.Difference(cov).IsEmpty() {
+				covering[rank] = true
+			}
+		}
+		candAll = intersectCandidates(candAll, covering, i == 0)
+		if rq.Mode == dim.Write {
+			candWrite = intersectCandidates(candWrite, covering, !wroteConstraint)
+			wroteConstraint = true
+		}
+	}
+
+	if rank := pickCandidate(candAll, s.loc.Rank()); rank >= 0 { // line 4
+		s.stats.coveredAll.Inc()
+		return rank
+	}
+	if wroteConstraint {
+		if rank := pickCandidate(candWrite, s.loc.Rank()); rank >= 0 { // line 7
+			s.stats.coveredWrite.Inc()
+			return rank
+		}
+	}
+
+	// Percolation: no rank covers the constraints. Nothing owned
+	// anywhere (pure first-touch) stays with the policy's spreading.
+	best, bestOwned := -1, int64(0)
+	for rank, n := range owned {
+		if n > bestOwned || (n == bestOwned && best >= 0 && rank < best) {
+			best, bestOwned = rank, n
+		}
+	}
+	if best < 0 || bestOwned == 0 {
+		return -1
+	}
+	shipNs, moveNs := int64(defaultTaskShipNs), int64(defaultElemMoveNs)
+	if pc, ok := s.policy.(percolationCoster); ok {
+		shipNs, moveNs = pc.PercolationCosts()
+	}
+	// Cost of shipping the task to the majority owner: one task ship
+	// plus pulling what that rank is missing. Cost of keeping it here:
+	// pulling everything this rank is missing.
+	toData := shipNs + (total-bestOwned)*moveNs
+	if best == s.loc.Rank() {
+		toData -= shipNs // already here
+	}
+	toTask := (total - owned[s.loc.Rank()]) * moveNs
+	if toTask < toData {
+		s.stats.percToTask.Inc()
+		return s.loc.Rank()
+	}
+	s.stats.percToData.Inc()
+	return best
+}
+
+// intersectCandidates folds one requirement's covering set into the
+// running candidate intersection (first selects, later ones filter).
+// The first fold copies, so the all- and write-tier intersections
+// never alias one requirement's covering set.
+func intersectCandidates(cand, covering map[int]bool, first bool) map[int]bool {
+	if first {
+		cp := make(map[int]bool, len(covering))
+		for rank := range covering {
+			cp[rank] = true
+		}
+		return cp
+	}
+	for rank := range cand {
+		if !covering[rank] {
+			delete(cand, rank)
+		}
+	}
+	return cand
+}
+
+// pickCandidate prefers the local rank, then the smallest.
+func pickCandidate(cand map[int]bool, local int) int {
+	if cand[local] {
+		return local
+	}
+	best := -1
+	for rank := range cand {
+		if best < 0 || rank < best {
+			best = rank
+		}
+	}
+	return best
+}
+
 // coveringRank returns a rank whose fragments cover all (or, with
 // writeOnly, all write) requirements, or -1. Requirements with empty
-// regions impose no constraint.
+// regions impose no constraint. Retained for tests and callers that
+// need a single-tier answer; placement itself uses placeByData.
 func (s *Scheduler) coveringRank(reqs []dim.Requirement, writeOnly bool) int {
 	var candidates map[int]bool
 	constrained := false
@@ -412,7 +578,7 @@ func (s *Scheduler) coveringRank(reqs []dim.Requirement, writeOnly bool) int {
 			continue
 		}
 		constrained = true
-		owners, err := s.mgr.Owners(rq.Item, rq.Region)
+		owners, err := s.mgr.OwnersHint(rq.Item, rq.Region)
 		if err != nil {
 			return -1
 		}
@@ -451,17 +617,7 @@ func (s *Scheduler) coveringRank(reqs []dim.Requirement, writeOnly bool) int {
 	if !constrained || len(candidates) == 0 {
 		return -1
 	}
-	// Prefer the local rank, then the smallest.
-	if candidates[s.loc.Rank()] {
-		return s.loc.Rank()
-	}
-	best := -1
-	for rank := range candidates {
-		if best < 0 || rank < best {
-			best = rank
-		}
-	}
-	return best
+	return pickCandidate(candidates, s.loc.Rank())
 }
 
 // executeAsync begins execution without blocking the caller: process

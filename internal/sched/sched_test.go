@@ -17,7 +17,7 @@ type cluster struct {
 	scheds []*Scheduler
 }
 
-func newCluster(t *testing.T, n int, policy Policy, types ...dataitem.Type) *cluster {
+func newCluster(t testing.TB, n int, policy Policy, types ...dataitem.Type) *cluster {
 	t.Helper()
 	sys := runtime.NewSystem(n)
 	c := &cluster{sys: sys}

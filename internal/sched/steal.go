@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"allscale/internal/backoff"
 	"allscale/internal/runtime"
 	"allscale/internal/trace"
 )
@@ -245,13 +246,9 @@ func (s *Scheduler) worker(w int) {
 	defer q.wg.Done()
 	self := q.deques[w]
 	rng := rand.New(rand.NewSource(int64(s.Rank())*1669 + int64(w)))
-	// One reused timer for the remote-steal backoff (the old code
-	// allocated a fresh time.After timer per idle iteration).
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
-	}
-	backoff := remoteStealBase
+	// Reusable randomized-exponential backoff for the remote-steal
+	// retry wake-up (one timer per worker, no per-iteration allocs).
+	bo := backoff.New(remoteStealBase, remoteStealMax, int64(s.Rank())*7919+int64(w))
 	for {
 		select {
 		case <-q.stop:
@@ -260,17 +257,17 @@ func (s *Scheduler) worker(w int) {
 		}
 		if t, ok := self.popTail(); ok {
 			s.queued.Add(-1)
-			backoff = remoteStealBase
+			bo.Reset()
 			s.runQueued(t)
 			continue
 		}
 		if t, ok := s.stealSiblings(w, rng); ok {
-			backoff = remoteStealBase
+			bo.Reset()
 			s.runQueued(t)
 			continue
 		}
 		if t, ok := s.stealRemote(w, rng); ok {
-			backoff = remoteStealBase
+			bo.Reset()
 			s.runQueued(t)
 			continue
 		}
@@ -289,21 +286,16 @@ func (s *Scheduler) worker(w int) {
 			// Peers may have work: also wake on a randomized backoff
 			// to retry remote steals, doubling while idle persists.
 			fired := false
-			timer.Reset(backoff/2 + time.Duration(rng.Int63n(int64(backoff))))
 			select {
 			case <-q.stop:
+				bo.Disarm(false)
 				q.idle.Add(-1)
 				return
 			case <-q.wake:
-			case <-timer.C:
+			case <-bo.Arm():
 				fired = true
 			}
-			if !fired && !timer.Stop() {
-				<-timer.C
-			}
-			if backoff < remoteStealMax {
-				backoff *= 2
-			}
+			bo.Disarm(fired)
 		} else {
 			select {
 			case <-q.stop:
