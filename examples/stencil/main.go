@@ -16,6 +16,15 @@
 // roll back and re-home its data, and the second half re-runs on the
 // remaining localities — still producing the bit-identical result.
 //
+// With -drain and/or -join, the run demonstrates elastic membership
+// (DESIGN.md §6g): -drain gracefully retires one locality at the
+// midpoint — its queued tasks re-ship, its fragments migrate, and it
+// leaves without tripping the failure detector; -join provisions one
+// latent spare locality and admits it at the midpoint — it is fenced
+// into the current epoch, receives a share of the grid as warm-up, and
+// serves placements for the second half. Either way the result stays
+// bit-identical to the sequential reference.
+//
 // With -chaos seed,drop,delay (e.g. -chaos 1,0.05,0.2), every
 // endpoint is wrapped in a seeded fault-injection layer: frames are
 // dropped with probability `drop` and delayed/reordered with
@@ -50,6 +59,8 @@ func main() {
 	localities := flag.Int("localities", 4, "simulated cluster nodes")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run")
 	crash := flag.Bool("crash", false, "kill a locality mid-run and recover from a checkpoint")
+	join := flag.Bool("join", false, "provision a latent spare locality and join it mid-run")
+	drain := flag.Bool("drain", false, "gracefully drain one locality mid-run")
 	chaosSpec := flag.String("chaos", "", "run over a seeded lossy fabric: seed,drop,delay (e.g. 1,0.05,0.2)")
 	flag.Parse()
 
@@ -57,6 +68,10 @@ func main() {
 
 	if *crash {
 		runCrashDemo(p, *localities, *traceOut)
+		return
+	}
+	if *join || *drain {
+		runElasticDemo(p, *localities, *join, *drain, *traceOut)
 		return
 	}
 	if *chaosSpec != "" {
@@ -222,6 +237,108 @@ func runCrashDemo(p stencil.Params, localities int, traceOut string) {
 	}
 	fmt.Printf("total with crash and recovery: %.1f ms\n", dur.Seconds()*1000)
 	fmt.Printf("verification: OK — results bit-identical to the sequential version despite losing locality %d\n", victim)
+}
+
+// runElasticDemo is the -join / -drain walkthrough: the membership
+// changes at the midpoint of the computation — a graceful drain
+// (fragments migrated, backlog re-shipped, no failure detection)
+// and/or the admission of a latent spare (epoch handshake, index-tree
+// reshape, grid warm-up) — and the run still verifies bit-identical.
+func runElasticDemo(p stencil.Params, localities int, join, drain bool, traceOut string) {
+	if drain && localities < 2 {
+		log.Fatal("-drain needs at least 2 localities")
+	}
+	capacity := localities
+	if join {
+		capacity++ // provision one latent spare beyond the initial membership
+	}
+	mid := p.Steps / 2
+	fmt.Printf("2D stencil with elastic membership, %d x %d, %d steps, %d localities (capacity %d)\n",
+		p.N, p.N, p.Steps, localities, capacity)
+	want := stencil.RunSequential(p)
+
+	cfg := core.Config{
+		Localities: capacity,
+		Recovery:   core.RecoveryConfig{Heartbeat: 25 * time.Millisecond, Timeout: 150 * time.Millisecond},
+	}
+	if join {
+		cfg.Latent = []int{capacity - 1}
+	}
+	if traceOut != "" {
+		cfg.TraceCapacity = trace.DefaultCapacity
+	}
+	sys := core.NewSystem(cfg)
+	app := stencil.NewAllScale(sys, p)
+	sys.Start()
+	defer sys.Close()
+	rec := recovery.Attach(sys, recovery.Options{})
+
+	start := time.Now()
+	if err := app.CreateItems(); err != nil {
+		log.Fatal(err)
+	}
+	if err := app.Init(); err != nil {
+		log.Fatal(err)
+	}
+	if err := app.RunSteps(0, mid); err != nil {
+		log.Fatal(err)
+	}
+
+	if drain {
+		victim := localities / 2
+		fmt.Printf("draining locality %d after step %d...\n", victim, mid)
+		if err := rec.Drain(victim); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("locality %d departed gracefully; live ranks now %v\n", victim, sys.Locality(0).LiveRanks())
+	}
+	if join {
+		spare := capacity - 1
+		fmt.Printf("joining latent locality %d after step %d...\n", spare, mid)
+		if err := rec.Join(spare); err != nil {
+			log.Fatal(err)
+		}
+		reg := sys.Metrics(0)
+		fmt.Printf("locality %d joined; warm-up migrated %d bytes in %d µs; live ranks now %v\n",
+			spare, reg.CounterValue(recovery.MetricWarmupBytes),
+			reg.CounterValue(recovery.MetricWarmupUs), sys.Locality(0).LiveRanks())
+	}
+
+	if err := app.RunSteps(mid, p.Steps); err != nil {
+		log.Fatal(err)
+	}
+	got, err := app.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dur := time.Since(start)
+
+	if traceOut != "" {
+		f, ferr := os.Create(traceOut)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if werr := sys.WriteChromeTrace(f); werr != nil {
+			log.Fatal(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			log.Fatal(cerr)
+		}
+		fmt.Printf("trace written to %s (recovery.join / recovery.drain spans mark the membership changes)\n", traceOut)
+	}
+
+	for i := range want {
+		if got[i] != want[i] {
+			log.Fatalf("verification FAILED at cell %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	if dead := rec.DeadRanks(); len(dead) != 0 {
+		log.Fatalf("membership change tripped the failure detector: %v", dead)
+	}
+	rep := rec.Report()
+	fmt.Printf("total with membership changes: %.1f ms (drained %v, joined %v, zero deaths)\n",
+		dur.Seconds()*1000, rep.Drained, rep.Joined)
+	fmt.Println("verification: OK — results bit-identical to the sequential version across the drain/join")
 }
 
 // runChaosDemo is the -chaos walkthrough: the whole computation runs

@@ -52,6 +52,22 @@ func RebalanceGrid(sys *core.System, item dim.ItemID, opts Options) ([]Move, err
 		opts.Token = 0xBA1A_0000
 	}
 
+	// Only live members balance: latent, drained and dead ranks
+	// neither donate nor receive coverage (the fabric is provisioned at
+	// capacity, so rank count is not member count — DESIGN.md §6g).
+	eligible := make([]bool, sys.Size())
+	members := 0
+	for r := range eligible {
+		loc := sys.Locality(r)
+		if loc.IsMember(r) && !loc.IsDead(r) {
+			eligible[r] = true
+			members++
+		}
+	}
+	if members < 2 {
+		return nil, nil
+	}
+
 	var moves []Move
 	for iter := 0; iter < opts.MaxMoves; iter++ {
 		sizes, covs, err := coverageSizes(sys, item)
@@ -59,14 +75,16 @@ func RebalanceGrid(sys *core.System, item dim.ItemID, opts Options) ([]Move, err
 			return moves, err
 		}
 		total := int64(0)
-		for _, n := range sizes {
-			total += n
+		for r, n := range sizes {
+			if eligible[r] {
+				total += n
+			}
 		}
 		if total == 0 {
 			return moves, nil
 		}
-		mean := float64(total) / float64(len(sizes))
-		richest, poorest := argMax(sizes), argMin(sizes)
+		mean := float64(total) / float64(members)
+		richest, poorest := argMax(sizes, eligible), argMin(sizes, eligible)
 		if float64(sizes[richest]) <= opts.Tolerance*mean || richest == poorest {
 			return moves, nil // balanced enough
 		}
@@ -158,20 +176,20 @@ func carveGrid(cov dataitem.GridRegion, want int64) dataitem.GridRegion {
 	return dataitem.GridRegion{B: out}
 }
 
-func argMax(xs []int64) int {
-	best := 0
+func argMax(xs []int64, in []bool) int {
+	best := -1
 	for i, x := range xs {
-		if x > xs[best] {
+		if in[i] && (best < 0 || x > xs[best]) {
 			best = i
 		}
 	}
 	return best
 }
 
-func argMin(xs []int64) int {
-	best := 0
+func argMin(xs []int64, in []bool) int {
+	best := -1
 	for i, x := range xs {
-		if x < xs[best] {
+		if in[i] && (best < 0 || x < xs[best]) {
 			best = i
 		}
 	}

@@ -1,0 +1,185 @@
+package chaos_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"allscale/internal/apps/stencil"
+	"allscale/internal/chaos"
+	"allscale/internal/core"
+	"allscale/internal/dim"
+	"allscale/internal/recovery"
+	"allscale/internal/runtime"
+	"allscale/internal/sched"
+	"allscale/internal/transport"
+)
+
+// TestChaosSoakElasticStencilTCP is the elastic-membership soak: a
+// stencil over real TCP with a seeded chaos layer, whose membership
+// changes mid-run — one rank is gracefully drained and a latent rank
+// joined between two step batches. The run must still produce a result
+// bit-identical to the sequential oracle, the index tree must verify
+// clean over the reshaped membership, no shipped task may
+// double-execute (ship_dups stays zero), the joined rank must actually
+// receive placements, and the failure detector must stay silent — the
+// acceptance gates of DESIGN.md §6g. On failure a Chrome trace goes to
+// $CHAOS_TRACE_OUT for the CI artifact upload.
+func TestChaosSoakElasticStencilTCP(t *testing.T) {
+	for _, seed := range soakSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) { elasticSoakOnce(t, seed) })
+	}
+}
+
+func elasticSoakOnce(t *testing.T, seed int64) {
+	const capacity = 5 // fabric provisioned one rank beyond the initial membership
+	const drained, joined = 1, 4
+	p := stencil.Params{N: 24, Steps: 6, C: 0.1, MinGrain: 32}
+	want := stencil.RunSequential(p)
+
+	ctl := chaos.NewController()
+	ccfg := chaos.Config{
+		Seed:     seed,
+		Drop:     0.015,
+		Dup:      0.01,
+		Delay:    0.2,
+		MaxDelay: 2 * time.Millisecond,
+	}
+	eps := make([]transport.Endpoint, capacity)
+	for i, ep := range tcpEndpoints(t, capacity) {
+		eps[i] = chaos.Wrap(ep, ctl, ccfg)
+	}
+	calls := runtime.CallProfile{
+		Control: runtime.CallSpec{Deadline: 15 * time.Second, Attempt: 300 * time.Millisecond, Retries: 6},
+		Data:    runtime.CallSpec{Deadline: 30 * time.Second, Attempt: 600 * time.Millisecond, Retries: 6},
+	}
+	sys := core.NewSystem(core.Config{
+		Endpoints:     eps,
+		Calls:         &calls,
+		TraceCapacity: 1 << 14,
+		Recovery:      core.RecoveryConfig{Heartbeat: 50 * time.Millisecond, Timeout: 600 * time.Millisecond},
+		Latent:        []int{joined},
+	})
+	defer sys.Close()
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		out := os.Getenv("CHAOS_TRACE_OUT")
+		if out == "" {
+			return
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			t.Logf("trace artifact: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := sys.WriteChromeTrace(f); err != nil {
+			t.Logf("trace artifact: %v", err)
+			return
+		}
+		t.Logf("chaos trace written to %s", out)
+	})
+	app := stencil.NewAllScale(sys, p)
+	sys.Start()
+	coord := recovery.Attach(sys, recovery.Options{})
+
+	if err := app.CreateItems(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Init(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.RunSteps(0, p.Steps/2); err != nil {
+		t.Fatalf("stencil first half under chaos (seed %d): %v", seed, err)
+	}
+
+	// Mid-run membership change under live chaos: retire a member
+	// gracefully, then admit the latent spare.
+	if err := coord.Drain(drained); err != nil {
+		t.Fatalf("seed %d: drain rank %d: %v", seed, drained, err)
+	}
+	if !sys.Locality(drained).IsDeparted(drained) {
+		t.Fatalf("seed %d: drained rank did not depart", seed)
+	}
+	if err := coord.Join(joined); err != nil {
+		t.Fatalf("seed %d: join rank %d: %v", seed, joined, err)
+	}
+	if !sys.Locality(joined).IsMember(joined) {
+		t.Fatalf("seed %d: joined rank is not a member", seed)
+	}
+
+	if err := app.RunSteps(p.Steps/2, p.Steps); err != nil {
+		t.Fatalf("stencil second half under chaos (seed %d): %v", seed, err)
+	}
+	got, err := app.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seed %d: cell %d = %v, want %v (result not bit-identical across drain+join)",
+				seed, i, got[i], want[i])
+		}
+	}
+
+	// The index tree over the reshaped membership verifies clean; the
+	// departed rank is a hole (nil manager), the joiner participates.
+	for _, id := range sys.Manager(0).Items() {
+		mgrs := make([]*dim.Manager, capacity)
+		for r := 0; r < capacity; r++ {
+			if r != drained {
+				mgrs[r] = sys.Manager(r)
+			}
+		}
+		if err := dim.VerifyIndex(mgrs, id); err != nil {
+			t.Fatalf("seed %d: index after drain+join, item %v: %v", seed, id, err)
+		}
+	}
+
+	// Zero task loss or duplication: the drain re-shipped its backlog
+	// through the deduplicating shipper, so no rank saw a duplicate.
+	for r := 0; r < capacity; r++ {
+		if d := sys.Metrics(r).CounterValue(sched.MetricShipDups); d != 0 {
+			t.Fatalf("seed %d: rank %d executed %d duplicate shipped tasks", seed, r, d)
+		}
+	}
+	// The joined rank genuinely takes part: it executed placements.
+	if n := sys.Metrics(joined).CounterValue(sched.MetricExecuted); n == 0 {
+		t.Fatalf("seed %d: joined rank executed no tasks", seed)
+	}
+	// Membership metrics surfaced on the coordinating rank's registry.
+	reg := sys.Metrics(0)
+	if j := reg.CounterValue(recovery.MetricJoins); j != 1 {
+		t.Fatalf("seed %d: joins counter = %d, want 1", seed, j)
+	}
+	if d := reg.CounterValue(recovery.MetricDrains); d != 1 {
+		t.Fatalf("seed %d: drains counter = %d, want 1", seed, d)
+	}
+	if wb := reg.CounterValue(recovery.MetricWarmupBytes); wb == 0 {
+		t.Fatalf("seed %d: joiner warm-up moved no bytes", seed)
+	}
+
+	// Quiescence and silence: no call stranded anywhere, no false
+	// deaths — the drain never tripped the failure detector.
+	deadline := time.Now().Add(45 * time.Second)
+	for r := 0; r < capacity; r++ {
+		for sys.Locality(r).PendingCalls() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("seed %d: rank %d has %d stranded calls after quiescence",
+					seed, r, sys.Locality(r).PendingCalls())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if dead := coord.DeadRanks(); len(dead) != 0 {
+		t.Fatalf("seed %d: membership change produced false deaths: %v", seed, dead)
+	}
+	rep := coord.Report()
+	if len(rep.Drained) != 1 || rep.Drained[0] != drained ||
+		len(rep.Joined) != 1 || rep.Joined[0] != joined {
+		t.Fatalf("seed %d: report = drained %v joined %v", seed, rep.Drained, rep.Joined)
+	}
+}

@@ -52,6 +52,12 @@ type Config struct {
 	// profile (deadlines, retry budgets — see runtime.CallProfile).
 	// Nil keeps runtime.DefaultCallProfile.
 	Calls *runtime.CallProfile
+	// Latent lists ranks provisioned on the fabric but kept outside
+	// the initial membership: they accept control traffic (item
+	// catalogs stay in sync) but receive no placements and host no
+	// index nodes until recovery.Join admits them — the spare capacity
+	// of elastic membership (DESIGN.md §6g).
+	Latent []int
 }
 
 // RecoveryConfig tunes failure detection (see recovery.Options).
@@ -125,6 +131,16 @@ func NewSystem(cfg Config) *System {
 			sc.EnableQueue(cfg.Workers)
 		}
 		s.scheds = append(s.scheds, sc)
+	}
+	// Latent ranks start outside the membership — on every locality's
+	// view, their own included — until a join admits them.
+	for _, latent := range cfg.Latent {
+		if latent < 0 || latent >= n {
+			panic(fmt.Sprintf("core: latent rank %d out of range [0,%d)", latent, n))
+		}
+		for i := 0; i < n; i++ {
+			s.rsys.Locality(i).Deactivate(latent)
+		}
 	}
 	return s
 }

@@ -235,18 +235,24 @@ func subtreeSpan(i, l int) (int, int) { return i, i + 1<<uint(l-1) }
 func nodeLo(i, l int) int { return i - i%(1<<uint(l-1)) }
 
 // liveHost returns the process hosting the node whose subtree starts
-// at lo on level l once dead ranks are excluded: the left-most live
-// rank of the subtree (the hostsNode rule degenerates to this with
-// zero deaths). Returns -1 when the whole subtree is dead. Because a
-// rank is the left-most live member of at most one subtree per level,
-// a rank still hosts at most one node per level.
+// at lo on level l once dead and non-member ranks are excluded: the
+// left-most live member of the subtree (the hostsNode rule
+// degenerates to this with full membership and zero deaths). Returns
+// -1 when the whole subtree is dead or outside the membership.
+// Because a rank is the left-most live member of at most one subtree
+// per level, a rank still hosts at most one node per level. Treating
+// latent ranks as holes and letting a join fill them back in is what
+// generalizes the crash-time hole routing to *insertion*: admitting a
+// rank shifts hosts within its subtree, which is why a membership
+// change rebuilds the index (retract → republish) under a fresh
+// epoch.
 func (m *Manager) liveHost(lo, l int) int {
 	hi := lo + 1<<uint(l-1)
 	if hi > m.size() {
 		hi = m.size()
 	}
 	for r := lo; r < hi; r++ {
-		if r == m.Rank() || !m.loc.IsDead(r) {
+		if m.loc.IsMember(r) && !m.loc.IsDead(r) {
 			return r
 		}
 	}

@@ -149,6 +149,12 @@ func (m *Manager) CreateItem(typ dataitem.Type) (ItemID, error) {
 	m.mu.Unlock()
 	args := &createArgs{ID: id, TypeName: typ.Name()}
 	for rank := 0; rank < m.size(); rank++ {
+		// Latent ranks are included — their catalogs stay in sync so a
+		// later join finds every item registered — but dead and departed
+		// ranks are gone for good.
+		if m.loc.IsDead(rank) || m.loc.IsDeparted(rank) {
+			continue
+		}
 		if err := m.loc.Call(rank, methodCreate, args, nil, m.ctlOpt()); err != nil {
 			return 0, fmt.Errorf("dim: create at rank %d: %w", rank, err)
 		}
@@ -182,6 +188,9 @@ func (m *Manager) handleCreate(_ int, args *createArgs) (*struct{}, error) {
 func (m *Manager) DestroyItem(id ItemID) error {
 	args := &destroyArgs{ID: id}
 	for rank := 0; rank < m.size(); rank++ {
+		if m.loc.IsDead(rank) || m.loc.IsDeparted(rank) {
+			continue
+		}
 		if err := m.loc.Call(rank, methodDestroy, args, nil, m.ctlOpt()); err != nil {
 			return fmt.Errorf("dim: destroy at rank %d: %w", rank, err)
 		}

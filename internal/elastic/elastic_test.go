@@ -1,0 +1,151 @@
+package elastic_test
+
+import (
+	"testing"
+	"time"
+
+	"allscale/internal/core"
+	"allscale/internal/elastic"
+	"allscale/internal/monitor"
+	"allscale/internal/recovery"
+)
+
+func TestDecideJoinsLatentRankOnHighLoad(t *testing.T) {
+	d := elastic.Decide(
+		[]int64{10, 12, 0},
+		[]bool{true, true, false},
+		[]bool{false, false, true},
+		elastic.Options{HighLoad: 5},
+	)
+	if d.Action != elastic.Join || d.Rank != 2 {
+		t.Fatalf("Decide = %+v, want Join rank 2", d)
+	}
+}
+
+func TestDecideNoJoinWithoutSpareCapacity(t *testing.T) {
+	d := elastic.Decide(
+		[]int64{10, 12},
+		[]bool{true, true},
+		[]bool{false, false},
+		elastic.Options{HighLoad: 5},
+	)
+	if d.Action != elastic.None {
+		t.Fatalf("Decide = %+v, want None (no latent rank)", d)
+	}
+}
+
+func TestDecideJoinRespectsMaxMembers(t *testing.T) {
+	d := elastic.Decide(
+		[]int64{10, 12, 0},
+		[]bool{true, true, false},
+		[]bool{false, false, true},
+		elastic.Options{HighLoad: 5, MaxMembers: 2},
+	)
+	if d.Action != elastic.None {
+		t.Fatalf("Decide = %+v, want None (at MaxMembers)", d)
+	}
+}
+
+func TestDecideDrainsIdleMember(t *testing.T) {
+	d := elastic.Decide(
+		[]int64{0, 0, 0},
+		[]bool{true, true, true},
+		[]bool{false, false, false},
+		elastic.Options{MinMembers: 2},
+	)
+	if d.Action != elastic.Drain || d.Rank != 2 {
+		t.Fatalf("Decide = %+v, want Drain rank 2 (least-loaded, highest-numbered)", d)
+	}
+}
+
+func TestDecideDrainRespectsMinMembersAndRankZero(t *testing.T) {
+	d := elastic.Decide(
+		[]int64{0, 0},
+		[]bool{true, true},
+		[]bool{false, false},
+		elastic.Options{MinMembers: 2},
+	)
+	if d.Action != elastic.None {
+		t.Fatalf("Decide = %+v, want None (at MinMembers)", d)
+	}
+	d = elastic.Decide(
+		[]int64{0},
+		[]bool{true},
+		[]bool{false},
+		elastic.Options{MinMembers: 1},
+	)
+	if d.Action != elastic.None {
+		t.Fatalf("Decide = %+v, want None (rank 0 is never drained)", d)
+	}
+}
+
+func TestDecideKeepsModerateLoad(t *testing.T) {
+	d := elastic.Decide(
+		[]int64{3, 2, 4},
+		[]bool{true, true, true},
+		[]bool{false, false, false},
+		elastic.Options{HighLoad: 8, LowLoad: 1, MinMembers: 1},
+	)
+	if d.Action != elastic.None {
+		t.Fatalf("Decide = %+v, want None (load inside the band)", d)
+	}
+}
+
+// TestControllerDrainsIdleSystem drives the full loop: an idle
+// 3-locality system scales itself down to MinMembers through graceful
+// drains — no failure detector involvement, no deaths.
+func TestControllerDrainsIdleSystem(t *testing.T) {
+	sys := core.NewSystem(core.Config{Localities: 3, Workers: 2})
+	defer sys.Close()
+	coord := recovery.Attach(sys, recovery.Options{
+		Heartbeat: 20 * time.Millisecond, Timeout: 200 * time.Millisecond,
+	})
+	defer coord.Stop()
+	sys.Start()
+
+	mon := monitor.Start(sys, 10*time.Millisecond, 16)
+	defer mon.Stop()
+	ctl := elastic.Start(sys, mon, coord, elastic.Options{
+		MinMembers: 1,
+		Interval:   15 * time.Millisecond,
+		Cooldown:   20 * time.Millisecond,
+	})
+	defer ctl.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if sys.Locality(1).IsDeparted(1) && sys.Locality(2).IsDeparted(2) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("controller did not drain down to MinMembers; report %+v", coord.Report())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep := coord.Report()
+	if len(rep.Dead) != 0 {
+		t.Fatalf("drain tripped the failure detector: deaths %v", rep.Dead)
+	}
+	if len(rep.Drained) != 2 {
+		t.Fatalf("Report.Drained = %v, want two drains", rep.Drained)
+	}
+	if !sys.Locality(0).IsMember(0) {
+		t.Fatalf("rank 0 must survive as the last member")
+	}
+	if got := sys.Locality(0).LiveRanks(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("LiveRanks = %v, want [0]", got)
+	}
+	// The membership counters surface through the monitor under the
+	// names the recovery package registers them as.
+	mon.SampleNow()
+	samples, ok := mon.Latest()
+	if !ok {
+		t.Fatal("monitor has no samples")
+	}
+	if samples[0].Drains != 2 {
+		t.Fatalf("monitor Drains = %d, want 2", samples[0].Drains)
+	}
+	if samples[0].Joins != 0 {
+		t.Fatalf("monitor Joins = %d, want 0", samples[0].Joins)
+	}
+}

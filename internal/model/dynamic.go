@@ -15,6 +15,12 @@ import "fmt"
 //     compute units are lost. Tasks whose variants were lost revert to
 //     Q so another variant can be started elsewhere (re-execution, the
 //     recovery discipline of the resilience manager).
+//   - (drain): the graceful dual of (crash): a node leaves only after
+//     its work has finished (no variant runs or blocks on its compute
+//     units, no lock touches its address space) and every sole-copy
+//     element has migrated to a survivor via the ordinary (migrate)
+//     rule; replicas are simply dropped. Nothing is lost and no task
+//     is requeued — the model-level contract of recovery.Drain.
 //
 // Properties (checked in dynamic_test.go):
 //
@@ -24,7 +30,11 @@ import "fmt"
 //   - re-executability: after a crash, a terminating program still
 //     terminates, provided lost data elements are re-initializable
 //     (the (init) rule applies again because the crash removed the
-//     last copy).
+//     last copy);
+//   - drain/join-preservation: across any interleaving of (join),
+//     (drain) and scheduler steps, the data footprint is preserved
+//     exactly — no element is lost and no element becomes
+//     double-owned by a space outside the architecture.
 
 // JoinNode applies the (join) rule: extend the architecture by a new
 // address space with the given number of compute units, returning the
@@ -169,5 +179,129 @@ func (s *State) CrashNode(m MemSpace) (*CrashReport, error) {
 			requeue(v)
 		}
 	}
+	return rep, nil
+}
+
+// DrainReport summarizes the effects of a (drain) transition.
+type DrainReport struct {
+	// MigratedElems counts sole-copy elements moved to a survivor.
+	MigratedElems int
+	// DroppedReplicas counts element copies discarded because another
+	// address space still holds one.
+	DroppedReplicas int
+}
+
+// DrainNode applies the (drain) rule: gracefully remove address space
+// m and its exclusively-linked compute units. Unlike CrashNode it
+// refuses unless the node is quiescent — no variant running or
+// blocked on its compute units and no lock involving its address
+// space — and it loses nothing: sole-copy elements migrate to the
+// lowest surviving address space through the (migrate) rule, replicas
+// are dropped. The data footprint is preserved exactly.
+func (s *State) DrainNode(m MemSpace) (*DrainReport, error) {
+	found := false
+	for _, mm := range s.Arch.Mems {
+		if mm == m {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("drain: unknown address space m%d", m)
+	}
+	if len(s.Arch.Mems) == 1 {
+		return nil, fmt.Errorf("drain: cannot remove the last address space")
+	}
+
+	// Compute units going down with the node.
+	gone := map[ComputeUnit]bool{}
+	for _, c := range s.Arch.Units {
+		links := s.Arch.Links[c]
+		if links[m] && len(links) == 1 {
+			gone[c] = true
+		}
+	}
+	// Graceful preconditions: the node is quiescent.
+	for v, e := range s.R {
+		if gone[e.CU] {
+			return nil, fmt.Errorf("drain: variant v%d still running on m%d", v, m)
+		}
+	}
+	for v, e := range s.B {
+		if gone[e.CU] {
+			return nil, fmt.Errorf("drain: variant v%d still blocked on m%d", v, m)
+		}
+	}
+	for k := range s.Lr {
+		if k.M == m {
+			return nil, fmt.Errorf("drain: read lock on (d%d,e%d) still held at m%d", k.D, k.E, m)
+		}
+	}
+	for k := range s.Lw {
+		if k.M == m {
+			return nil, fmt.Errorf("drain: write lock on (d%d,e%d) still held at m%d", k.D, k.E, m)
+		}
+	}
+
+	// Destination for sole copies: the lowest surviving address space.
+	dst := MemSpace(-1)
+	for _, mm := range s.Arch.Mems {
+		if mm == m {
+			continue
+		}
+		if dst < 0 || mm < dst {
+			dst = mm
+		}
+	}
+
+	rep := &DrainReport{}
+	type presence struct {
+		d ItemID
+		e Elem
+	}
+	var sole, replicas []presence
+	for d, elems := range s.D[m] {
+		for e := range elems {
+			if len(s.CopiesOf(d, e)) == 1 {
+				sole = append(sole, presence{d, e})
+			} else {
+				replicas = append(replicas, presence{d, e})
+			}
+		}
+	}
+	// Sole copies migrate through the ordinary (migrate) rule: its
+	// lock preconditions hold by quiescence (a lock implies a copy,
+	// and sole copies at m carry no locks anywhere else).
+	for _, p := range sole {
+		if err := s.Migrate(m, dst, p.d, []Elem{p.e}); err != nil {
+			return nil, fmt.Errorf("drain: %w", err)
+		}
+		rep.MigratedElems++
+	}
+	for _, p := range replicas {
+		s.removePresence(m, p.d, p.e)
+		rep.DroppedReplicas++
+	}
+	delete(s.D, m)
+
+	// Remove the architecture slice of the node (the CrashNode tail,
+	// minus the requeues — there is nothing to requeue).
+	var unitsLeft []ComputeUnit
+	for _, c := range s.Arch.Units {
+		if gone[c] {
+			delete(s.Arch.Links, c)
+			continue
+		}
+		delete(s.Arch.Links[c], m)
+		unitsLeft = append(unitsLeft, c)
+	}
+	s.Arch.Units = unitsLeft
+	var memsLeft []MemSpace
+	for _, mm := range s.Arch.Mems {
+		if mm != m {
+			memsLeft = append(memsLeft, mm)
+		}
+	}
+	s.Arch.Mems = memsLeft
 	return rep, nil
 }

@@ -1,6 +1,9 @@
 package model
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestJoinNodeExtendsArchitecture(t *testing.T) {
 	s := NewState(sumProgram(), NewCluster(1, 2))
@@ -131,6 +134,267 @@ func TestCrashGuards(t *testing.T) {
 	if _, err := s.CrashNode(9); err == nil {
 		t.Fatal("crashing an unknown node must fail")
 	}
+}
+
+func TestDrainMigratesSoleCopyAndDropsReplicas(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(3, 1))
+	driveEntry(t, s)
+	s.Init(1, 0, []Elem{4}) // sole copy on the node to drain
+	s.Init(0, 0, []Elem{7})
+	if err := s.Replicate(0, 1, 0, []Elem{7}); err != nil { // replica on it
+		t.Fatal(err)
+	}
+	before := s.CurrentFootprint()
+	rep, err := s.DrainNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MigratedElems != 1 || rep.DroppedReplicas != 1 {
+		t.Fatalf("report = %+v, want 1 migrated, 1 dropped", rep)
+	}
+	// The sole copy moved to the lowest survivor; the replica's master
+	// copy survives untouched; nothing was lost.
+	if copies := s.CopiesOf(0, 4); len(copies) != 1 || copies[0] != 0 {
+		t.Fatalf("migrated copies = %v, want [0]", copies)
+	}
+	if copies := s.CopiesOf(0, 7); len(copies) != 1 || copies[0] != 0 {
+		t.Fatalf("replicated copies = %v, want [0]", copies)
+	}
+	if err := CheckDataPreservation(before, s.CurrentFootprint(), "drain", -1); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Arch.Mems) != 2 {
+		t.Fatalf("mems after drain = %v", s.Arch.Mems)
+	}
+	if err := s.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainRefusesBusyNode(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(2, 1))
+	s.Strict = true
+	driveEntry(t, s)
+	s.Progress(0) // spawn sum
+	elems := make([]Elem, 20)
+	for i := range elems {
+		elems[i] = Elem(i)
+	}
+	if err := s.Init(1, 0, elems); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(1, 1, 1, Placement{0: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A variant runs on node 1 and holds locks there: draining it must
+	// fail without mutating anything.
+	memsBefore := len(s.Arch.Mems)
+	if _, err := s.DrainNode(1); err == nil {
+		t.Fatal("drain of a busy node must fail")
+	}
+	if len(s.Arch.Mems) != memsBefore {
+		t.Fatal("failed drain mutated the architecture")
+	}
+	// Run the variant to completion; the drain then goes through.
+	if rule, err := s.Progress(1); err != nil || rule != "end" {
+		t.Fatalf("end: %q %v", rule, err)
+	}
+	if _, err := s.DrainNode(1); err != nil {
+		t.Fatalf("drain of quiescent node: %v", err)
+	}
+	// All of the task's data survived the drain on node 0.
+	for _, e := range elems {
+		if copies := s.CopiesOf(0, e); len(copies) != 1 || copies[0] != 0 {
+			t.Fatalf("element %d copies after drain = %v", e, copies)
+		}
+	}
+}
+
+func TestDrainGuards(t *testing.T) {
+	s := NewState(sumProgram(), NewCluster(1, 1))
+	if _, err := s.DrainNode(0); err == nil {
+		t.Fatal("draining the last node must fail")
+	}
+	if _, err := s.DrainNode(9); err == nil {
+		t.Fatal("draining an unknown node must fail")
+	}
+}
+
+func TestDrainJoinedNodeRoundTrip(t *testing.T) {
+	// Grow, put data on the new node, shrink again: the footprint is
+	// preserved across the full cycle and the architecture returns to
+	// its original shape.
+	s := NewState(sumProgram(), NewCluster(2, 1))
+	driveEntry(t, s)
+	m, err := s.JoinNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Init(m, 0, []Elem{11}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.CurrentFootprint()
+	rep, err := s.DrainNode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MigratedElems != 1 {
+		t.Fatalf("report = %+v, want the joined node's element migrated", rep)
+	}
+	if err := CheckDataPreservation(before, s.CurrentFootprint(), "drain", -1); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Arch.Mems) != 2 || len(s.Arch.Units) != 2 {
+		t.Fatalf("arch after round trip = %d mems %d units", len(s.Arch.Mems), len(s.Arch.Units))
+	}
+}
+
+// checkOwnership verifies the membership-side data invariants: no
+// presence is recorded under an address space outside the current
+// architecture (nothing is owned by a departed node) and no element is
+// write-locked while replicated (no double ownership).
+func checkOwnership(s *State) error {
+	mems := map[MemSpace]bool{}
+	for _, m := range s.Arch.Mems {
+		mems[m] = true
+	}
+	for m, items := range s.D {
+		if mems[m] {
+			continue
+		}
+		for d, elems := range items {
+			if len(elems) > 0 {
+				return fmt.Errorf("ownership: d%d has presence on departed space m%d", d, m)
+			}
+		}
+	}
+	return s.CheckExclusiveWrites()
+}
+
+// TestElasticInterleavingsPreserveData is the grow/shrink property
+// test: random join, graceful drain and crash transitions are
+// interleaved with the explorer's scheduling steps. Across every
+// interleaving the program still terminates, drains lose nothing,
+// crashes lose exactly their reported sole copies, and no element is
+// ever owned by a space outside the architecture.
+func TestElasticInterleavingsPreserveData(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		x := NewExplorer(sumProgram(), NewCluster(2, 1), seed)
+		s := x.S
+		events := 0
+		for step := 0; ; step++ {
+			if s.Terminal() {
+				break
+			}
+			if step >= x.MaxSteps {
+				t.Fatalf("seed %d: step budget exhausted in %v", seed, s)
+			}
+			if x.Rand.Float64() < 0.15 {
+				before := s.CurrentFootprint()
+				switch x.Rand.Intn(3) {
+				case 0: // grow
+					if len(s.Arch.Mems) < 4 {
+						if _, err := s.JoinNode(1 + x.Rand.Intn(2)); err != nil {
+							t.Fatalf("seed %d step %d: join: %v", seed, step, err)
+						}
+						events++
+					}
+				case 1: // graceful shrink; busy-node refusals are expected
+					if len(s.Arch.Mems) >= 2 {
+						m := s.Arch.Mems[x.Rand.Intn(len(s.Arch.Mems))]
+						if _, err := s.DrainNode(m); err == nil {
+							if err := CheckDataPreservation(before, s.CurrentFootprint(), "drain", -1); err != nil {
+								t.Fatalf("seed %d step %d: drain m%d: %v", seed, step, m, err)
+							}
+							events++
+						}
+					}
+				case 2: // crash an idle node: exactly its sole copies are lost
+					if len(s.Arch.Mems) >= 2 {
+						m := s.Arch.Mems[x.Rand.Intn(len(s.Arch.Mems))]
+						if idleNode(s, m) {
+							rep, err := s.CrashNode(m)
+							if err != nil {
+								t.Fatalf("seed %d step %d: crash m%d: %v", seed, step, m, err)
+							}
+							lost := map[ItemID]map[Elem]bool{}
+							for _, l := range rep.LostElems {
+								if lost[l.Item] == nil {
+									lost[l.Item] = map[Elem]bool{}
+								}
+								lost[l.Item][l.Elem] = true
+							}
+							after := s.CurrentFootprint()
+							for d, elems := range before {
+								for e := range elems {
+									if !after[d][e] && !lost[d][e] {
+										t.Fatalf("seed %d step %d: crash m%d silently lost (d%d,e%d)", seed, step, m, d, e)
+									}
+								}
+							}
+							events++
+						}
+					}
+				}
+				if err := s.CheckAll(); err != nil {
+					t.Fatalf("seed %d step %d: after membership event: %v", seed, step, err)
+				}
+				if err := checkOwnership(s); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+				continue
+			}
+			before := s.CurrentFootprint()
+			rule, rec, err := x.step()
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if rule == "" {
+				t.Fatalf("seed %d step %d: deadlock in %v", seed, step, s)
+			}
+			if err := s.CheckAll(); err != nil {
+				t.Fatalf("seed %d step %d: after %s: %v", seed, step, rule, err)
+			}
+			destroyed := ItemID(-1)
+			if rule == "destroy" {
+				destroyed = rec.Item
+			}
+			if err := CheckDataPreservation(before, s.CurrentFootprint(), rule, destroyed); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if err := checkOwnership(s); err != nil {
+				t.Fatalf("seed %d step %d: after %s: %v", seed, step, rule, err)
+			}
+		}
+		if events == 0 {
+			t.Logf("seed %d: no membership event fired before termination", seed)
+		}
+	}
+}
+
+// idleNode reports whether no variant runs or blocks on a compute unit
+// exclusively linked to m (so a crash cannot strand a live variant's
+// requirements — the model analogue of crashing a node that holds no
+// work, which the interleaving test uses to keep traces terminating).
+func idleNode(s *State, m MemSpace) bool {
+	gone := map[ComputeUnit]bool{}
+	for _, c := range s.Arch.Units {
+		links := s.Arch.Links[c]
+		if links[m] && len(links) == 1 {
+			gone[c] = true
+		}
+	}
+	for _, e := range s.R {
+		if gone[e.CU] {
+			return false
+		}
+	}
+	for _, e := range s.B {
+		if gone[e.CU] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestCrashRemovesOnlyExclusiveUnits(t *testing.T) {

@@ -20,6 +20,16 @@ import (
 	"allscale/internal/transport"
 )
 
+// Membership metric names, mirroring recovery.MetricJoins et al.
+// (importing recovery here would cycle through resilience → monitor;
+// the elastic controller test asserts the two sets stay in lockstep).
+const (
+	metricJoins       = "membership.joins"
+	metricDrains      = "membership.drains"
+	metricWarmupBytes = "membership.warmup_bytes"
+	metricWarmupUs    = "membership.warmup_us"
+)
+
 // Sample is one observation of one locality.
 type Sample struct {
 	When     time.Time
@@ -45,6 +55,13 @@ type Sample struct {
 	LocateRPCs        uint64
 	PercolateToData   uint64
 	PercolateToTask   uint64
+	// Elastic-membership counters (cumulative, DESIGN.md §6g), nonzero
+	// only on the coordinating rank's registry: completed joins and
+	// drains, and the bytes / wall time of join warm-up migrations.
+	Joins       uint64
+	Drains      uint64
+	WarmupBytes uint64
+	WarmupUs    uint64
 	// Coverage maps each live data item to the element count of the
 	// locality's fragment.
 	Coverage map[dim.ItemID]int64
@@ -131,6 +148,10 @@ func (m *Monitor) SampleNow() {
 			LocateRPCs:        reg.CounterValue(dim.MetricLocateRPCs),
 			PercolateToData:   reg.CounterValue(sched.MetricPercolateToData),
 			PercolateToTask:   reg.CounterValue(sched.MetricPercolateToTask),
+			Joins:             reg.CounterValue(metricJoins),
+			Drains:            reg.CounterValue(metricDrains),
+			WarmupBytes:       reg.CounterValue(metricWarmupBytes),
+			WarmupUs:          reg.CounterValue(metricWarmupUs),
 			Coverage:          make(map[dim.ItemID]int64),
 		}
 		for _, id := range mgr.Items() {

@@ -196,3 +196,107 @@ func TestDirectedPartitionFencesStaleRank(t *testing.T) {
 		t.Fatal("no partition drops counted at the victim")
 	}
 }
+
+// TestDrainedRankStragglerIsFenced covers the drain half of the
+// membership fence (DESIGN.md §6g): after a graceful drain the retired
+// rank's process may linger and emit straggler frames — a late
+// coverage report, a stale heartbeat. Survivors must reject them at
+// dispatch (counted as fenced frames), exactly like a crashed rank's
+// frames after a healed partition, and the failure detector must not
+// have fired on the way out.
+func TestDrainedRankStragglerIsFenced(t *testing.T) {
+	const n, victim = 3, 2
+	sys, _, startFabric := chaosSystem(t, n, chaos.Config{}, core.Config{
+		Recovery: core.RecoveryConfig{Heartbeat: 20 * time.Millisecond, Timeout: 500 * time.Millisecond},
+	})
+	sys.Start()
+	startFabric()
+	rec := Attach(sys, Options{})
+	defer rec.Stop()
+
+	if err := rec.Drain(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Locality(0).IsDeparted(victim) || !sys.Locality(victim).IsDeparted(victim) {
+		t.Fatal("drained rank not departed on every view")
+	}
+
+	// The drained rank's old incarnation sends a straggler report: the
+	// survivor must fence it silently — the call times out instead of
+	// mutating survivor state or resurrecting the membership.
+	fencedBefore := sys.Metrics(0).Counter(runtime.MetricRPCFencedFrames).Value()
+	err := sys.Locality(victim).Call(0, "recovery.ping", &struct{}{}, nil,
+		runtime.WithDeadline(400*time.Millisecond),
+		runtime.WithRetries(2, 100*time.Millisecond),
+		runtime.WithIdempotent())
+	if !errors.Is(err, runtime.ErrCallTimeout) {
+		t.Fatalf("straggler call: err = %v, want ErrCallTimeout (silently fenced)", err)
+	}
+	if v := sys.Metrics(0).Counter(runtime.MetricRPCFencedFrames).Value(); v <= fencedBefore {
+		t.Fatal("no fenced frame counted at the survivor")
+	}
+	if dead := rec.DeadRanks(); len(dead) != 0 {
+		t.Fatalf("graceful drain tripped the failure detector: %v", dead)
+	}
+	if got := sys.Locality(0).LiveRanks(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("LiveRanks after drain = %v, want [0 1]", got)
+	}
+}
+
+// TestPreJoinFrameIsFenced covers the join half of the fence: a member
+// that has already installed the joiner's fence epoch must reject any
+// frame the joiner sent before its handshake (stamped with the old
+// epoch), while the same call goes through once the joiner has adopted
+// the epoch via the real join protocol.
+func TestPreJoinFrameIsFenced(t *testing.T) {
+	const n, joiner = 3, 2
+	sys, _, startFabric := chaosSystem(t, n, chaos.Config{}, core.Config{
+		Latent:   []int{joiner},
+		Recovery: core.RecoveryConfig{Heartbeat: 20 * time.Millisecond, Timeout: 500 * time.Millisecond},
+	})
+	sys.Start()
+	startFabric()
+	rec := Attach(sys, Options{})
+	defer rec.Stop()
+
+	// Pre-join, pre-fence: a latent rank's control traffic flows (this
+	// is how item catalogs stay in sync before admission).
+	if err := sys.Locality(joiner).Call(1, "recovery.ping", &struct{}{}, nil,
+		runtime.WithDeadline(time.Second), runtime.WithIdempotent()); err != nil {
+		t.Fatalf("latent control call: %v", err)
+	}
+
+	// Rank 1 installs the joiner's fence — the admission step of the
+	// join protocol — while the joiner still runs under its old epoch:
+	// its frames are now stale and must be fenced.
+	sys.Locality(1).MarkJoined(joiner, 100)
+	fencedBefore := sys.Metrics(1).Counter(runtime.MetricRPCFencedFrames).Value()
+	err := sys.Locality(joiner).Call(1, "recovery.ping", &struct{}{}, nil,
+		runtime.WithDeadline(400*time.Millisecond),
+		runtime.WithRetries(2, 100*time.Millisecond),
+		runtime.WithIdempotent())
+	if !errors.Is(err, runtime.ErrCallTimeout) {
+		t.Fatalf("pre-join frame: err = %v, want ErrCallTimeout (fenced below the join epoch)", err)
+	}
+	if v := sys.Metrics(1).Counter(runtime.MetricRPCFencedFrames).Value(); v <= fencedBefore {
+		t.Fatal("no fenced frame counted at the member")
+	}
+
+	// The real handshake fences the joiner into the current epoch; its
+	// calls pass everywhere from then on.
+	if err := rec.Join(joiner); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		if !sys.Locality(r).IsMember(joiner) {
+			t.Fatalf("rank %d does not see the joiner as a member", r)
+		}
+	}
+	if err := sys.Locality(joiner).Call(1, "recovery.ping", &struct{}{}, nil,
+		runtime.WithDeadline(time.Second), runtime.WithIdempotent()); err != nil {
+		t.Fatalf("post-join call: %v", err)
+	}
+	if dead := rec.DeadRanks(); len(dead) != 0 {
+		t.Fatalf("join produced deaths: %v", dead)
+	}
+}

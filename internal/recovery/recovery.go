@@ -89,6 +89,10 @@ type Report struct {
 	// RespawnedTasks counts lost tasks re-spawned onto live ranks
 	// (respawn mode).
 	RespawnedTasks int
+	// Joined/Drained list the ranks admitted into and gracefully
+	// retired from the membership, in event order.
+	Joined  []int
+	Drained []int
 }
 
 // Coordinator is the per-system recovery coordinator: it runs one
@@ -114,6 +118,8 @@ type Coordinator struct {
 
 	deaths, rehomed, respawned, requeued *metrics.Counter
 	suspects, falseAlarms                *metrics.Counter
+	joins, drains                        *metrics.Counter
+	warmupBytes, warmupUs                *metrics.Counter
 	recoverHist                          *metrics.Histogram
 
 	stop     chan struct{}
@@ -157,6 +163,10 @@ func Attach(sys *core.System, opts Options) *Coordinator {
 		requeued:    reg.Counter(MetricRequeued),
 		suspects:    reg.Counter(MetricSuspects),
 		falseAlarms: reg.Counter(MetricFalseAlarms),
+		joins:       reg.Counter(MetricJoins),
+		drains:      reg.Counter(MetricDrains),
+		warmupBytes: reg.Counter(MetricWarmupBytes),
+		warmupUs:    reg.Counter(MetricWarmupUs),
 		recoverHist: reg.Histogram(MetricRecover),
 		stop:        make(chan struct{}),
 	}
@@ -164,6 +174,7 @@ func Attach(sys *core.System, opts Options) *Coordinator {
 		r := r
 		loc := sys.Locality(r)
 		loc.Handle(methodPing, func(int, []byte) ([]byte, error) { return nil, nil })
+		loc.Handle(methodMembership, membershipHandler(loc))
 		// Cross-check with the transport's link-death notifications: a
 		// reported peer failure triggers an immediate active
 		// confirmation instead of waiting out the heartbeat timeout.
@@ -230,18 +241,22 @@ func (c *Coordinator) Report() Report {
 	defer c.recMu.Unlock()
 	rep := c.report
 	rep.Dead = append([]int(nil), rep.Dead...)
+	rep.Joined = append([]int(nil), rep.Joined...)
+	rep.Drained = append([]int(nil), rep.Drained...)
 	return rep
 }
 
 func (c *Coordinator) tracer() *trace.Tracer { return c.sys.Tracer(0) }
 
-// liveRanks returns the ranks not declared dead, ascending.
+// liveRanks returns the member ranks not declared dead, ascending.
+// Latent and departed ranks are excluded: recovery sequences (and the
+// index geometry they rebuild) range over the active membership only.
 func (c *Coordinator) liveRanks() []int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []int
 	for r := 0; r < c.sys.Size(); r++ {
-		if !c.dead[r] {
+		if !c.dead[r] && c.sys.Locality(r).IsMember(r) {
 			out = append(out, r)
 		}
 	}
@@ -273,8 +288,14 @@ func (c *Coordinator) detect(rank int) {
 		if loc.Closed() {
 			return
 		}
+		if loc.IsDeparted(rank) {
+			return // gracefully drained: the detector retires with the rank
+		}
+		if !loc.IsMember(rank) {
+			continue // latent: wait out the tick until a join admits us
+		}
 		for p := 0; p < c.sys.Size(); p++ {
-			if p == rank || loc.IsDead(p) {
+			if p == rank || loc.IsDead(p) || !loc.IsMember(p) {
 				continue
 			}
 			loc.Heartbeat(p)
@@ -406,6 +427,12 @@ func (c *Coordinator) ping(observer, peer int) error {
 // the mode — respawning or future failure. It is idempotent per rank
 // and serializes with other recoveries.
 func (c *Coordinator) ReportDeath(dead int) {
+	if !c.sys.Locality(dead).IsMember(dead) {
+		// Latent or gracefully departed ranks are not failures: a
+		// straggler confirmation racing a drain must not trigger a
+		// recovery sequence for a rank that migrated its state out.
+		return
+	}
 	c.mu.Lock()
 	if c.dead[dead] {
 		c.mu.Unlock()
@@ -432,13 +459,16 @@ func (c *Coordinator) ReportDeath(dead int) {
 	}()
 
 	live := c.liveRanks()
-	// 1. Exclusion and fencing: every live locality marks the rank dead
-	// under the agreed fence epoch — future sends fail fast, pending
-	// calls toward it resolve with runtime.ErrPeerFailed, schedulers
-	// skip it for placement and stealing, the DIM routes index traffic
-	// around it, and its inbound frames are rejected at dispatch.
-	for _, r := range live {
-		c.sys.Locality(r).MarkDeadEpoch(dead, fence)
+	// 1. Exclusion and fencing: every locality — latent ranks included,
+	// so a later join inherits the verdict — marks the rank dead under
+	// the agreed fence epoch. Future sends fail fast, pending calls
+	// toward it resolve with runtime.ErrPeerFailed, schedulers skip it
+	// for placement and stealing, the DIM routes index traffic around
+	// it, and its inbound frames are rejected at dispatch.
+	for r := 0; r < c.sys.Size(); r++ {
+		if r != dead {
+			c.sys.Locality(r).MarkDeadEpoch(dead, fence)
+		}
 	}
 	// 2. The dead rank's replica pins will never be confirmed: release
 	// them everywhere so they cannot block write consolidation.
@@ -611,7 +641,7 @@ func (c *Coordinator) Restore() error {
 		size := c.sys.Size()
 		for off := 1; off < size; off++ {
 			t := (r + off) % size
-			if !deadSet[t] {
+			if !deadSet[t] && c.sys.Locality(t).IsMember(t) {
 				return t
 			}
 		}

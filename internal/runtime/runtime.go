@@ -189,6 +189,15 @@ type Locality struct {
 	dead  []atomic.Bool
 	heard []atomic.Int64
 
+	// joined/departed carry elastic membership (DESIGN.md §6g): the
+	// fabric is built at full capacity, but a rank only participates in
+	// placement, stealing and index geometry while joined. A latent
+	// rank (Deactivate, never joined) still answers control traffic so
+	// it can be handshaken in later; a departed rank (MarkDeparted) has
+	// gracefully drained and its slot is retired for good.
+	joined   []atomic.Bool
+	departed []atomic.Bool
+
 	// epoch is this locality's incarnation epoch: the largest fence
 	// epoch it has adopted. Every outbound envelope is stamped with it.
 	// fencedAt records, per peer, the epoch at which that peer was
@@ -234,12 +243,15 @@ func NewLocality(ep transport.Endpoint) *Locality {
 		heard:         make([]atomic.Int64, ep.Size()),
 		fencedAt:      make([]atomic.Uint64, ep.Size()),
 		suspect:       make([]atomic.Bool, ep.Size()),
+		joined:        make([]atomic.Bool, ep.Size()),
+		departed:      make([]atomic.Bool, ep.Size()),
 	}
 	prof := DefaultCallProfile()
 	l.profile.Store(&prof)
 	now := time.Now().UnixNano()
 	for i := range l.heard {
 		l.heard[i].Store(now)
+		l.joined[i].Store(true)
 	}
 	ep.SetMetrics(reg)
 	ep.SetHandler(l.dispatch)
@@ -368,12 +380,91 @@ func (l *Locality) IsDead(rank int) bool {
 	return rank >= 0 && rank < len(l.dead) && l.dead[rank].Load()
 }
 
-// LiveRanks returns the ranks not marked dead (the local rank always
-// included), in ascending order.
+// Deactivate marks a rank (possibly the local one) as latent: present
+// on the fabric but not yet a member of the computation. Latent ranks
+// are excluded from placement, stealing, index geometry and failure
+// detection until MarkJoined admits them. Must be called on every
+// locality before traffic starts — membership flips at runtime go
+// through the join handshake instead.
+func (l *Locality) Deactivate(rank int) {
+	if rank < 0 || rank >= len(l.joined) {
+		return
+	}
+	l.joined[rank].Store(false)
+}
+
+// MarkJoined admits a rank into the membership at the given fence
+// epoch (the join handshake, DESIGN.md §6g). On the joining rank
+// itself it adopts the epoch so every frame it sends from now on is
+// stamped into the current incarnation; on the members it installs
+// the epoch as the joiner's fence, so stale pre-join frames (stamped
+// with an older epoch) are rejected. The last-heard timestamp is
+// reset so the failure detector does not misread pre-join silence as
+// missed heartbeats. Joining a dead or departed slot is ignored.
+func (l *Locality) MarkJoined(rank int, epoch uint64) {
+	if rank < 0 || rank >= len(l.joined) {
+		return
+	}
+	if l.dead[rank].Load() || l.departed[rank].Load() {
+		return
+	}
+	l.adoptEpoch(epoch)
+	if rank != l.Rank() && epoch > 0 {
+		l.fencedAt[rank].Store(epoch)
+	}
+	l.suspect[rank].Store(false)
+	l.heard[rank].Store(time.Now().UnixNano())
+	l.joined[rank].Store(true)
+}
+
+// MarkDeparted retires a rank that has gracefully drained: it leaves
+// the membership for good, outstanding calls toward it fail with
+// ErrPeerFailed, and later frames from its old incarnation are fenced
+// — but unlike MarkDead no OnDeath recovery fires: a drain migrates
+// its state out before leaving, so there is nothing to recover.
+// Departing the local rank is allowed (the drained rank marks itself
+// on its way out) and fails no calls: its own teardown handles them.
+func (l *Locality) MarkDeparted(rank int, epoch uint64) {
+	if rank < 0 || rank >= len(l.joined) {
+		return
+	}
+	if epoch == 0 {
+		epoch = l.epoch.Load() + 1
+	}
+	l.adoptEpoch(epoch)
+	if rank != l.Rank() {
+		// Fence before the flags so any observer of departed also sees
+		// the fence (mirrors MarkDeadEpoch's ordering).
+		l.fencedAt[rank].Store(epoch)
+	}
+	l.suspect[rank].Store(false)
+	l.joined[rank].Store(false)
+	if l.departed[rank].Swap(true) || rank == l.Rank() {
+		return
+	}
+	l.failCalls(func(dst int) bool { return dst == rank },
+		fmt.Errorf("%w: rank %d departed", ErrPeerFailed, rank))
+}
+
+// IsMember reports whether the rank currently participates in the
+// computation: joined, not latent, not departed.
+func (l *Locality) IsMember(rank int) bool {
+	return rank >= 0 && rank < len(l.joined) && l.joined[rank].Load()
+}
+
+// IsDeparted reports whether the rank has gracefully left the
+// membership.
+func (l *Locality) IsDeparted(rank int) bool {
+	return rank >= 0 && rank < len(l.departed) && l.departed[rank].Load()
+}
+
+// LiveRanks returns the member ranks not marked dead, in ascending
+// order. Latent and departed ranks are excluded — the result is the
+// set over which placement and index geometry range.
 func (l *Locality) LiveRanks() []int {
 	out := make([]int, 0, len(l.dead))
 	for r := range l.dead {
-		if !l.dead[r].Load() {
+		if l.joined[r].Load() && !l.dead[r].Load() {
 			out = append(out, r)
 		}
 	}
@@ -402,6 +493,9 @@ func (l *Locality) Heartbeat(dst int) error {
 	}
 	if l.IsDead(dst) {
 		return fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst)
+	}
+	if l.IsDeparted(dst) {
+		return fmt.Errorf("%w: rank %d departed", ErrPeerFailed, dst)
 	}
 	return l.ep.Send(dst, transport.KindHeartbeat, nil)
 }
@@ -458,11 +552,12 @@ func (l *Locality) HandleOneWay(name string, h OneWay) {
 // handed to its own goroutine so that a blocking handler can never
 // stall delivery (and in particular never deadlock an RPC cycle).
 func (l *Locality) dispatch(msg transport.Message) {
-	if l.IsDead(msg.From) {
+	if l.IsDead(msg.From) || l.IsDeparted(msg.From) {
 		// Fenced: a rank declared dead may in fact be alive across a
-		// healed partition. Its frames are rejected before touching any
-		// state — not even the heartbeat timestamp, so it can neither
-		// mutate the index nor talk itself back to life.
+		// healed partition, and a departed rank may have straggler
+		// frames in flight. Either way the frames are rejected before
+		// touching any state — not even the heartbeat timestamp, so the
+		// sender can neither mutate the index nor talk itself back in.
 		l.rpcFenced.Inc()
 		return
 	}
@@ -593,7 +688,7 @@ func (l *Locality) execRequest(from int, req *rpcRequest, dedup bool) []byte {
 	// wire envelope, stitching the cross-rank causality edge. It ends
 	// before the response is sent so the caller never outruns it.
 	sp := l.Tracer().Begin("rpc.serve", req.Method, trace.SpanID(req.Span))
-	rsp := rpcResponse{ID: req.ID, Epoch: l.epoch.Load()}
+	rsp := rpcResponse{ID: req.ID}
 	if m == nil {
 		rsp.Err = fmt.Sprintf("runtime: no method %q at rank %d", req.Method, l.Rank())
 	} else {
@@ -603,6 +698,10 @@ func (l *Locality) execRequest(from int, req *rpcRequest, dedup bool) []byte {
 			rsp.Err = err.Error()
 		}
 	}
+	// Stamp the response epoch after the handler ran: a handler that
+	// adopts a new incarnation epoch (the join handshake) must answer
+	// under the new epoch, or the caller's fence rejects the reply.
+	rsp.Epoch = l.epoch.Load()
 	if rsp.Err != "" {
 		sp.SetErr(errors.New(rsp.Err))
 	}
@@ -682,6 +781,11 @@ func (l *Locality) CallAsync(dst int, method string, args any, opts ...CallOptio
 		fut.fulfill(nil, fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst))
 		return fut
 	}
+	if l.IsDeparted(dst) {
+		l.rpcErrors.Inc()
+		fut.fulfill(nil, fmt.Errorf("%w: rank %d departed", ErrPeerFailed, dst))
+		return fut
+	}
 	var spec CallSpec
 	for _, o := range opts {
 		o(&spec)
@@ -719,11 +823,11 @@ func (l *Locality) CallAsync(dst int, method string, args any, opts ...CallOptio
 		}
 		return fut
 	}
-	// Re-check after the Store: a MarkDead racing with this call may
-	// have swept the calls map before our entry landed in it.
-	if l.IsDead(dst) {
+	// Re-check after the Store: a MarkDead/MarkDeparted racing with
+	// this call may have swept the calls map before our entry landed.
+	if l.IsDead(dst) || l.IsDeparted(dst) {
 		if _, ok := l.calls.LoadAndDelete(id); ok {
-			l.resolve(pc, nil, fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst))
+			l.resolve(pc, nil, fmt.Errorf("%w: rank %d unreachable", ErrPeerFailed, dst))
 		}
 		return fut
 	}
@@ -853,6 +957,10 @@ func (l *Locality) Send(dst int, method string, args any) error {
 	if l.IsDead(dst) {
 		l.rpcErrors.Inc()
 		return fmt.Errorf("%w: rank %d marked dead", ErrPeerFailed, dst)
+	}
+	if l.IsDeparted(dst) {
+		l.rpcErrors.Inc()
+		return fmt.Errorf("%w: rank %d departed", ErrPeerFailed, dst)
 	}
 	payload, err := encode(&oneWayMsg{Method: method, Body: body, Epoch: l.epoch.Load()})
 	if err != nil {

@@ -126,14 +126,25 @@ func (s *Scheduler) Respawn(spec TaskSpec) error {
 // Respawns returns the number of tasks re-scheduled after peer deaths.
 func (s *Scheduler) Respawns() uint64 { return s.stats.respawns.Value() }
 
-// nextLive returns the first live, unsuspected rank after target
-// (wrapping), falling back to the local rank when every other rank is
-// dead or suspect.
+// placeable reports whether a rank may receive task placements: a
+// member that is neither dead nor suspect. The local rank skips the
+// suspect check (a rank never distrusts itself) but honors the
+// draining flag — a draining rank admits no new work.
+func (s *Scheduler) placeable(rank int) bool {
+	if rank == s.loc.Rank() {
+		return s.loc.IsMember(rank) && !s.draining.Load()
+	}
+	return s.loc.IsMember(rank) && !s.loc.IsDead(rank) && !s.loc.IsSuspect(rank)
+}
+
+// nextLive returns the first placeable rank after target (wrapping),
+// falling back to the local rank when every other rank is dead,
+// suspect or outside the membership.
 func (s *Scheduler) nextLive(target int) int {
 	size := s.loc.Size()
 	for off := 1; off < size; off++ {
 		r := (target + off) % size
-		if r == s.loc.Rank() || !(s.loc.IsDead(r) || s.loc.IsSuspect(r)) {
+		if s.placeable(r) {
 			return r
 		}
 	}

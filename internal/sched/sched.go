@@ -170,6 +170,12 @@ type Scheduler struct {
 	// by EnableQueue (see steal.go).
 	queue *queueState
 
+	// draining, when set, stops this rank from keeping work: its own
+	// assigns place remotely, inbound shipped batches are forwarded,
+	// and its workers stop stealing. Set by a graceful drain
+	// (recovery.Drain) before the rank leaves the membership.
+	draining atomic.Bool
+
 	// inflight and handoffs track tasks that left this rank toward a
 	// peer — shipped placements and granted steals — so the recovery
 	// coordinator can recover tasks lost on a dead rank (see
@@ -257,11 +263,56 @@ func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 		}
 		for i := range b.Tasks {
 			t := &b.Tasks[i]
+			if s.draining.Load() {
+				// A batch that raced the drain's placement pause is
+				// accepted (the ack stops the sender's re-ship) but
+				// forwarded instead of kept: the rank admits no new work.
+				s.forward(&t.Spec, t.Variant)
+				continue
+			}
 			s.executeAsync(&t.Spec, t.Variant)
 		}
 		return nil, nil
 	})
 	return s
+}
+
+// SetDraining flips the drain flag (see the field comment).
+func (s *Scheduler) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the scheduler is draining.
+func (s *Scheduler) Draining() bool { return s.draining.Load() }
+
+// forward places a task that must not stay on this rank onto the next
+// usable member; with no member left it runs locally after all —
+// losing the task would be worse.
+func (s *Scheduler) forward(spec *TaskSpec, variant Variant) {
+	target := s.nextLive(s.loc.Rank())
+	if target == s.loc.Rank() {
+		s.executeAsync(spec, variant)
+		return
+	}
+	s.stats.remotePlaced.Inc()
+	s.trackInflight(spec, target)
+	s.ship(target, runArgs{Spec: *spec, Variant: variant})
+}
+
+// RedistributeQueued empties the run queue and re-places every not
+// yet started task; under the draining flag the placements land on
+// the remaining members. Running tasks are unaffected — they finish
+// here (task-private state cannot migrate, Section 3.2).
+func (s *Scheduler) RedistributeQueued() {
+	if s.queue == nil {
+		return
+	}
+	for _, d := range s.queue.deques {
+		for _, t := range d.drain() {
+			t.sp.End()
+			s.queued.Add(-1)
+			spec := t.spec
+			s.forward(&spec, VariantProcess)
+		}
+	}
 }
 
 // Register installs a task kind.
@@ -377,11 +428,12 @@ func (s *Scheduler) assign(spec *TaskSpec) error {
 		target = s.policy.PickTarget(spec, s.loc.Size()) // line 12
 		s.stats.polPlaced.Inc()
 	}
-	// Dead and suspect ranks are excluded from placement: remap to the
-	// next usable rank (coveringRank already skips dead/suspect
+	// Dead, suspect and non-member ranks are excluded from placement:
+	// remap to the next usable rank (coveringRank already skips them as
 	// owners). Suspicion is a pause, not a verdict — it lifts as soon
-	// as a confirmation ping succeeds.
-	if target != s.loc.Rank() && (s.loc.IsDead(target) || s.loc.IsSuspect(target)) {
+	// as a confirmation ping succeeds; a latent or departed rank is
+	// outside the membership entirely.
+	if !s.placeable(target) {
 		target = s.nextLive(target)
 	}
 
@@ -453,9 +505,7 @@ func (s *Scheduler) placeByData(reqs []dim.Requirement) int {
 
 	// Per-requirement per-rank coverage unions, plus the aggregate
 	// owned element counts driving the percolation tiers.
-	usable := func(rank int) bool {
-		return !s.loc.IsDead(rank) && (rank == s.loc.Rank() || !s.loc.IsSuspect(rank))
-	}
+	usable := s.placeable
 	var candAll, candWrite map[int]bool
 	wroteConstraint := false
 	owned := make(map[int]int64)
@@ -594,7 +644,7 @@ func (s *Scheduler) coveringRank(reqs []dim.Requirement, writeOnly bool) int {
 		}
 		covering := make(map[int]bool)
 		for rank, cov := range perRank {
-			if s.loc.IsDead(rank) || (rank != s.loc.Rank() && s.loc.IsSuspect(rank)) {
+			if !s.placeable(rank) {
 				continue
 			}
 			if rq.Region.Difference(cov).IsEmpty() {

@@ -346,12 +346,18 @@ func (s *Scheduler) stealRemote(w int, rng *rand.Rand) (queuedTask, bool) {
 	if s.loc.Size() <= 1 {
 		return queuedTask{}, false
 	}
+	// A draining or not-yet-joined rank does not pull work in: it is
+	// leaving (or outside) the membership.
+	if s.draining.Load() || !s.loc.IsMember(s.Rank()) {
+		return queuedTask{}, false
+	}
 	victim := rng.Intn(s.loc.Size() - 1)
 	if victim >= s.Rank() {
 		victim++
 	}
-	// Dead peers fall through to the backoff — no point hammering them.
-	if s.loc.IsDead(victim) || s.loc.IsSuspect(victim) {
+	// Dead, suspect and non-member peers fall through to the backoff —
+	// no point hammering them.
+	if s.loc.IsDead(victim) || s.loc.IsSuspect(victim) || !s.loc.IsMember(victim) {
 		return queuedTask{}, false
 	}
 	s.stats.stealAttempts.Inc()
