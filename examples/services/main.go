@@ -1,12 +1,12 @@
-// Services example: the system-level features the paper's
-// introduction motivates — features that "all depend on the
-// manipulation of the distribution of the underlying data structure"
-// and that the AllScale model therefore enables generically:
-//
-//   - monitoring of the data distribution and workload,
-//   - inter-node load balancing by data migration (the scheduler then
-//     redirects future tasks automatically, Section 3.2),
-//   - checkpointing and restarting of the computation (Section 6).
+// Services example: the runtime as a shared, long-running service
+// (DESIGN.md §6h). The paper's introduction motivates system-level
+// services — monitoring, load balancing, resilience — on top of the
+// managed data distribution; this example exercises the layer that
+// multiplexes the whole substrate across tenants: an in-process
+// allscaled (job service + TCP protocol server) receiving 100
+// concurrent jobs from 8 tenants over the client API, with admission
+// control, weighted fair-share placement, and per-tenant
+// observability.
 //
 // Run with:
 //
@@ -14,134 +14,132 @@
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
+	"net"
+	"sync"
 	"time"
 
-	"allscale/internal/balance"
 	"allscale/internal/core"
-	"allscale/internal/dataitem"
-	"allscale/internal/dim"
-	"allscale/internal/monitor"
-	"allscale/internal/region"
-	"allscale/internal/resilience"
-	"allscale/internal/sched"
+	"allscale/internal/jobs"
+	"allscale/internal/trace"
 )
 
 const (
-	nx, ny     = 96, 32
 	localities = 4
+	workers    = 2
+	numTenants = 8
+	numJobs    = 100
 )
 
-func buildSystem() (*core.System, *core.Grid[float64]) {
-	sys := core.NewSystem(core.Config{Localities: localities})
-	grid := core.DefineGrid[float64](sys, "svc.field", region.Point{nx, ny})
-	core.RegisterPFor(sys, core.PForSpec{
-		Name:     "svc.relax",
-		MinGrain: 256,
-		Body: func(ctx *sched.Ctx, p region.Point, _ []byte) {
-			g := grid.Local(ctx)
-			g.Set(p, g.At(p)*0.5+float64(p[0]+p[1])*0.5)
-		},
-		Reqs: func(r core.Range, _ []byte) []dim.Requirement {
-			return []dim.Requirement{{Item: grid.Item(), Region: grid.Region(r.Lo, r.Hi), Mode: dim.Write}}
-		},
+func main() {
+	// Boot the cluster and the job service.
+	sys := core.NewSystem(core.Config{
+		Localities:    localities,
+		Workers:       workers,
+		TraceCapacity: trace.DefaultCapacity,
 	})
+	w := jobs.RegisterWorkloads(sys, jobs.WorkloadConfig{})
 	sys.Start()
-	return sys, grid
+	defer sys.Close()
+
+	svc := jobs.New(sys, w, jobs.Config{MaxActive: 12, MaxBacklog: 256})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := jobs.Serve(svc, ln, nil)
+	defer srv.Close()
+	fmt.Printf("allscaled serving on %s (%d localities, %d workers each)\n\n",
+		srv.Addr(), localities, workers)
+
+	// Eight tenants; two premium ones get 3× the fair-share weight.
+	names := make([]string, numTenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%c", 'a'+i)
+		q := jobs.Quota{Weight: 1, MaxActive: 3}
+		if i < 2 {
+			q.Weight = 3
+		}
+		if err := svc.RegisterTenant(names[i], q); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 100 jobs from 8 tenants, each tenant over its own client
+	// connection, all in flight at once: DAG trees, stencils, TPC and
+	// iPiC3D kernels round-robin per tenant.
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := map[string]int{}
+	for ti, name := range names {
+		wg.Add(1)
+		go func(ti int, name string) {
+			defer wg.Done()
+			cli, err := jobs.Dial(srv.Addr().String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer cli.Close()
+			share := numJobs / numTenants
+			if ti < numJobs%numTenants {
+				share++
+			}
+			ids := make([]uint64, 0, share)
+			for k := 0; k < share; k++ {
+				family, params := pickJob(ti, k)
+				id, err := cli.Submit(name, family, params)
+				if err != nil {
+					log.Fatalf("%s: submit: %v", name, err)
+				}
+				ids = append(ids, id)
+			}
+			for _, id := range ids {
+				st, err := cli.Wait(id)
+				if err != nil {
+					log.Fatalf("%s: wait %d: %v", name, id, err)
+				}
+				if st.State != "done" {
+					log.Fatalf("%s: job %d ended %s: %s", name, id, st.State, st.Error)
+				}
+			}
+			mu.Lock()
+			done[name] = len(ids)
+			mu.Unlock()
+		}(ti, name)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d jobs from %d tenants completed in %s\n\n", numJobs, numTenants, elapsed)
+	fmt.Printf("%-10s %6s %9s %9s %9s %16s %14s\n",
+		"tenant", "weight", "admitted", "completed", "tasks", "p99 admit→exec", "p99 duration")
+	for _, ts := range svc.Tenants() {
+		fmt.Printf("%-10s %6d %9d %9d %9d %14.0fµs %12.0fµs\n",
+			ts.Name, ts.Weight, ts.Admitted, ts.Completed,
+			ts.TasksExecuted, ts.AdmitToExecP99, ts.DurationP99)
+	}
+
+	if err := svc.Drain(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nservice drained cleanly")
 }
 
-func main() {
-	sys, grid := buildSystem()
-	if err := grid.Create(); err != nil {
-		log.Fatal(err)
-	}
-
-	// Deliberately skew the distribution: locality 0 first-touches the
-	// whole field (as a naive port might).
-	mgr := sys.Manager(0)
-	full := dataitem.GridRegionFromTo(region.Point{0, 0}, region.Point{nx, ny})
-	if err := mgr.Acquire(1, []dim.Requirement{{Item: grid.Item(), Region: full, Mode: dim.Write}}); err != nil {
-		log.Fatal(err)
-	}
-	mgr.Release(1)
-
-	mon := monitor.Start(sys, 50*time.Millisecond, 16)
-	defer mon.Stop()
-	mon.SampleNow()
-	fmt.Println("-- distribution before balancing --")
-	fmt.Print(mon.Report())
-	fmt.Printf("coverage imbalance (max/mean): %.2f\n\n", mon.CoverageImbalance(grid.Item()))
-
-	// Inter-node load balancing by data migration.
-	moves, err := balance.RebalanceGrid(sys, grid.Item(), balance.Options{Tolerance: 1.2})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, m := range moves {
-		fmt.Printf("migrated %5d elements: locality %d -> %d\n", m.Elems, m.From, m.To)
-	}
-	mon.SampleNow()
-	fmt.Println("\n-- distribution after balancing --")
-	fmt.Print(mon.Report())
-	fmt.Printf("coverage imbalance (max/mean): %.2f\n\n", mon.CoverageImbalance(grid.Item()))
-
-	// Future tasks follow the data (Algorithm 2).
-	if err := sys.PFor("svc.relax", region.Point{0, 0}, region.Point{nx, ny}, nil); err != nil {
-		log.Fatal(err)
-	}
-	st := sys.SchedStats()
-	fmt.Printf("after one pfor: %d/%d placements were data-aware\n\n",
-		st.CoveredAll+st.CoveredWrite, st.Executed)
-
-	// Checkpoint, tear the whole system down, restart, restore.
-	cp, err := resilience.Capture(sys, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if _, err := cp.WriteTo(&buf); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("checkpoint captured: %d fragment records, %d payload bytes\n",
-		len(cp.Records), cp.Size())
-	sys.Close()
-
-	sys2, grid2 := buildSystem()
-	defer sys2.Close()
-	if err := grid2.Create(); err != nil {
-		log.Fatal(err)
-	}
-	cp2, err := resilience.ReadCheckpoint(&buf)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := resilience.Restore(sys2, cp2); err != nil {
-		log.Fatal(err)
-	}
-
-	// Verify the restored field equals the pre-checkpoint state.
-	var checksum float64
-	err = grid2.Read(grid2.FullRegion(), func(f *dataitem.GridFragment[float64]) {
-		for x := 0; x < nx; x++ {
-			for y := 0; y < ny; y++ {
-				checksum += f.At(region.Point{x, y})
-			}
+// pickJob cycles each tenant through the workload families with
+// small, demo-sized parameters.
+func pickJob(ti, k int) (string, any) {
+	switch k % 4 {
+	case 0:
+		return jobs.FamilyPFor, jobs.PForParams{Levels: 6, Spin: 32, Seed: uint64(ti*1000 + k)}
+	case 1:
+		return jobs.FamilyStencil, jobs.StencilParams{N: 32, Steps: 4}
+	case 2:
+		return jobs.FamilyTPC, jobs.TPCParams{
+			NumPoints: 512, Height: 6, Radius: 0.2, NumQueries: 16, Seed: int64(ti + k),
 		}
-	})
-	if err != nil {
-		log.Fatal(err)
+	default:
+		return jobs.FamilyIPiC3D, jobs.IPiC3DParams{N: 4, Steps: 2, PartsPerCell: 2, Seed: int64(ti)}
 	}
-	var want float64
-	for x := 0; x < nx; x++ {
-		for y := 0; y < ny; y++ {
-			want += float64(x+y) * 0.5
-		}
-	}
-	fmt.Printf("restored into a fresh system: checksum %.1f (expected %.1f)\n", checksum, want)
-	if checksum != want {
-		log.Fatal("restore verification FAILED")
-	}
-	fmt.Println("restart verification: OK")
 }

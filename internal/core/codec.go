@@ -7,3 +7,10 @@ import "allscale/internal/wire"
 func decodeArgs(data []byte, v any) error {
 	return wire.Decode(data, v)
 }
+
+// DecodeArgs is the exported form for packages layering task kinds on
+// a System (e.g. the jobs workload registry), whose CanSplit callbacks
+// must inspect scheduler-encoded arguments.
+func DecodeArgs(data []byte, v any) error {
+	return wire.Decode(data, v)
+}

@@ -64,6 +64,14 @@ type Options struct {
 	// one warm-up's transient load cannot trigger the next decision.
 	// Default 4× Interval.
 	Cooldown time.Duration
+	// Backlog, when non-nil, supplies the job service's admitted
+	// backlog (admitted jobs not yet completed, jobs.Service.Backlog):
+	// the controller then scales on tenant demand rather than raw
+	// queue depth, spreading the backlog evenly over the member loads
+	// before deciding. A burst of admitted jobs thus triggers scale-up
+	// even while their tasks are still funneling through the fair
+	// queues, and members stay up until the service actually drains.
+	Backlog func() int64
 }
 
 func (o *Options) normalize(size int) {
@@ -205,6 +213,34 @@ func (c *Controller) Tick() Decision {
 		loc := c.sys.Locality(r)
 		member[r] = loc.IsMember(r)
 		latent[r] = !member[r] && !loc.IsDead(r) && !loc.IsDeparted(r)
+	}
+	if c.opts.Backlog != nil {
+		// Service mode: the load signal is the admitted backlog, not
+		// raw queue depth. Spread it evenly over the members so
+		// Decide's per-member mean compares against HighLoad/LowLoad
+		// unchanged.
+		var members int64
+		for r := 0; r < size; r++ {
+			if member[r] {
+				members++
+			}
+		}
+		if members > 0 {
+			backlog := c.opts.Backlog()
+			share := backlog / members
+			rem := backlog % members
+			for r := 0; r < size; r++ {
+				if member[r] {
+					loads[r] = share
+					if rem > 0 {
+						loads[r]++
+						rem--
+					}
+				} else {
+					loads[r] = 0
+				}
+			}
+		}
 	}
 	d := Decide(loads, member, latent, c.opts)
 	switch d.Action {

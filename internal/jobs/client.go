@@ -1,0 +1,125 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client talks the allscaled protocol over one TCP connection.
+// Methods are safe for concurrent use but serialize on the
+// connection; for parallel blocking Waits, open one Client per
+// submitter (cheap — one socket each).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to an allscaled daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64<<10)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) do(req Request) (Response, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, err
+	}
+	buf = append(buf, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.conn.Write(buf); err != nil {
+		return Response{}, fmt.Errorf("jobs: write: %w", err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return Response{}, fmt.Errorf("jobs: read: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return Response{}, fmt.Errorf("jobs: decode: %w", err)
+	}
+	if !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Submit admits a job under the tenant; params is marshalled to JSON
+// (one of PForParams, StencilParams, TPCParams, IPiC3DParams or an
+// equivalent map). Rejections come back as errors carrying the
+// admission reason's message.
+func (c *Client) Submit(tenant, family string, params any) (uint64, error) {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadParams, err)
+	}
+	resp, err := c.do(Request{Op: OpSubmit, Tenant: tenant, Family: family, Params: raw})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Job, nil
+}
+
+// Status snapshots a job.
+func (c *Client) Status(job uint64) (JobStatus, error) {
+	resp, err := c.do(Request{Op: OpStatus, Job: job})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return *resp.Status, nil
+}
+
+// Wait blocks until the job finished and returns its final status.
+func (c *Client) Wait(job uint64) (JobStatus, error) {
+	resp, err := c.do(Request{Op: OpWait, Job: job})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return *resp.Status, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(job uint64) error {
+	_, err := c.do(Request{Op: OpCancel, Job: job})
+	return err
+}
+
+// List snapshots all jobs.
+func (c *Client) List() ([]JobStatus, error) {
+	resp, err := c.do(Request{Op: OpList})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Tenants snapshots all tenants.
+func (c *Client) Tenants() ([]TenantStatus, error) {
+	resp, err := c.do(Request{Op: OpTenants})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tenants, nil
+}
+
+// Shutdown asks the daemon to drain and exit.
+func (c *Client) Shutdown() error {
+	_, err := c.do(Request{Op: OpShutdown})
+	return err
+}

@@ -1,0 +1,46 @@
+package jobs
+
+import "encoding/json"
+
+// The allscaled wire protocol is newline-delimited JSON over TCP: one
+// Request per line in, one Response per line out, strictly in order
+// per connection. It is deliberately minimal — a job service control
+// plane, not a data plane; job parameters travel as raw JSON and
+// results as the workload's checksum string.
+
+// Protocol operations.
+const (
+	// OpSubmit admits a job: Tenant, Family, Params → Job.
+	OpSubmit = "submit"
+	// OpStatus snapshots one job: Job → Status.
+	OpStatus = "status"
+	// OpWait blocks until a job finished: Job → Status.
+	OpWait = "wait"
+	// OpCancel cancels a job: Job.
+	OpCancel = "cancel"
+	// OpList snapshots all jobs → Jobs.
+	OpList = "list"
+	// OpTenants snapshots all tenants → Tenants.
+	OpTenants = "tenants"
+	// OpShutdown asks the daemon to drain and exit.
+	OpShutdown = "shutdown"
+)
+
+// Request is one client→server line.
+type Request struct {
+	Op     string          `json:"op"`
+	Tenant string          `json:"tenant,omitempty"`
+	Family string          `json:"family,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	Job    uint64          `json:"job,omitempty"`
+}
+
+// Response is one server→client line.
+type Response struct {
+	OK      bool           `json:"ok"`
+	Error   string         `json:"error,omitempty"`
+	Job     uint64         `json:"job,omitempty"`
+	Status  *JobStatus     `json:"status,omitempty"`
+	Jobs    []JobStatus    `json:"jobs,omitempty"`
+	Tenants []TenantStatus `json:"tenants,omitempty"`
+}

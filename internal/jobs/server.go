@@ -1,0 +1,149 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Server exposes a Service over the newline-JSON protocol. One
+// goroutine per connection; requests on a connection are answered in
+// order (OpWait blocks only its own connection).
+type Server struct {
+	svc        *Service
+	ln         net.Listener
+	onShutdown func()
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   atomic.Bool
+	shutOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Serve starts accepting on ln. onShutdown (may be nil) is invoked
+// once, asynchronously, when a client sends OpShutdown — the daemon
+// hooks its drain-and-exit sequence there.
+func Serve(svc *Service, ln net.Listener, onShutdown func()) *Server {
+	sv := &Server{
+		svc: svc, ln: ln, onShutdown: onShutdown,
+		conns: make(map[net.Conn]struct{}),
+	}
+	sv.wg.Add(1)
+	go sv.acceptLoop()
+	return sv
+}
+
+// Addr returns the listen address.
+func (sv *Server) Addr() net.Addr { return sv.ln.Addr() }
+
+func (sv *Server) acceptLoop() {
+	defer sv.wg.Done()
+	for {
+		conn, err := sv.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sv.mu.Lock()
+		if sv.closed.Load() {
+			sv.mu.Unlock()
+			conn.Close()
+			return
+		}
+		sv.conns[conn] = struct{}{}
+		sv.mu.Unlock()
+		sv.wg.Add(1)
+		go sv.handleConn(conn)
+	}
+}
+
+func (sv *Server) handleConn(conn net.Conn) {
+	defer sv.wg.Done()
+	defer func() {
+		conn.Close()
+		sv.mu.Lock()
+		delete(sv.conns, conn)
+		sv.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	w := bufio.NewWriter(conn)
+	enc := json.NewEncoder(w)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{Error: "bad request: " + err.Error()}
+		} else {
+			resp = sv.handle(req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (sv *Server) handle(req Request) Response {
+	switch req.Op {
+	case OpSubmit:
+		id, err := sv.svc.Submit(req.Tenant, JobSpec{Family: req.Family, Params: req.Params})
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Job: id}
+	case OpStatus:
+		st, err := sv.svc.Status(req.Job)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Job: req.Job, Status: &st}
+	case OpWait:
+		st, err := sv.svc.Wait(req.Job)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Job: req.Job, Status: &st}
+	case OpCancel:
+		if err := sv.svc.Cancel(req.Job); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Job: req.Job}
+	case OpList:
+		return Response{OK: true, Jobs: sv.svc.List()}
+	case OpTenants:
+		return Response{OK: true, Tenants: sv.svc.Tenants()}
+	case OpShutdown:
+		sv.shutOnce.Do(func() {
+			if sv.onShutdown != nil {
+				go sv.onShutdown()
+			}
+		})
+		return Response{OK: true}
+	default:
+		return Response{Error: "unknown op: " + req.Op}
+	}
+}
+
+// Close stops accepting and tears down open connections. It does not
+// drain the service — callers drain first for a graceful shutdown.
+func (sv *Server) Close() {
+	if sv.closed.Swap(true) {
+		return
+	}
+	sv.ln.Close()
+	sv.mu.Lock()
+	for c := range sv.conns {
+		c.Close()
+	}
+	sv.mu.Unlock()
+	sv.wg.Wait()
+}

@@ -1,0 +1,642 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"allscale/internal/core"
+	"allscale/internal/metrics"
+	"allscale/internal/sched"
+	"allscale/internal/trace"
+)
+
+// Config tunes the service-wide admission controller.
+type Config struct {
+	// MaxActive caps concurrently running jobs across all tenants.
+	// Default 16.
+	MaxActive int
+	// MaxBacklog caps admitted-but-not-started jobs across all
+	// tenants; submissions beyond it are rejected with ErrBacklogFull.
+	// Default 256.
+	MaxBacklog int
+	// DefaultQuota applies to tenants auto-registered on first
+	// submission (zero fields take the Quota defaults).
+	DefaultQuota Quota
+}
+
+func (c Config) normalized() Config {
+	if c.MaxActive <= 0 {
+		c.MaxActive = 16
+	}
+	if c.MaxBacklog <= 0 {
+		c.MaxBacklog = 256
+	}
+	return c
+}
+
+// tenant is the service-side record of one tenant.
+type tenant struct {
+	name    string
+	id      uint32
+	quota   Quota
+	pending []*job // admitted, not yet dispatched (FIFO)
+	active  int    // running jobs
+	bytes   int64  // estimated footprint of running jobs
+	deficit int    // WRR dispatch deficit
+
+	admitted, rejected           *metrics.Counter
+	completed, failed, cancelled *metrics.Counter
+	admitExec, duration          *metrics.Histogram
+}
+
+// job is the service-side record of one job.
+type job struct {
+	id     uint64
+	ten    *tenant
+	family string
+	params []byte
+	bytes  int64
+
+	state     JobState
+	result    string
+	errStr    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	firstExec atomic.Int64 // unix nanos of the first task execution
+	rootSpan  trace.SpanID
+	cancelReq bool
+	done      chan struct{}
+}
+
+// Service is the multi-tenant job service over one core.System.
+// Create with New after System.Start (workloads registered before).
+type Service struct {
+	sys *core.System
+	w   *Workloads
+	cfg Config
+	reg *metrics.Registry // locality 0, home of the jobs.* metrics
+
+	mu           sync.Mutex
+	tenants      map[string]*tenant
+	tenantsByID  map[uint32]*tenant
+	ring         []*tenant // WRR dispatch rotation
+	cursor       int
+	jobs         map[uint64]*job
+	pendingTotal int
+	activeTotal  int
+	nextTenant   uint32
+	draining     bool
+
+	nextJob atomic.Uint64
+	backlog atomic.Int64 // admitted, not yet finished (elastic signal)
+
+	kick    chan struct{}
+	stopped chan struct{}
+	wgDisp  sync.WaitGroup
+	wgDrv   sync.WaitGroup
+	byJob   sync.Map // uint64 → *job, the exec observer's index
+}
+
+// New starts the service. The system must be started and its
+// workloads registered (RegisterWorkloads).
+func New(sys *core.System, w *Workloads, cfg Config) *Service {
+	s := &Service{
+		sys: sys, w: w, cfg: cfg.normalized(),
+		reg:         sys.Metrics(0),
+		tenants:     make(map[string]*tenant),
+		tenantsByID: make(map[uint32]*tenant),
+		jobs:        make(map[uint64]*job),
+		kick:        make(chan struct{}, 1),
+		stopped:     make(chan struct{}),
+	}
+	// The scheduler-side exec observer stamps each job's first task
+	// execution, closing the admission-to-first-exec latency loop.
+	sys.SetExecObserver(func(id uint64) {
+		v, ok := s.byJob.Load(id)
+		if !ok {
+			return
+		}
+		j := v.(*job)
+		now := time.Now()
+		if j.firstExec.CompareAndSwap(0, now.UnixNano()) {
+			j.ten.admitExec.Observe(now.Sub(j.submitted))
+		}
+	})
+	s.wgDisp.Add(1)
+	go s.dispatcher()
+	return s
+}
+
+// RegisterTenant creates (or reconfigures) a tenant with an explicit
+// quota; tenants unknown at Submit are auto-registered with the
+// config's default quota.
+func (s *Service) RegisterTenant(name string, q Quota) error {
+	if name == "" {
+		return fmt.Errorf("jobs: empty tenant name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		t = s.newTenantLocked(name)
+	}
+	t.quota = q.normalized()
+	s.sys.SetTenantWeight(t.id, t.quota.Weight)
+	return nil
+}
+
+// newTenantLocked allocates a tenant record; s.mu must be held.
+func (s *Service) newTenantLocked(name string) *tenant {
+	s.nextTenant++
+	id := s.nextTenant
+	t := &tenant{
+		name:      name,
+		id:        id,
+		quota:     s.cfg.DefaultQuota.normalized(),
+		admitted:  s.reg.Counter(MetricAdmitted(id)),
+		rejected:  s.reg.Counter(MetricRejected(id)),
+		completed: s.reg.Counter(MetricCompleted(id)),
+		failed:    s.reg.Counter(MetricFailed(id)),
+		cancelled: s.reg.Counter(MetricCancelled(id)),
+		admitExec: s.reg.Histogram(MetricAdmitToExec(id)),
+		duration:  s.reg.Histogram(MetricDuration(id)),
+	}
+	s.tenants[name] = t
+	s.tenantsByID[id] = t
+	s.ring = append(s.ring, t)
+	s.sys.SetTenantWeight(id, t.quota.Weight)
+	return t
+}
+
+// Submit admits one job, returning its ID, or rejects it with a
+// reasoned error (ErrBacklogFull / ErrTenantPending / ErrTenantMemory
+// / ErrUnknownFamily / ErrBadParams / ErrDraining).
+func (s *Service) Submit(tenantName string, spec JobSpec) (uint64, error) {
+	params, err := json.Marshal(spec.Params)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadParams, err)
+	}
+	bytes, verr := s.w.estimate(spec.Family, params)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return 0, ErrDraining
+	}
+	t, ok := s.tenants[tenantName]
+	if !ok {
+		if tenantName == "" {
+			return 0, fmt.Errorf("jobs: empty tenant name")
+		}
+		t = s.newTenantLocked(tenantName)
+	}
+	if verr != nil {
+		t.rejected.Inc()
+		return 0, verr
+	}
+	// Admission control: global backlog bound, per-tenant pending
+	// bound, per-tenant memory budget over running + pending jobs.
+	if s.pendingTotal >= s.cfg.MaxBacklog {
+		t.rejected.Inc()
+		return 0, fmt.Errorf("%w: %d jobs pending service-wide", ErrBacklogFull, s.pendingTotal)
+	}
+	if len(t.pending) >= t.quota.MaxPending {
+		t.rejected.Inc()
+		return 0, fmt.Errorf("%w: tenant %q has %d pending (max %d)",
+			ErrTenantPending, tenantName, len(t.pending), t.quota.MaxPending)
+	}
+	if t.quota.MaxBytes > 0 {
+		committed := t.bytes
+		for _, p := range t.pending {
+			committed += p.bytes
+		}
+		if committed+bytes > t.quota.MaxBytes {
+			t.rejected.Inc()
+			return 0, fmt.Errorf("%w: tenant %q committed %d bytes + job %d > budget %d",
+				ErrTenantMemory, tenantName, committed, bytes, t.quota.MaxBytes)
+		}
+	}
+
+	j := &job{
+		id:        s.nextJob.Add(1),
+		ten:       t,
+		family:    spec.Family,
+		params:    params,
+		bytes:     bytes,
+		state:     Pending,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	t.pending = append(t.pending, j)
+	s.pendingTotal++
+	t.admitted.Inc()
+	s.backlog.Add(1)
+	s.nudge()
+	return j.id, nil
+}
+
+// nudge wakes the dispatcher (non-blocking).
+func (s *Service) nudge() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (s *Service) dispatcher() {
+	defer s.wgDisp.Done()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case <-s.kick:
+		}
+		s.dispatch()
+	}
+}
+
+// dispatch starts pending jobs while capacity allows, picking tenants
+// by weighted deficit round-robin — the job-level twin of the
+// scheduler's per-task fair queues, so a tenant flooding submissions
+// cannot monopolize the running-job slots either.
+func (s *Service) dispatch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.activeTotal < s.cfg.MaxActive {
+		j := s.nextDispatchLocked()
+		if j == nil {
+			return
+		}
+		t := j.ten
+		j.state = Running
+		j.started = time.Now()
+		t.active++
+		t.bytes += j.bytes
+		s.pendingTotal--
+		s.activeTotal++
+		s.wgDrv.Add(1)
+		go s.drive(j)
+	}
+}
+
+// dispatchableLocked reports whether a tenant has a startable job.
+func (s *Service) dispatchableLocked(t *tenant) bool {
+	if len(t.pending) == 0 || t.active >= t.quota.MaxActive {
+		return false
+	}
+	if t.quota.MaxBytes > 0 && t.bytes+t.pending[0].bytes > t.quota.MaxBytes {
+		return false
+	}
+	return true
+}
+
+// nextDispatchLocked picks the next job under the WRR rotation; nil
+// when no tenant can start one.
+func (s *Service) nextDispatchLocked() *job {
+	n := len(s.ring)
+	for i := 0; i < n; i++ {
+		if s.cursor >= n {
+			s.cursor = 0
+		}
+		t := s.ring[s.cursor]
+		if !s.dispatchableLocked(t) {
+			t.deficit = 0
+			s.cursor++
+			continue
+		}
+		if t.deficit <= 0 {
+			t.deficit = t.quota.Weight
+		}
+		t.deficit--
+		j := t.pending[0]
+		t.pending = t.pending[1:]
+		if t.deficit == 0 {
+			s.cursor++
+		}
+		return j
+	}
+	return nil
+}
+
+// drive runs one job to completion on its own goroutine.
+func (s *Service) drive(j *job) {
+	defer s.wgDrv.Done()
+	t := j.ten
+	var sp *trace.Span
+	if tr := s.sys.Tracer(0); tr != nil {
+		sp = tr.Begin("job.run", fmt.Sprintf("%s/%s#%d", t.name, j.family, j.id), 0)
+		sp.SetTask(j.id)
+		s.mu.Lock()
+		j.rootSpan = sp.SpanID()
+		s.mu.Unlock()
+	}
+	s.byJob.Store(j.id, j)
+	result, err := s.w.run(jobContext{tenant: t.id, job: j.id, span: j.rootSpan}, j.family, j.params)
+	s.byJob.Delete(j.id)
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	cancelled := j.cancelReq || sched.IsJobCancelled(err)
+	switch {
+	case cancelled:
+		j.state = Cancelled
+		if err != nil {
+			j.errStr = err.Error()
+		}
+		t.cancelled.Inc()
+	case err != nil:
+		j.state = Failed
+		j.errStr = err.Error()
+		t.failed.Inc()
+	default:
+		j.state = Done
+		j.result = result
+		t.completed.Inc()
+	}
+	t.active--
+	t.bytes -= j.bytes
+	s.activeTotal--
+	dur := j.finished.Sub(j.submitted)
+	s.mu.Unlock()
+
+	t.duration.Observe(dur)
+	if sp != nil {
+		sp.SetErr(err)
+		sp.End()
+	}
+	s.backlog.Add(-1)
+	close(j.done)
+	s.nudge()
+}
+
+// Cancel cancels a job: a pending job leaves the queue immediately; a
+// running job has its task tree cancelled on every locality (queued
+// tasks purge, stragglers die at the execution gate, recovery will
+// not resurrect it) and reaches the Cancelled state once the tree
+// unwound. Cancelling a finished job is a no-op.
+func (s *Service) Cancel(id uint64) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNoSuchJob
+	}
+	switch j.state {
+	case Pending:
+		t := j.ten
+		for i, p := range t.pending {
+			if p == j {
+				t.pending = append(t.pending[:i], t.pending[i+1:]...)
+				break
+			}
+		}
+		j.state = Cancelled
+		j.finished = time.Now()
+		s.pendingTotal--
+		t.cancelled.Inc()
+		s.mu.Unlock()
+		s.backlog.Add(-1)
+		close(j.done)
+		s.nudge()
+		return nil
+	case Running:
+		j.cancelReq = true
+		s.mu.Unlock()
+		s.sys.CancelJob(id)
+		return nil
+	default:
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+// Wait blocks until the job finished and returns its final status.
+func (s *Service) Wait(id uint64) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrNoSuchJob
+	}
+	<-j.done
+	return s.Status(id)
+}
+
+// Status returns a point-in-time snapshot of one job.
+func (s *Service) Status(id uint64) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNoSuchJob
+	}
+	return s.statusLocked(j), nil
+}
+
+func (s *Service) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID: j.id, Tenant: j.ten.name, Family: j.family,
+		State: j.state.String(), Result: j.result, Error: j.errStr,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+	}
+	if ns := j.firstExec.Load(); ns != 0 {
+		st.FirstExec = time.Unix(0, ns)
+	}
+	return st
+}
+
+// List returns snapshots of all jobs, ordered by ID.
+func (s *Service) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.statusLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Tenants returns per-tenant snapshots including the tenant's metrics
+// view (counters, scheduler-side task executions, latency quantiles),
+// ordered by tenant ID.
+func (s *Service) Tenants() []TenantStatus {
+	s.mu.Lock()
+	tens := make([]*tenant, len(s.ring))
+	copy(tens, s.ring)
+	type counts struct{ pending, active int }
+	live := make(map[uint32]counts, len(tens))
+	for _, t := range tens {
+		live[t.id] = counts{pending: len(t.pending), active: t.active}
+	}
+	s.mu.Unlock()
+
+	snap := s.reg.Snapshot()
+	out := make([]TenantStatus, 0, len(tens))
+	for _, t := range tens {
+		ts := TenantStatus{
+			Name: t.name, ID: t.id, Weight: t.quota.Weight,
+			Pending: live[t.id].pending, Active: live[t.id].active,
+			Admitted:  t.admitted.Value(),
+			Rejected:  t.rejected.Value(),
+			Completed: t.completed.Value(),
+			Failed:    t.failed.Value(),
+			Cancelled: t.cancelled.Value(),
+		}
+		for r := 0; r < s.sys.Size(); r++ {
+			ts.TasksExecuted += s.sys.Metrics(r).CounterValue(sched.TenantExecutedMetric(t.id))
+		}
+		if h, ok := snap.Histograms[MetricAdmitToExec(t.id)]; ok {
+			ts.AdmitToExecP50 = micros(h.Quantile(0.50))
+			ts.AdmitToExecP99 = micros(h.Quantile(0.99))
+		}
+		if h, ok := snap.Histograms[MetricDuration(t.id)]; ok {
+			ts.DurationP50 = micros(h.Quantile(0.50))
+			ts.DurationP99 = micros(h.Quantile(0.99))
+		}
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// micros converts a histogram quantile to float64 microseconds.
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// TenantID resolves a tenant name (for tests and metrics readers).
+func (s *Service) TenantID(name string) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		return 0, ErrNoSuchTenant
+	}
+	return t.id, nil
+}
+
+// Backlog returns the admitted-but-not-finished job count — the load
+// signal the elastic controller scales membership on in service mode
+// (elastic.Options.Backlog).
+func (s *Service) Backlog() int64 { return s.backlog.Load() }
+
+// WriteJobTrace exports the job's trace scope — its job.run span plus
+// every task span transitively parented on it, across all ranks — as
+// a Chrome trace_event document. The system must have been created
+// with tracing enabled.
+func (s *Service) WriteJobTrace(w io.Writer, id uint64) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var root trace.SpanID
+	if ok {
+		root = j.rootSpan
+	}
+	s.mu.Unlock()
+	if !ok {
+		return ErrNoSuchJob
+	}
+	if root == 0 {
+		return fmt.Errorf("jobs: job %d has no trace scope (tracing disabled?)", id)
+	}
+	tracers := s.sys.Tracers()
+	if len(tracers) == 0 {
+		return fmt.Errorf("jobs: system has no tracers")
+	}
+	return trace.WriteChromeSpans(w, trace.Descendants(trace.Merge(tracers...), root))
+}
+
+// Drain gracefully shuts the service down: admission closes
+// immediately (submissions fail with ErrDraining), already-admitted
+// jobs keep dispatching and running. When every job finished within
+// the timeout, Drain returns nil; otherwise the stragglers are
+// cancelled and Drain reports how many. Either way the dispatcher is
+// stopped and the exec observer uninstalled afterwards.
+func (s *Service) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	for {
+		if s.backlog.Load() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var stragglers []uint64
+	s.mu.Lock()
+	for id, j := range s.jobs {
+		if j.state == Pending || j.state == Running {
+			stragglers = append(stragglers, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range stragglers {
+		s.Cancel(id)
+	}
+	// Cancelled trees still need to unwind before the drivers exit.
+	s.wait(deadline.Add(2 * time.Second))
+	s.stop()
+	if len(stragglers) > 0 {
+		return fmt.Errorf("jobs: drain timeout, cancelled %d unfinished jobs", len(stragglers))
+	}
+	return nil
+}
+
+// wait blocks until every driver exited or the deadline passed.
+func (s *Service) wait(deadline time.Time) {
+	done := make(chan struct{})
+	go func() {
+		s.wgDrv.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline)):
+	}
+}
+
+// stop terminates the dispatcher and uninstalls the exec observer
+// (idempotent).
+func (s *Service) stop() {
+	select {
+	case <-s.stopped:
+		return
+	default:
+	}
+	close(s.stopped)
+	s.wgDisp.Wait()
+	s.sys.SetExecObserver(nil)
+}
+
+// Close stops the service without draining (tests / abrupt exits);
+// running jobs are cancelled and awaited briefly.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.draining = true
+	var running []uint64
+	for id, j := range s.jobs {
+		if j.state == Pending || j.state == Running {
+			running = append(running, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range running {
+		s.Cancel(id)
+	}
+	s.wait(time.Now().Add(5 * time.Second))
+	s.stop()
+}

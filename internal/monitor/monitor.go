@@ -10,6 +10,7 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -65,6 +66,18 @@ type Sample struct {
 	// Coverage maps each live data item to the element count of the
 	// locality's fragment.
 	Coverage map[dim.ItemID]int64
+	// Tenants holds the per-tenant fair-share counters of the job
+	// service's multi-tenant scheduling (DESIGN.md §6h), keyed by
+	// tenant ID; empty outside service mode.
+	Tenants map[uint32]TenantSample
+}
+
+// TenantSample is one tenant's cumulative scheduling counters on one
+// locality.
+type TenantSample struct {
+	Enqueued  uint64 // tasks routed through the tenant's fair queue
+	Executed  uint64 // task variants executed for the tenant
+	Cancelled uint64 // tasks suppressed by job cancellation
 }
 
 // Monitor samples a core.System periodically.
@@ -159,6 +172,7 @@ func (m *Monitor) SampleNow() {
 				s.Coverage[id] = n
 			}
 		}
+		s.Tenants = tenantCounters(reg.Snapshot().Counters)
 		samples[rank] = s
 	}
 	m.mu.Lock()
@@ -180,7 +194,49 @@ func copySample(s Sample) Sample {
 		cov[k] = v
 	}
 	s.Coverage = cov
+	ten := make(map[uint32]TenantSample, len(s.Tenants))
+	for k, v := range s.Tenants {
+		ten[k] = v
+	}
+	s.Tenants = ten
 	return s
+}
+
+// tenantCounters extracts the per-tenant scheduler counters
+// ("sched.tenant.<id>.<suffix>") from a registry counter snapshot.
+func tenantCounters(counters map[string]uint64) map[uint32]TenantSample {
+	var out map[uint32]TenantSample
+	for name, v := range counters {
+		if !strings.HasPrefix(name, sched.MetricTenantPrefix) {
+			continue
+		}
+		rest := name[len(sched.MetricTenantPrefix):]
+		dot := strings.IndexByte(rest, '.')
+		if dot < 0 {
+			continue
+		}
+		id, err := strconv.ParseUint(rest[:dot], 10, 32)
+		if err != nil {
+			continue
+		}
+		if out == nil {
+			out = make(map[uint32]TenantSample)
+		}
+		ts := out[uint32(id)]
+		switch rest[dot+1:] {
+		case sched.MetricTenantEnqueuedSufx:
+			ts.Enqueued = v
+		case sched.MetricTenantExecutedSufx:
+			ts.Executed = v
+		case sched.MetricTenantCancelledSufx:
+			ts.Cancelled = v
+		}
+		out[uint32(id)] = ts
+	}
+	if out == nil {
+		return map[uint32]TenantSample{}
+	}
+	return out
 }
 
 // Latest returns the most recent sample of every locality, in rank

@@ -118,7 +118,14 @@ func (s *Scheduler) HandleDeath(dead int) []TaskSpec {
 
 // Respawn re-schedules a task lost on a dead rank. Placement runs
 // through the ordinary assign path, which now excludes dead ranks.
+// Tasks of a cancelled job are not resurrected: their promises fail
+// with ErrJobCancelled instead (fair.go).
 func (s *Scheduler) Respawn(spec TaskSpec) error {
+	if spec.Job != 0 && s.jobCancelled(spec.Job) {
+		s.stats.cancelledRespawns.Inc()
+		s.failCancelled(&spec)
+		return nil
+	}
 	s.stats.respawns.Inc()
 	return s.assign(&spec)
 }

@@ -65,6 +65,12 @@ type TaskSpec struct {
 	// executing rank parents its task.exec/task.split span on it, so
 	// the causal chain survives remote placement (0 = untraced).
 	Span uint64
+	// Tenant and Job scope the task to a job-service submission
+	// (fair.go); zero for tasks spawned outside service mode. Both
+	// travel on the wire so shipped, stolen and respawned tasks keep
+	// their fair-share accounting and cancellation scope.
+	Tenant uint32
+	Job    uint64
 }
 
 // Kind is one registered task type with its variants.
@@ -184,6 +190,13 @@ type Scheduler struct {
 	inflight   map[uint64]inflightEntry
 	handoffs   []handoffEntry
 
+	// fair holds the per-tenant run queues of the multi-tenant fair
+	// share layer, cancel the bounded cancelled-job set, and execObs an
+	// optional per-execution callback — all in fair.go.
+	fair    fairState
+	cancel  cancelState
+	execObs atomic.Pointer[func(job uint64)]
+
 	// shippers coalesce remote placements per destination and allocate
 	// ship seqs; shipSeen is the receiver half of the ship dedup
 	// protocol — per-sender admitted seqs under an ack watermark —
@@ -202,6 +215,7 @@ type Scheduler struct {
 		stealAttempts, stolen, stolenFrom   *metrics.Counter
 		respawns, workerIdleUs              *metrics.Counter
 		shipDups, reships                   *metrics.Counter
+		cancelledTasks, cancelledRespawns   *metrics.Counter
 		stealBatch, shipBatch               *metrics.Histogram
 	}
 	execHist *metrics.Histogram
@@ -241,6 +255,8 @@ func New(loc *runtime.Locality, mgr *dim.Manager, policy Policy) *Scheduler {
 	s.stats.workerIdleUs = reg.Counter(MetricWorkerIdleUs)
 	s.stats.shipDups = reg.Counter(MetricShipDups)
 	s.stats.reships = reg.Counter(MetricReships)
+	s.stats.cancelledTasks = reg.Counter(MetricCancelledTasks)
+	s.stats.cancelledRespawns = reg.Counter(MetricCancelledRespawns)
 	s.stats.stealBatch = reg.Histogram(MetricStealBatch)
 	s.stats.shipBatch = reg.Histogram(MetricShipBatch)
 	s.execHist = reg.Histogram(MetricTaskExec)
@@ -313,6 +329,12 @@ func (s *Scheduler) RedistributeQueued() {
 			s.forward(&spec, VariantProcess)
 		}
 	}
+	for _, t := range s.drainFair() {
+		t.sp.End()
+		s.queued.Add(-1)
+		spec := t.spec
+		s.forward(&spec, VariantProcess)
+	}
 }
 
 // Register installs a task kind.
@@ -369,14 +391,23 @@ func (s *Scheduler) Load() int64 { return s.queued.Load() + s.running.Load() }
 // Spawn schedules a new root task of the given kind ((spawn)
 // transition) and returns the future of its result.
 func (s *Scheduler) Spawn(kind string, args any) (*runtime.Future, error) {
-	return s.spawnAt(kind, args, 0, 0, 0, 0)
+	return s.spawnAt(kind, args, 0, 0, 0, 0, 0, 0)
+}
+
+// SpawnJob schedules a root task scoped to a job-service tenant and
+// job: the tags propagate to every descendant task, routing them
+// through the tenant fair queues (fair.go) and into the job's
+// cancellation scope. parent optionally roots the task's span chain in
+// a job-level span.
+func (s *Scheduler) SpawnJob(kind string, args any, tenant uint32, job uint64, parent trace.SpanID) (*runtime.Future, error) {
+	return s.spawnAt(kind, args, 0, 0, 0, parent, tenant, job)
 }
 
 // spawnAt schedules a task at a given position of the spawn tree.
 // parent is the span of the spawning context (the enclosing task's
 // exec/split span, or 0 for root spawns), rooting the task's
 // spawn→schedule→exec span chain in its creator.
-func (s *Scheduler) spawnAt(kind string, args any, depth int, path uint64, pathLen int, parent trace.SpanID) (*runtime.Future, error) {
+func (s *Scheduler) spawnAt(kind string, args any, depth int, path uint64, pathLen int, parent trace.SpanID, tenant uint32, job uint64) (*runtime.Future, error) {
 	body, err := encodeWire(args)
 	if err != nil {
 		return nil, fmt.Errorf("sched: encode args of %q: %w", kind, err)
@@ -391,6 +422,8 @@ func (s *Scheduler) spawnAt(kind string, args any, depth int, path uint64, pathL
 		PathLen: pathLen,
 		Origin:  s.loc.Rank(),
 		Promise: pid,
+		Tenant:  tenant,
+		Job:     job,
 	}
 	s.stats.spawned.Inc()
 	tr := s.loc.Tracer()
@@ -691,9 +724,24 @@ func (s *Scheduler) executeAsync(spec *TaskSpec, variant Variant) {
 // the task promise is fulfilled, so a waiter unblocked by the result
 // observes the span as archived.
 func (s *Scheduler) executeNow(spec *TaskSpec, variant Variant) {
+	// Cancellation gate: tasks of a cancelled job never run, wherever
+	// they arrive from (local queue, shipped batch, steal grant,
+	// respawn). Failing the promise unwinds the job's waiters.
+	if spec.Job != 0 && s.jobCancelled(spec.Job) {
+		s.failCancelled(spec)
+		return
+	}
 	s.running.Add(1)
 	defer s.running.Add(-1)
 	s.stats.executed.Inc()
+	if spec.Tenant != 0 {
+		s.tenantExecuted(spec.Tenant)
+	}
+	if spec.Job != 0 {
+		if fn := s.execObs.Load(); fn != nil {
+			(*fn)(spec.Job)
+		}
+	}
 
 	name := "task.exec"
 	if variant == VariantSplit {
@@ -761,8 +809,16 @@ func (c *Ctx) Depth() int { return c.spec.Depth }
 // is the (sync) transition.
 func (c *Ctx) Spawn(kind string, args any, branch uint64) (*runtime.Future, error) {
 	path := c.spec.Path<<1 | (branch & 1)
-	return c.sched.spawnAt(kind, args, c.spec.Depth+1, path, c.spec.PathLen+1, c.span)
+	return c.sched.spawnAt(kind, args, c.spec.Depth+1, path, c.spec.PathLen+1, c.span,
+		c.spec.Tenant, c.spec.Job)
 }
+
+// Tenant returns the executing task's tenant tag (0 outside service
+// mode).
+func (c *Ctx) Tenant() uint32 { return c.spec.Tenant }
+
+// Job returns the executing task's job tag (0 outside service mode).
+func (c *Ctx) Job() uint64 { return c.spec.Job }
 
 // encodeWire and decodeWire delegate to the shared wire codec: binary
 // for the types with codecs in wirecodec.go, gob for arbitrary user

@@ -142,14 +142,18 @@ func (s *Scheduler) AbortQueue() {
 	s.drainQueues()
 }
 
-// drainQueues empties every deque, ending the enqueue spans of the
-// discarded tasks.
+// drainQueues empties every deque and tenant fair queue, ending the
+// enqueue spans of the discarded tasks.
 func (s *Scheduler) drainQueues() {
 	for _, d := range s.queue.deques {
 		for _, t := range d.drain() {
 			t.sp.End()
 			s.queued.Add(-1)
 		}
+	}
+	for _, t := range s.drainFair() {
+		t.sp.End()
+		s.queued.Add(-1)
 	}
 }
 
@@ -161,10 +165,25 @@ func (s *Scheduler) StealStats() (uint64, uint64) {
 	return s.stats.stolen.Value(), s.stats.stolenFrom.Value()
 }
 
-// enqueueLocal places a process-variant task into a local deque picked
-// round-robin.
+// enqueueLocal places a process-variant task into the local run
+// queue: tenant-tagged tasks go through the tenant fair queues
+// (fair.go), everything else into a deque picked round-robin.
 func (s *Scheduler) enqueueLocal(spec *TaskSpec) {
+	if spec.Tenant != 0 {
+		s.enqueueFair(spec)
+		return
+	}
 	s.enqueueAt(-1, spec)
+}
+
+// enqueueSpec routes one task into worker w's deque or — when tenant
+// tagged — the fair queues (used for steal-grant remainders).
+func (s *Scheduler) enqueueSpec(w int, spec *TaskSpec) {
+	if spec.Tenant != 0 {
+		s.enqueueFair(spec)
+		return
+	}
+	s.enqueueAt(w, spec)
 }
 
 // enqueueAt pushes onto worker w's deque (round-robin when w < 0),
@@ -215,6 +234,9 @@ func (s *Scheduler) stealForRemote(max int) []queuedTask {
 		}
 		out = append(out, d.stealHead(want-len(out))...)
 	}
+	if len(out) < want {
+		out = append(out, s.stealFair(want-len(out))...)
+	}
 	if len(out) > 0 {
 		s.queued.Add(-int64(len(out)))
 	}
@@ -257,6 +279,15 @@ func (s *Scheduler) worker(w int) {
 		}
 		if t, ok := self.popTail(); ok {
 			s.queued.Add(-1)
+			bo.Reset()
+			s.runQueued(t)
+			continue
+		}
+		// The tenant fair queues sit between the own-deque pop and the
+		// sibling raid: every worker participates in the weighted
+		// rotation once its own deque runs dry (popFair adjusts the
+		// queued counter itself).
+		if t, ok := s.popFair(); ok {
 			bo.Reset()
 			s.runQueued(t)
 			continue
@@ -377,7 +408,7 @@ func (s *Scheduler) stealRemote(w int, rng *rand.Rand) (queuedTask, bool) {
 		ssp.SetTask(spec.ID)
 		ssp.End()
 		if i > 0 {
-			s.enqueueAt(w, spec)
+			s.enqueueSpec(w, spec)
 		}
 	}
 	return queuedTask{spec: reply.Specs[0]}, true

@@ -26,7 +26,9 @@ func appendTaskSpec(buf []byte, s *TaskSpec) []byte {
 	buf = wire.AppendVarint(buf, int64(s.Origin))
 	buf = wire.AppendVarint(buf, int64(s.Promise.Owner))
 	buf = wire.AppendUvarint(buf, s.Promise.Seq)
-	return wire.AppendUvarint(buf, s.Span)
+	buf = wire.AppendUvarint(buf, s.Span)
+	buf = wire.AppendUvarint(buf, uint64(s.Tenant))
+	return wire.AppendUvarint(buf, s.Job)
 }
 
 func decodeTaskSpec(d *wire.Decoder, s *TaskSpec) {
@@ -40,6 +42,8 @@ func decodeTaskSpec(d *wire.Decoder, s *TaskSpec) {
 	s.Promise.Owner = d.Int()
 	s.Promise.Seq = d.Uvarint()
 	s.Span = d.Uvarint()
+	s.Tenant = uint32(d.Uvarint())
+	s.Job = d.Uvarint()
 }
 
 // AppendWire implements wire.Marshaler.

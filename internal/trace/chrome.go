@@ -27,10 +27,47 @@ type chromeEvent struct {
 // "process"; concurrent spans of one rank are spread over greedy
 // lanes ("threads") so nothing is hidden by overlap.
 func WriteChrome(w io.Writer, tracers ...*Tracer) error {
-	return writeChromeSpans(w, Merge(tracers...))
+	return WriteChromeSpans(w, Merge(tracers...))
 }
 
-func writeChromeSpans(w io.Writer, spans []Span) error {
+// Descendants filters spans to the subtree rooted at the given span:
+// the root itself plus every span transitively parented on it. The
+// job service uses it to scope a system-wide trace to one job (the
+// job's root span plus the task spawn/schedule/exec chains under it,
+// across all ranks).
+func Descendants(spans []Span, root SpanID) []Span {
+	if root == 0 {
+		return nil
+	}
+	in := map[SpanID]bool{root: true}
+	// Spans arrive in arbitrary rank order while parents may live on
+	// other ranks, so iterate to a fixed point (depth is small: the
+	// chain length per task is bounded by the spawn-tree depth).
+	for {
+		grew := false
+		for i := range spans {
+			sp := &spans[i]
+			if !in[sp.ID] && in[sp.Parent] {
+				in[sp.ID] = true
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	out := make([]Span, 0, len(in))
+	for i := range spans {
+		if in[spans[i].ID] {
+			out = append(out, spans[i])
+		}
+	}
+	return out
+}
+
+// WriteChromeSpans exports an explicit span set in the same format
+// (e.g. a per-job subtree from Descendants).
+func WriteChromeSpans(w io.Writer, spans []Span) error {
 	sort.Slice(spans, func(i, j int) bool {
 		if spans[i].Rank != spans[j].Rank {
 			return spans[i].Rank < spans[j].Rank
