@@ -15,6 +15,16 @@
 // SIGINT/SIGTERM (or the shutdown op) drains gracefully: admission
 // closes, running jobs finish (bounded by -drain), stragglers are
 // cancelled, per-job Chrome traces land in -trace-dir.
+//
+// With -state-dir the control plane is durable (DESIGN.md §6i): every
+// admission and state transition is journaled there (fsync policy via
+// -fsync), so the daemon can be SIGKILLed mid-run and restarted
+// against the same directory — finished jobs come back as history,
+// unfinished jobs re-run under their original IDs, and clients
+// retrying a submit get the original job back (exactly-once submit
+// tokens). A graceful shutdown of a durable daemon suspends instead of
+// draining: running jobs get the -drain grace, stragglers are
+// preserved for re-execution, and the registry is snapshotted.
 package main
 
 import (
@@ -54,8 +64,16 @@ func main() {
 		elasticOn  = flag.Bool("elastic", false, "scale membership on the admitted backlog")
 		minMembers = flag.Int("min-members", 1, "elastic: membership floor")
 		drainT     = flag.Duration("drain", 30*time.Second, "graceful drain timeout")
+		stateDir   = flag.String("state-dir", "", "durable control plane: journal+snapshot directory (empty = in-memory)")
+		fsyncMode  = flag.String("fsync", "every", "journal fsync policy: every, interval or off")
+		fsyncIvl   = flag.Duration("fsync-interval", 25*time.Millisecond, "journal sync period for -fsync=interval")
 	)
 	flag.Parse()
+
+	fsync, err := jobs.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		log.Fatalf("allscaled: -fsync: %v", err)
+	}
 
 	cfg := core.Config{
 		Localities:    *localities,
@@ -80,7 +98,21 @@ func main() {
 	coord := recovery.Attach(sys, recovery.Options{})
 	defer coord.Stop()
 
-	svc := jobs.New(sys, w, jobs.Config{MaxActive: *maxActive, MaxBacklog: *backlog})
+	svc, err := jobs.Open(sys, w, jobs.Config{
+		MaxActive:     *maxActive,
+		MaxBacklog:    *backlog,
+		StateDir:      *stateDir,
+		Fsync:         fsync,
+		FsyncInterval: *fsyncIvl,
+	})
+	if err != nil {
+		log.Fatalf("allscaled: open service: %v", err)
+	}
+	if *stateDir != "" {
+		rec := svc.Recovery()
+		log.Printf("allscaled: recovered state from %s: %d tenants, %d finished jobs, %d re-admitted, %d journal records replayed (torn tail: %v)",
+			*stateDir, rec.Tenants, rec.Terminal, rec.Readmitted, rec.Replayed, rec.TornTail)
+	}
 	if err := registerTenants(svc, *tenants); err != nil {
 		log.Fatalf("allscaled: -tenants: %v", err)
 	}
@@ -106,9 +138,19 @@ func main() {
 		srv.Addr(), sys.Size(), *fabric, *workers)
 
 	<-shutdown
-	log.Printf("allscaled: draining (timeout %s)...", *drainT)
-	if err := svc.Drain(*drainT); err != nil {
-		log.Printf("allscaled: %v", err)
+	if *stateDir != "" {
+		// Durable daemons stop restart-style: jobs that outlive the
+		// grace window are preserved in the journal and re-run by the
+		// next incarnation instead of being cancelled.
+		log.Printf("allscaled: suspending (grace %s, state preserved in %s)...", *drainT, *stateDir)
+		if err := svc.Suspend(*drainT); err != nil {
+			log.Printf("allscaled: %v", err)
+		}
+	} else {
+		log.Printf("allscaled: draining (timeout %s)...", *drainT)
+		if err := svc.Drain(*drainT); err != nil {
+			log.Printf("allscaled: %v", err)
+		}
 	}
 	if *traceDir != "" {
 		writeTraces(svc, *traceDir, *traceJobs)

@@ -2,60 +2,218 @@ package jobs
 
 import (
 	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"allscale/internal/backoff"
 )
 
-// Client talks the allscaled protocol over one TCP connection.
-// Methods are safe for concurrent use but serialize on the
-// connection; for parallel blocking Waits, open one Client per
-// submitter (cheap — one socket each).
+// Client talks the allscaled protocol over one TCP connection, and
+// survives losing it: a failed or restarting server is redialed with
+// randomized-exponential backoff (internal/backoff) and idempotent
+// calls — submit (made exactly-once by its per-client token), wait,
+// status, cancel — are retried transparently until RetryBudget runs
+// out. A server answering CodeDraining is going away for good; that
+// surfaces as ErrServerDraining without retry.
+//
+// Methods are safe for concurrent use but serialize on the connection;
+// for parallel blocking Waits, open one Client per submitter (cheap —
+// one socket each). Context-aware variants (SubmitCtx, WaitCtx, ...)
+// abandon the call when the context ends without leaking the
+// connection goroutine — the in-flight read is poisoned and the
+// connection redialed on the next call.
 type Client struct {
+	addr string
+	id   string // client identity for submit tokens
+
+	// RetryBudget bounds how long a broken or restarting server is
+	// retried before the call fails (default 2 minutes). Set before
+	// first use.
+	RetryBudget time.Duration
+	// CallTimeout bounds each non-blocking round trip — every op
+	// except wait (default 30s). Set before first use.
+	CallTimeout time.Duration
+
+	seq   atomic.Uint64 // last allocated submit sequence number
+	acked atomic.Uint64 // highest seq whose response was processed
+
 	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
 }
 
-// Dial connects to an allscaled daemon.
+// Dial connects to an allscaled daemon. The initial dial is eager so
+// address typos fail fast; the connection is re-established as needed
+// afterwards.
 func Dial(addr string) (*Client, error) {
+	c := &Client{
+		addr:        addr,
+		id:          clientID(),
+		RetryBudget: 2 * time.Minute,
+		CallTimeout: 30 * time.Second,
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64<<10)}, nil
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64<<10)
+	return c, nil
+}
+
+// clientID draws a random client identity; its only requirement is
+// uniqueness across clients sharing a daemon's lifetime.
+func clientID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("pid-%d-%d", os.Getpid(), time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Close releases the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Close()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.r = nil, nil
+	return err
 }
 
-func (c *Client) do(req Request) (Response, error) {
+// dropLocked discards a connection after an I/O failure.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.r = nil, nil
+	}
+}
+
+// do runs one request with reconnect-and-retry. blocking marks ops
+// with no bounded server-side latency (wait), which skip CallTimeout;
+// retryable marks ops safe to re-issue after connection loss or a
+// server restart.
+func (c *Client) do(ctx context.Context, req Request, blocking, retryable bool) (Response, error) {
 	buf, err := json.Marshal(req)
 	if err != nil {
 		return Response{}, err
 	}
 	buf = append(buf, '\n')
+
+	deadline := time.Now().Add(c.RetryBudget)
+	bo := backoff.New(50*time.Millisecond, 2*time.Second, time.Now().UnixNano())
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Response{}, err
+		}
+		resp, err := c.roundTrip(ctx, buf, blocking)
+		switch {
+		case err == nil && resp.Code == CodeRestarting && retryable:
+			// The daemon is restarting with its durable registry; it
+			// answered politely, now it goes away. Back off and retry —
+			// the submit token (or the stable job ID) makes the retry
+			// resolve to the same job.
+			lastErr = fmt.Errorf("%w: %s", ErrServerRestarting, resp.Error)
+		case err == nil && resp.Code == CodeDraining:
+			return resp, fmt.Errorf("%w: %s", ErrServerDraining, resp.Error)
+		case err == nil && !resp.OK:
+			return resp, errors.New(resp.Error)
+		case err == nil:
+			return resp, nil
+		case ctx.Err() != nil:
+			return Response{}, ctx.Err()
+		case !retryable:
+			return Response{}, err
+		default:
+			lastErr = err
+		}
+		if time.Now().After(deadline) {
+			return Response{}, fmt.Errorf("jobs: retry budget exhausted: %w", lastErr)
+		}
+		if serr := sleepCtx(ctx, bo, deadline); serr != nil {
+			return Response{}, fmt.Errorf("%v: %w", serr, lastErr)
+		}
+	}
+}
+
+// sleepCtx waits out one backoff step, cut short by ctx.
+func sleepCtx(ctx context.Context, bo *backoff.Timer, deadline time.Time) error {
+	if time.Now().After(deadline) {
+		return fmt.Errorf("jobs: retry budget exhausted")
+	}
+	ch := bo.Arm()
+	select {
+	case <-ch:
+		bo.Disarm(true)
+		return nil
+	case <-ctx.Done():
+		bo.Disarm(false)
+		return ctx.Err()
+	}
+}
+
+// roundTrip writes one request line and reads one response line on the
+// (re-established) connection. When ctx ends mid-read the connection
+// is poisoned with an immediate read deadline and dropped, so the
+// blocked read returns and no goroutine leaks.
+func (c *Client) roundTrip(ctx context.Context, line []byte, blocking bool) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.conn.Write(buf); err != nil {
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return Response{}, fmt.Errorf("jobs: dial %s: %w", c.addr, err)
+		}
+		c.conn = conn
+		c.r = bufio.NewReaderSize(conn, 64<<10)
+	}
+	conn := c.conn
+
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				conn.SetReadDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+	}
+	if blocking {
+		conn.SetReadDeadline(time.Time{})
+	} else if c.CallTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(c.CallTimeout))
+	}
+
+	if c.CallTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(c.CallTimeout))
+	}
+	if _, err := conn.Write(line); err != nil {
+		c.dropLocked()
 		return Response{}, fmt.Errorf("jobs: write: %w", err)
 	}
-	line, err := c.r.ReadBytes('\n')
+	raw, err := c.r.ReadBytes('\n')
 	if err != nil {
+		c.dropLocked()
 		return Response{}, fmt.Errorf("jobs: read: %w", err)
 	}
 	var resp Response
-	if err := json.Unmarshal(line, &resp); err != nil {
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		c.dropLocked()
 		return Response{}, fmt.Errorf("jobs: decode: %w", err)
-	}
-	if !resp.OK {
-		return resp, errors.New(resp.Error)
 	}
 	return resp, nil
 }
@@ -63,46 +221,89 @@ func (c *Client) do(req Request) (Response, error) {
 // Submit admits a job under the tenant; params is marshalled to JSON
 // (one of PForParams, StencilParams, TPCParams, IPiC3DParams or an
 // equivalent map). Rejections come back as errors carrying the
-// admission reason's message.
+// admission reason's message. The submission carries this client's
+// idempotency token, so retries across connection loss and daemon
+// restarts return the original job ID — exactly-once admission.
 func (c *Client) Submit(tenant, family string, params any) (uint64, error) {
+	return c.SubmitCtx(context.Background(), tenant, family, params)
+}
+
+// SubmitCtx is Submit bounded by a context.
+func (c *Client) SubmitCtx(ctx context.Context, tenant, family string, params any) (uint64, error) {
 	raw, err := json.Marshal(params)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrBadParams, err)
 	}
-	resp, err := c.do(Request{Op: OpSubmit, Tenant: tenant, Family: family, Params: raw})
+	seq := c.seq.Add(1)
+	req := Request{
+		Op: OpSubmit, Tenant: tenant, Family: family, Params: raw,
+		Client: c.id, Seq: seq, Ack: c.acked.Load(),
+	}
+	resp, err := c.do(ctx, req, false, true)
 	if err != nil {
 		return 0, err
 	}
+	ackMax(&c.acked, seq)
 	return resp.Job, nil
+}
+
+// ackMax raises the acked watermark monotonically.
+func ackMax(a *atomic.Uint64, seq uint64) {
+	for {
+		cur := a.Load()
+		if seq <= cur || a.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // Status snapshots a job.
 func (c *Client) Status(job uint64) (JobStatus, error) {
-	resp, err := c.do(Request{Op: OpStatus, Job: job})
+	return c.StatusCtx(context.Background(), job)
+}
+
+// StatusCtx is Status bounded by a context.
+func (c *Client) StatusCtx(ctx context.Context, job uint64) (JobStatus, error) {
+	resp, err := c.do(ctx, Request{Op: OpStatus, Job: job}, false, true)
 	if err != nil {
 		return JobStatus{}, err
 	}
 	return *resp.Status, nil
 }
 
-// Wait blocks until the job finished and returns its final status.
+// Wait blocks until the job finished and returns its final status. A
+// daemon restart mid-wait is absorbed: the client reconnects and waits
+// again (the job re-runs under the same ID after recovery).
 func (c *Client) Wait(job uint64) (JobStatus, error) {
-	resp, err := c.do(Request{Op: OpWait, Job: job})
+	return c.WaitCtx(context.Background(), job)
+}
+
+// WaitCtx is Wait bounded by a context: when ctx ends the wait is
+// abandoned — the blocked read is poisoned, the connection dropped and
+// redialed on the next call — and ctx.Err() returned.
+func (c *Client) WaitCtx(ctx context.Context, job uint64) (JobStatus, error) {
+	resp, err := c.do(ctx, Request{Op: OpWait, Job: job}, true, true)
 	if err != nil {
 		return JobStatus{}, err
 	}
 	return *resp.Status, nil
 }
 
-// Cancel cancels a job.
+// Cancel cancels a job (idempotent — cancelling a finished job is a
+// no-op, so it retries like the reads).
 func (c *Client) Cancel(job uint64) error {
-	_, err := c.do(Request{Op: OpCancel, Job: job})
+	return c.CancelCtx(context.Background(), job)
+}
+
+// CancelCtx is Cancel bounded by a context.
+func (c *Client) CancelCtx(ctx context.Context, job uint64) error {
+	_, err := c.do(ctx, Request{Op: OpCancel, Job: job}, false, true)
 	return err
 }
 
 // List snapshots all jobs.
 func (c *Client) List() ([]JobStatus, error) {
-	resp, err := c.do(Request{Op: OpList})
+	resp, err := c.do(context.Background(), Request{Op: OpList}, false, true)
 	if err != nil {
 		return nil, err
 	}
@@ -111,15 +312,16 @@ func (c *Client) List() ([]JobStatus, error) {
 
 // Tenants snapshots all tenants.
 func (c *Client) Tenants() ([]TenantStatus, error) {
-	resp, err := c.do(Request{Op: OpTenants})
+	resp, err := c.do(context.Background(), Request{Op: OpTenants}, false, true)
 	if err != nil {
 		return nil, err
 	}
 	return resp.Tenants, nil
 }
 
-// Shutdown asks the daemon to drain and exit.
+// Shutdown asks the daemon to drain and exit (not retried: re-issuing
+// a shutdown against a restarted daemon would shut it down again).
 func (c *Client) Shutdown() error {
-	_, err := c.do(Request{Op: OpShutdown})
+	_, err := c.do(context.Background(), Request{Op: OpShutdown}, false, false)
 	return err
 }

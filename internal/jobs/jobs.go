@@ -72,7 +72,30 @@ var (
 	ErrNoSuchJob = errors.New("jobs: no such job")
 	// ErrNoSuchTenant reports an unknown tenant name.
 	ErrNoSuchTenant = errors.New("jobs: no such tenant")
+	// ErrServerDraining is the typed protocol error a shutting-down
+	// server sends before closing a connection: the request was not
+	// rejected on its merits, the server is going away for good.
+	ErrServerDraining = errors.New("jobs: server draining")
+	// ErrServerRestarting is the typed protocol error for a
+	// restart-style shutdown (Suspend): the durable registry survives,
+	// so clients should reconnect with backoff and retry — a retried
+	// submit resolves to its original job via the submit token.
+	ErrServerRestarting = errors.New("jobs: server restarting")
 )
+
+// SubmitToken is the per-client idempotency token carried by a
+// submission. Client is a unique client identity, Seq a
+// client-monotonic sequence number; both are journaled with the
+// admission, making a retried submit — across connection loss and
+// daemon restarts — resolve to the original job ID instead of a
+// duplicate job. Ack is the highest Seq whose response the client has
+// already processed; the server prunes dedup state at or below it. The
+// zero token disables deduplication.
+type SubmitToken struct {
+	Client string
+	Seq    uint64
+	Ack    uint64
+}
 
 // Quota bounds one tenant's resource consumption.
 type Quota struct {

@@ -1,0 +1,746 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"allscale/internal/metrics"
+	"allscale/internal/wire"
+)
+
+// Durable control plane (DESIGN.md §6i): the service's tenant and job
+// registry persists as a snapshot plus a write-ahead journal so the
+// daemon can be killed at any instant and restart with zero lost or
+// duplicated jobs. File layout inside the state directory:
+//
+//	snapshot.db        full registry state at generation g
+//	journal.<g>.wal    records appended since that snapshot
+//
+// Journal file format (the PR 4 checkpoint-codec style — framed,
+// CRC-checked, stdlib only):
+//
+//	header   0xAC 'J' 'L' 0x01                (4 bytes; 0x01 = version)
+//	record   uvarint body length
+//	         body   (first byte = record kind)
+//	         crc32  IEEE over body            (4 bytes, big-endian)
+//
+// Snapshot file format:
+//
+//	magic    0xAC 'J' 'S' 0x01
+//	body     uvarint generation
+//	         uvarint next tenant ID, uvarint next job ID
+//	         uvarint tenant count, tenant records (ring order)
+//	         uvarint job count, job records (ID order)
+//	crc32    IEEE over magic+body             (4 bytes, big-endian)
+//
+// Torn tails are expected: a crash mid-append leaves a short or
+// CRC-broken final record, which replay drops (the write it framed was
+// never acknowledged). Any framing damage *stops* replay at the last
+// intact record — replay yields a clean prefix, never garbage — and
+// the file is truncated back to that prefix before new appends.
+// Structural damage (bad header, a record sequence that cannot apply)
+// fails with ErrJournalCorrupt instead of guessing. Snapshots are
+// written to a temp file, fsynced, and renamed, so a crash during
+// compaction leaves the previous generation intact.
+
+// FsyncPolicy selects when the journal is flushed to stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncEvery syncs after every record, before the triggering
+	// operation is acknowledged — full durability, one fsync per
+	// admission on the submit path. The default.
+	FsyncEvery FsyncPolicy = "every"
+	// FsyncIntervalPolicy syncs on a timer (Config.FsyncInterval);
+	// a crash can lose the last interval's acknowledged records, but
+	// replay still recovers a clean prefix.
+	FsyncIntervalPolicy FsyncPolicy = "interval"
+	// FsyncOff never syncs explicitly; durability rides on the OS page
+	// cache (lost on power failure, survives a process SIGKILL).
+	FsyncOff FsyncPolicy = "off"
+)
+
+// ParseFsyncPolicy converts a flag string into a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncEvery, FsyncIntervalPolicy, FsyncOff:
+		return FsyncPolicy(s), nil
+	case "":
+		return FsyncEvery, nil
+	}
+	return "", fmt.Errorf("jobs: unknown fsync policy %q (want every, interval or off)", s)
+}
+
+// ErrJournalCorrupt reports structural damage to the persistent state
+// that prefix-replay cannot absorb: a broken file header, an impossible
+// record sequence, or a checksum-failing snapshot. Replay never
+// panics; damage either truncates to a clean prefix or surfaces here.
+var ErrJournalCorrupt = errors.New("jobs: journal corrupt")
+
+var (
+	journalMagic  = [4]byte{0xAC, 'J', 'L', 0x01}
+	snapshotMagic = [4]byte{0xAC, 'J', 'S', 0x01}
+)
+
+// Journal record kinds.
+const (
+	recTenant byte = 1 // tenant upsert: name, ID, quota
+	recAdmit  byte = 2 // job admitted: spec, footprint, submit token
+	recStart  byte = 3 // job dispatched
+	recDone   byte = 4 // job completed with a result
+	recFail   byte = 5 // job failed with an error
+	recCancel byte = 6 // job cancelled (pending or running)
+)
+
+// maxJournalRecord bounds one record's body; a length prefix beyond it
+// is treated as tail corruption, so a flipped bit in the frame cannot
+// drive a giant allocation.
+const maxJournalRecord = 16 << 20
+
+// Journal metric names (locality 0 registry).
+const (
+	MetricJournalAppends = "jobs.journal.appends" // records appended
+	MetricJournalFsyncs  = "jobs.journal.fsyncs"  // explicit syncs issued
+	MetricJournalBytes   = "jobs.journal.bytes"   // bytes appended
+	// MetricRecoveredTerminal / MetricRecoveredReadmitted count jobs
+	// restored at startup as history vs. re-admitted for re-execution.
+	MetricRecoveredTerminal   = "jobs.recovered.terminal"
+	MetricRecoveredReadmitted = "jobs.recovered.readmitted"
+)
+
+// tenantRec is the persisted form of one tenant.
+type tenantRec struct {
+	Name  string
+	ID    uint32
+	Quota Quota
+}
+
+// jobRec is the persisted form of one job. Times are unix nanos (zero
+// = unset); Client/Seq is the submit token that makes retried
+// submissions exactly-once across restarts.
+type jobRec struct {
+	ID        uint64
+	Tenant    uint32
+	Family    string
+	Params    []byte
+	Bytes     int64
+	State     JobState
+	Result    string
+	Error     string
+	Submitted int64
+	Started   int64
+	Finished  int64
+	Client    string
+	Seq       uint64
+}
+
+// storeState is the full persisted registry: what a snapshot holds and
+// what replay reconstructs.
+type storeState struct {
+	NextTenant uint32
+	NextJob    uint64
+	Tenants    []tenantRec // ring (registration) order
+	Jobs       []jobRec    // ID order
+}
+
+// clone deep-copies the state (replay mutates it record by record).
+// Empty slices stay nil so clones compare DeepEqual to replayed state.
+func (st *storeState) clone() storeState {
+	out := storeState{NextTenant: st.NextTenant, NextJob: st.NextJob}
+	out.Tenants = append([]tenantRec(nil), st.Tenants...)
+	for _, j := range st.Jobs {
+		j.Params = append([]byte(nil), j.Params...)
+		out.Jobs = append(out.Jobs, j)
+	}
+	return out
+}
+
+// jobIndex finds a job by ID (Jobs stays ID-sorted).
+func (st *storeState) jobIndex(id uint64) int {
+	i := sort.Search(len(st.Jobs), func(i int) bool { return st.Jobs[i].ID >= id })
+	if i < len(st.Jobs) && st.Jobs[i].ID == id {
+		return i
+	}
+	return -1
+}
+
+// apply folds one journal record into the state. A record that cannot
+// apply (terminal transition for an unknown job) is structural
+// corruption: the journal is strictly ordered, so a valid prefix can
+// never reference a job it has not admitted.
+func (st *storeState) apply(body []byte) error {
+	if len(body) == 0 {
+		return fmt.Errorf("%w: empty record", ErrJournalCorrupt)
+	}
+	d := wire.NewDecoder(body[1:])
+	switch body[0] {
+	case recTenant:
+		tr := tenantRec{Name: d.String(), ID: uint32(d.Uvarint())}
+		tr.Quota = Quota{
+			MaxActive:  d.Int(),
+			MaxPending: d.Int(),
+			MaxBytes:   d.Varint(),
+			Weight:     d.Int(),
+		}
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: tenant record: %v", ErrJournalCorrupt, err)
+		}
+		replaced := false
+		for i := range st.Tenants {
+			if st.Tenants[i].ID == tr.ID {
+				st.Tenants[i] = tr
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			st.Tenants = append(st.Tenants, tr)
+		}
+		if tr.ID > st.NextTenant {
+			st.NextTenant = tr.ID
+		}
+	case recAdmit:
+		jr := jobRec{
+			ID:        d.Uvarint(),
+			Tenant:    uint32(d.Uvarint()),
+			Family:    d.String(),
+			Params:    append([]byte(nil), d.Bytes()...),
+			Bytes:     d.Varint(),
+			Submitted: d.Varint(),
+			Client:    d.String(),
+			Seq:       d.Uvarint(),
+			State:     Pending,
+		}
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: admit record: %v", ErrJournalCorrupt, err)
+		}
+		if st.jobIndex(jr.ID) >= 0 {
+			return fmt.Errorf("%w: job %d admitted twice", ErrJournalCorrupt, jr.ID)
+		}
+		st.Jobs = append(st.Jobs, jr)
+		sort.Slice(st.Jobs, func(i, k int) bool { return st.Jobs[i].ID < st.Jobs[k].ID })
+		if jr.ID > st.NextJob {
+			st.NextJob = jr.ID
+		}
+	case recStart:
+		id, at := d.Uvarint(), d.Varint()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: start record: %v", ErrJournalCorrupt, err)
+		}
+		i := st.jobIndex(id)
+		if i < 0 {
+			return fmt.Errorf("%w: start of unknown job %d", ErrJournalCorrupt, id)
+		}
+		st.Jobs[i].State = Running
+		st.Jobs[i].Started = at
+	case recDone, recFail, recCancel:
+		id, msg, at := d.Uvarint(), d.String(), d.Varint()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: terminal record: %v", ErrJournalCorrupt, err)
+		}
+		i := st.jobIndex(id)
+		if i < 0 {
+			return fmt.Errorf("%w: terminal record for unknown job %d", ErrJournalCorrupt, id)
+		}
+		j := &st.Jobs[i]
+		j.Finished = at
+		switch body[0] {
+		case recDone:
+			j.State = Done
+			j.Result = msg
+		case recFail:
+			j.State = Failed
+			j.Error = msg
+		case recCancel:
+			j.State = Cancelled
+			j.Error = msg
+		}
+	default:
+		return fmt.Errorf("%w: unknown record kind %d", ErrJournalCorrupt, body[0])
+	}
+	return nil
+}
+
+// Record body encoders (the kind byte leads each body).
+
+func appendTenantRec(buf []byte, tr tenantRec) []byte {
+	buf = append(buf, recTenant)
+	buf = wire.AppendString(buf, tr.Name)
+	buf = wire.AppendUvarint(buf, uint64(tr.ID))
+	buf = wire.AppendVarint(buf, int64(tr.Quota.MaxActive))
+	buf = wire.AppendVarint(buf, int64(tr.Quota.MaxPending))
+	buf = wire.AppendVarint(buf, tr.Quota.MaxBytes)
+	buf = wire.AppendVarint(buf, int64(tr.Quota.Weight))
+	return buf
+}
+
+func appendAdmitRec(buf []byte, jr jobRec) []byte {
+	buf = append(buf, recAdmit)
+	buf = wire.AppendUvarint(buf, jr.ID)
+	buf = wire.AppendUvarint(buf, uint64(jr.Tenant))
+	buf = wire.AppendString(buf, jr.Family)
+	buf = wire.AppendBytes(buf, jr.Params)
+	buf = wire.AppendVarint(buf, jr.Bytes)
+	buf = wire.AppendVarint(buf, jr.Submitted)
+	buf = wire.AppendString(buf, jr.Client)
+	buf = wire.AppendUvarint(buf, jr.Seq)
+	return buf
+}
+
+func appendStartRec(buf []byte, id uint64, at int64) []byte {
+	buf = append(buf, recStart)
+	buf = wire.AppendUvarint(buf, id)
+	buf = wire.AppendVarint(buf, at)
+	return buf
+}
+
+func appendTerminalRec(buf []byte, kind byte, id uint64, msg string, at int64) []byte {
+	buf = append(buf, kind)
+	buf = wire.AppendUvarint(buf, id)
+	buf = wire.AppendString(buf, msg)
+	buf = wire.AppendVarint(buf, at)
+	return buf
+}
+
+// Store is the durable registry: one snapshot plus one append-only
+// journal inside a state directory. Append is safe for concurrent use;
+// the service additionally serializes appends under its own mutex so
+// journal order matches registry mutation order.
+type Store struct {
+	dir       string
+	policy    FsyncPolicy
+	interval  time.Duration
+	compactAt int64
+
+	mu    sync.Mutex
+	f     *os.File
+	gen   uint64
+	size  int64
+	dirty bool
+
+	stop     chan struct{}
+	syncDone chan struct{}
+
+	appends, fsyncs, bytes *metrics.Counter
+}
+
+// RecoveredState is what OpenStore replayed: the reconstructed
+// registry plus recovery diagnostics.
+type RecoveredState struct {
+	storeState
+	// Replayed counts journal records applied on top of the snapshot.
+	Replayed int
+	// TornTail reports that a short or corrupt journal tail was
+	// dropped (and truncated away) during recovery.
+	TornTail bool
+}
+
+// StoreOptions tunes a Store.
+type StoreOptions struct {
+	Fsync         FsyncPolicy
+	FsyncInterval time.Duration // FsyncIntervalPolicy period, default 25ms
+	CompactBytes  int64         // journal size triggering compaction, default 8MB
+	Metrics       *metrics.Registry
+}
+
+// OpenStore opens (or initializes) a state directory, replays
+// snapshot+journal, truncates any torn journal tail, and leaves the
+// journal open for appends.
+func OpenStore(dir string, opt StoreOptions) (*Store, *RecoveredState, error) {
+	if opt.Fsync == "" {
+		opt.Fsync = FsyncEvery
+	}
+	if opt.FsyncInterval <= 0 {
+		opt.FsyncInterval = 25 * time.Millisecond
+	}
+	if opt.CompactBytes <= 0 {
+		opt.CompactBytes = 8 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: state dir: %w", err)
+	}
+	st := &Store{
+		dir:       dir,
+		policy:    opt.Fsync,
+		interval:  opt.FsyncInterval,
+		compactAt: opt.CompactBytes,
+		stop:      make(chan struct{}),
+		syncDone:  make(chan struct{}),
+	}
+	reg := opt.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	st.appends = reg.Counter(MetricJournalAppends)
+	st.fsyncs = reg.Counter(MetricJournalFsyncs)
+	st.bytes = reg.Counter(MetricJournalBytes)
+
+	gen, state, err := loadSnapshot(filepath.Join(dir, "snapshot.db"))
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &RecoveredState{storeState: state}
+	jpath := st.journalPath(gen)
+	data, err := os.ReadFile(jpath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	valid := 0
+	if len(data) > 0 {
+		bodies, validLen, torn, rerr := replayJournal(data)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		for _, body := range bodies {
+			if aerr := rec.apply(body); aerr != nil {
+				return nil, nil, aerr
+			}
+		}
+		rec.Replayed = len(bodies)
+		rec.TornTail = torn
+		valid = validLen
+	}
+
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	if len(data) == 0 {
+		if _, err := f.Write(journalMagic[:]); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("jobs: init journal: %w", err)
+		}
+		valid = len(journalMagic)
+	} else if valid < len(data) {
+		// Drop the torn tail so the next append starts on a frame
+		// boundary.
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("jobs: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("jobs: seek journal: %w", err)
+	}
+	st.f, st.gen, st.size = f, gen, int64(valid)
+	st.removeStaleJournals()
+
+	if st.policy == FsyncIntervalPolicy {
+		go st.syncLoop()
+	} else {
+		close(st.syncDone)
+	}
+	return st, rec, nil
+}
+
+func (st *Store) journalPath(gen uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("journal.%d.wal", gen))
+}
+
+// removeStaleJournals deletes journal files of other generations —
+// leftovers of a crash between snapshot rename and old-journal removal.
+func (st *Store) removeStaleJournals() {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "journal.") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		g, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "journal."), ".wal"), 10, 64)
+		if err != nil || g == st.gen {
+			continue
+		}
+		os.Remove(filepath.Join(st.dir, name))
+	}
+}
+
+// replayJournal parses a journal image into record bodies. It returns
+// the bodies of every intact record, the byte length of that valid
+// prefix, and whether a torn/corrupt tail was dropped. Only a broken
+// header is structural (typed) corruption; anything after the header
+// degrades to a prefix.
+func replayJournal(data []byte) (bodies [][]byte, validLen int, torn bool, err error) {
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != string(journalMagic[:]) {
+		return nil, 0, false, fmt.Errorf("%w: bad journal header", ErrJournalCorrupt)
+	}
+	off := len(journalMagic)
+	for off < len(data) {
+		ln, n := binary.Uvarint(data[off:])
+		if n <= 0 || ln > maxJournalRecord {
+			return bodies, off, true, nil
+		}
+		end := off + n + int(ln) + 4
+		if end > len(data) {
+			return bodies, off, true, nil
+		}
+		body := data[off+n : off+n+int(ln)]
+		sum := binary.BigEndian.Uint32(data[end-4 : end])
+		if crc32.ChecksumIEEE(body) != sum {
+			return bodies, off, true, nil
+		}
+		bodies = append(bodies, body)
+		off = end
+	}
+	return bodies, off, false, nil
+}
+
+// Append frames one record body onto the journal and applies the fsync
+// policy. With FsyncEvery the record is durable when Append returns —
+// the caller must not acknowledge the operation before that.
+func (st *Store) Append(body []byte) error {
+	frame := make([]byte, 0, len(body)+10)
+	frame = wire.AppendUvarint(frame, uint64(len(body)))
+	frame = append(frame, body...)
+	frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(body))
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return fmt.Errorf("jobs: journal closed")
+	}
+	if _, err := st.f.Write(frame); err != nil {
+		return fmt.Errorf("jobs: journal append: %w", err)
+	}
+	st.size += int64(len(frame))
+	st.appends.Inc()
+	st.bytes.Add(uint64(len(frame)))
+	switch st.policy {
+	case FsyncEvery:
+		st.fsyncs.Inc()
+		if err := st.f.Sync(); err != nil {
+			return fmt.Errorf("jobs: journal fsync: %w", err)
+		}
+	default:
+		st.dirty = true
+	}
+	return nil
+}
+
+// Size returns the journal's current byte length.
+func (st *Store) Size() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.size
+}
+
+// ShouldCompact reports that the journal outgrew the compaction
+// threshold.
+func (st *Store) ShouldCompact() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.size >= st.compactAt
+}
+
+// syncLoop drives the interval fsync policy.
+func (st *Store) syncLoop() {
+	defer close(st.syncDone)
+	t := time.NewTicker(st.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-t.C:
+			st.mu.Lock()
+			if st.f != nil && st.dirty {
+				st.dirty = false
+				st.fsyncs.Inc()
+				st.f.Sync()
+			}
+			st.mu.Unlock()
+		}
+	}
+}
+
+// Compact folds the full registry state into a fresh snapshot
+// (generation g+1), starts an empty journal for it, and removes the
+// old journal. Crash-ordered: the snapshot is written to a temp file,
+// fsynced, renamed over snapshot.db, and the directory synced before
+// the old journal goes away — every intermediate state recovers.
+func (st *Store) Compact(state storeState) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return fmt.Errorf("jobs: journal closed")
+	}
+	next := st.gen + 1
+	if err := writeSnapshot(filepath.Join(st.dir, "snapshot.db"), next, state); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(st.journalPath(next), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: new journal: %w", err)
+	}
+	if _, err := nf.Write(journalMagic[:]); err != nil {
+		nf.Close()
+		return fmt.Errorf("jobs: init journal: %w", err)
+	}
+	old, oldGen := st.f, st.gen
+	st.f, st.gen, st.size, st.dirty = nf, next, int64(len(journalMagic)), false
+	old.Close()
+	os.Remove(st.journalPath(oldGen))
+	return nil
+}
+
+// Close syncs and closes the journal (idempotent).
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.f == nil {
+		st.mu.Unlock()
+		return nil
+	}
+	f := st.f
+	st.f = nil
+	st.mu.Unlock()
+	close(st.stop)
+	<-st.syncDone
+	if st.policy != FsyncOff {
+		f.Sync()
+	}
+	return f.Close()
+}
+
+// writeSnapshot serializes state atomically: temp file, fsync, rename,
+// directory fsync.
+func writeSnapshot(path string, gen uint64, state storeState) error {
+	buf := append([]byte(nil), snapshotMagic[:]...)
+	buf = wire.AppendUvarint(buf, gen)
+	buf = wire.AppendUvarint(buf, uint64(state.NextTenant))
+	buf = wire.AppendUvarint(buf, state.NextJob)
+	buf = wire.AppendUvarint(buf, uint64(len(state.Tenants)))
+	for _, tr := range state.Tenants {
+		buf = appendTenantRec(buf, tr)
+	}
+	buf = wire.AppendUvarint(buf, uint64(len(state.Jobs)))
+	for _, jr := range state.Jobs {
+		buf = appendSnapshotJob(buf, jr)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: snapshot temp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("jobs: snapshot rename: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// appendSnapshotJob encodes a full job record (snapshot form: includes
+// state, result/error and all timestamps, which journal admit records
+// carry incrementally instead).
+func appendSnapshotJob(buf []byte, jr jobRec) []byte {
+	buf = wire.AppendUvarint(buf, jr.ID)
+	buf = wire.AppendUvarint(buf, uint64(jr.Tenant))
+	buf = wire.AppendString(buf, jr.Family)
+	buf = wire.AppendBytes(buf, jr.Params)
+	buf = wire.AppendVarint(buf, jr.Bytes)
+	buf = wire.AppendVarint(buf, int64(jr.State))
+	buf = wire.AppendString(buf, jr.Result)
+	buf = wire.AppendString(buf, jr.Error)
+	buf = wire.AppendVarint(buf, jr.Submitted)
+	buf = wire.AppendVarint(buf, jr.Started)
+	buf = wire.AppendVarint(buf, jr.Finished)
+	buf = wire.AppendString(buf, jr.Client)
+	buf = wire.AppendUvarint(buf, jr.Seq)
+	return buf
+}
+
+func decodeSnapshotJob(d *wire.Decoder) jobRec {
+	return jobRec{
+		ID:        d.Uvarint(),
+		Tenant:    uint32(d.Uvarint()),
+		Family:    d.String(),
+		Params:    append([]byte(nil), d.Bytes()...),
+		Bytes:     d.Varint(),
+		State:     JobState(d.Varint()),
+		Result:    d.String(),
+		Error:     d.String(),
+		Submitted: d.Varint(),
+		Started:   d.Varint(),
+		Finished:  d.Varint(),
+		Client:    d.String(),
+		Seq:       d.Uvarint(),
+	}
+}
+
+// loadSnapshot reads snapshot.db; a missing file is generation 0 with
+// empty state. A checksum or framing failure is typed corruption — the
+// snapshot is written atomically, so unlike the journal tail there is
+// no benign way for it to be half-present.
+func loadSnapshot(path string) (uint64, storeState, error) {
+	var state storeState
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, state, nil
+	}
+	if err != nil {
+		return 0, state, fmt.Errorf("jobs: read snapshot: %w", err)
+	}
+	if len(data) < len(snapshotMagic)+4 || string(data[:len(snapshotMagic)]) != string(snapshotMagic[:]) {
+		return 0, state, fmt.Errorf("%w: bad snapshot header", ErrJournalCorrupt)
+	}
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, state, fmt.Errorf("%w: snapshot checksum mismatch", ErrJournalCorrupt)
+	}
+	d := wire.NewDecoder(body[len(snapshotMagic):])
+	gen := d.Uvarint()
+	state.NextTenant = uint32(d.Uvarint())
+	state.NextJob = d.Uvarint()
+	nt := int(d.Uvarint())
+	for i := 0; i < nt && d.Err() == nil; i++ {
+		if kind := d.Byte(); kind != recTenant {
+			return 0, storeState{}, fmt.Errorf("%w: snapshot tenant kind %d", ErrJournalCorrupt, kind)
+		}
+		tr := tenantRec{Name: d.String(), ID: uint32(d.Uvarint())}
+		tr.Quota = Quota{
+			MaxActive:  d.Int(),
+			MaxPending: d.Int(),
+			MaxBytes:   d.Varint(),
+			Weight:     d.Int(),
+		}
+		state.Tenants = append(state.Tenants, tr)
+	}
+	nj := int(d.Uvarint())
+	for i := 0; i < nj && d.Err() == nil; i++ {
+		state.Jobs = append(state.Jobs, decodeSnapshotJob(d))
+	}
+	if err := d.Err(); err != nil {
+		return 0, storeState{}, fmt.Errorf("%w: decode snapshot: %v", ErrJournalCorrupt, err)
+	}
+	if len(state.Tenants) != nt || len(state.Jobs) != nj {
+		return 0, storeState{}, fmt.Errorf("%w: snapshot element counts", ErrJournalCorrupt)
+	}
+	return gen, state, nil
+}

@@ -1,0 +1,90 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"allscale/internal/core"
+)
+
+// BenchmarkJournalAppend measures the raw journal append per fsync
+// policy — the floor any durable admission pays over in-memory. The
+// record is a realistic admit frame with a submit token.
+func BenchmarkJournalAppend(b *testing.B) {
+	for _, pol := range []FsyncPolicy{FsyncOff, FsyncIntervalPolicy, FsyncEvery} {
+		b.Run(string(pol), func(b *testing.B) {
+			st, _, err := OpenStore(b.TempDir(), StoreOptions{Fsync: pol, CompactBytes: 1 << 40})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			params := []byte(`{"levels":3,"spin":32}`)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := appendAdmitRec(nil, jobRec{
+					ID: uint64(i + 1), Tenant: 1, Family: FamilyPFor, Params: params,
+					Submitted: int64(i), Client: "bench", Seq: uint64(i + 1),
+				})
+				if err := st.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubmitAdmit measures the client-visible submit path — the
+// full admission including journaling — against the in-memory
+// baseline (EXPERIMENTS.md E15). A spinning blocker pins the single
+// active slot so benched submissions stay pending: the number is
+// admission cost, not job execution.
+func BenchmarkSubmitAdmit(b *testing.B) {
+	run := func(name string, cfg Config) {
+		b.Run(name, func(b *testing.B) {
+			sys := core.NewSystem(core.Config{Localities: 1, Workers: 1})
+			w := RegisterWorkloads(sys, WorkloadConfig{})
+			sys.Start()
+			defer sys.Close()
+			cfg.MaxActive = 1
+			cfg.MaxBacklog = 1 << 30
+			cfg.DefaultQuota = Quota{MaxPending: 1 << 30}
+			cfg.CompactBytes = 1 << 40
+			svc, err := Open(sys, w, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			blocker, err := svc.Submit("bench", JobSpec{Family: FamilyPFor,
+				Params: PForParams{Levels: 0, Spin: 1_000_000_000, Seed: 1}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				st, err := svc.Status(blocker)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.State == "running" {
+					break
+				}
+				if time.Now().After(deadline) {
+					b.Fatal("blocker never started")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Submit("bench", JobSpec{Family: FamilyPFor,
+					Params: PForParams{Levels: 3, Spin: 32, Seed: uint64(i)}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+		})
+	}
+	run("memory", Config{})
+	run("fsync-off", Config{StateDir: b.TempDir(), Fsync: FsyncOff})
+	run("fsync-interval", Config{StateDir: b.TempDir(), Fsync: FsyncIntervalPolicy})
+	run("fsync-every", Config{StateDir: b.TempDir(), Fsync: FsyncEvery})
+}

@@ -26,19 +26,38 @@ const (
 	OpShutdown = "shutdown"
 )
 
-// Request is one client→server line.
+// Response codes distinguish shutdown-flavored failures from ordinary
+// rejections, so a client knows whether to retry.
+const (
+	// CodeDraining: the server is shutting down for good; do not retry.
+	CodeDraining = "draining"
+	// CodeRestarting: the server is restarting with a durable registry;
+	// reconnect with backoff and retry (submit tokens make the retry
+	// exactly-once).
+	CodeRestarting = "restarting"
+)
+
+// Request is one client→server line. Client/Seq/Ack carry the submit
+// idempotency token (see SubmitToken); they are meaningful only for
+// OpSubmit and may be omitted for at-most-once submission.
 type Request struct {
 	Op     string          `json:"op"`
 	Tenant string          `json:"tenant,omitempty"`
 	Family string          `json:"family,omitempty"`
 	Params json.RawMessage `json:"params,omitempty"`
 	Job    uint64          `json:"job,omitempty"`
+	Client string          `json:"client,omitempty"`
+	Seq    uint64          `json:"seq,omitempty"`
+	Ack    uint64          `json:"ack,omitempty"`
 }
 
-// Response is one server→client line.
+// Response is one server→client line. Code (CodeDraining /
+// CodeRestarting) classifies shutdown-flavored errors; it is empty for
+// ordinary rejections.
 type Response struct {
 	OK      bool           `json:"ok"`
 	Error   string         `json:"error,omitempty"`
+	Code    string         `json:"code,omitempty"`
 	Job     uint64         `json:"job,omitempty"`
 	Status  *JobStatus     `json:"status,omitempty"`
 	Jobs    []JobStatus    `json:"jobs,omitempty"`

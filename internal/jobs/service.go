@@ -15,7 +15,8 @@ import (
 	"allscale/internal/trace"
 )
 
-// Config tunes the service-wide admission controller.
+// Config tunes the service-wide admission controller and the durable
+// control plane.
 type Config struct {
 	// MaxActive caps concurrently running jobs across all tenants.
 	// Default 16.
@@ -27,6 +28,20 @@ type Config struct {
 	// DefaultQuota applies to tenants auto-registered on first
 	// submission (zero fields take the Quota defaults).
 	DefaultQuota Quota
+	// StateDir, when non-empty, makes the registry durable (DESIGN.md
+	// §6i): every tenant upsert, admission, dispatch and terminal
+	// transition is journaled there, and Open replays the state on
+	// startup — terminal jobs come back as history, unfinished jobs are
+	// re-admitted and re-run. Empty keeps the PR 9 in-memory service.
+	StateDir string
+	// Fsync selects the journal durability policy (FsyncEvery /
+	// FsyncIntervalPolicy / FsyncOff). Default FsyncEvery.
+	Fsync FsyncPolicy
+	// FsyncInterval is the FsyncIntervalPolicy period. Default 25ms.
+	FsyncInterval time.Duration
+	// CompactBytes triggers snapshot+journal-truncation once the
+	// journal outgrows it. Default 8MB.
+	CompactBytes int64
 }
 
 func (c Config) normalized() Config {
@@ -36,7 +51,24 @@ func (c Config) normalized() Config {
 	if c.MaxBacklog <= 0 {
 		c.MaxBacklog = 256
 	}
+	if c.Fsync == "" {
+		c.Fsync = FsyncEvery
+	}
 	return c
+}
+
+// RecoveryInfo summarizes what Open restored from the state directory.
+type RecoveryInfo struct {
+	// Tenants is the number of restored tenant registrations.
+	Tenants int
+	// Terminal counts jobs restored as finished history; Readmitted
+	// counts admitted-but-unfinished jobs queued for re-execution.
+	Terminal   int
+	Readmitted int
+	// Replayed is the number of journal records applied on top of the
+	// snapshot; TornTail reports a dropped short/corrupt journal tail.
+	Replayed int
+	TornTail bool
 }
 
 // tenant is the service-side record of one tenant.
@@ -71,7 +103,16 @@ type job struct {
 	firstExec atomic.Int64 // unix nanos of the first task execution
 	rootSpan  trace.SpanID
 	cancelReq bool
-	done      chan struct{}
+	// suspend marks a running job whose task tree is being cancelled
+	// by a restart-style shutdown: its driver reverts it to Pending
+	// (no terminal journal record) so it re-runs after recovery.
+	suspend bool
+	// client/seq is the submit token the job was admitted under; a
+	// client retrying the submission gets this job's ID back instead
+	// of a duplicate admission, across restarts included.
+	client string
+	seq    uint64
+	done   chan struct{}
 }
 
 // Service is the multi-tenant job service over one core.System.
@@ -92,28 +133,76 @@ type Service struct {
 	activeTotal  int
 	nextTenant   uint32
 	draining     bool
+	restarting   bool
+	tokens       map[string]map[uint64]uint64 // client → seq → job ID
 
 	nextJob atomic.Uint64
 	backlog atomic.Int64 // admitted, not yet finished (elastic signal)
 
-	kick    chan struct{}
-	stopped chan struct{}
-	wgDisp  sync.WaitGroup
-	wgDrv   sync.WaitGroup
-	byJob   sync.Map // uint64 → *job, the exec observer's index
+	store      *Store // nil = in-memory (PR 9 behavior)
+	recovered  RecoveryInfo
+	compacting atomic.Bool
+
+	kick      chan struct{}
+	stopped   chan struct{}
+	suspendCh chan struct{} // closed by Suspend: waiters fail ErrServerRestarting
+	wgDisp    sync.WaitGroup
+	wgDrv     sync.WaitGroup
+	byJob     sync.Map // uint64 → *job, the exec observer's index
 }
 
-// New starts the service. The system must be started and its
-// workloads registered (RegisterWorkloads).
+// New starts an in-memory service. The system must be started and its
+// workloads registered (RegisterWorkloads). For a durable service set
+// Config.StateDir and use Open; New panics if state recovery fails.
 func New(sys *core.System, w *Workloads, cfg Config) *Service {
+	s, err := Open(sys, w, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("jobs.New: %v", err))
+	}
+	return s
+}
+
+// Open starts the service, recovering the durable registry when
+// Config.StateDir is set: the snapshot and journal are replayed,
+// terminal jobs are restored as history, admitted-but-unfinished jobs
+// are re-admitted under their original IDs (families are
+// deterministic, so re-execution is safe), quota accounting is rebuilt
+// from the replayed state, and the journal is compacted into a fresh
+// snapshot before the dispatcher starts.
+func Open(sys *core.System, w *Workloads, cfg Config) (*Service, error) {
 	s := &Service{
 		sys: sys, w: w, cfg: cfg.normalized(),
 		reg:         sys.Metrics(0),
 		tenants:     make(map[string]*tenant),
 		tenantsByID: make(map[uint32]*tenant),
 		jobs:        make(map[uint64]*job),
+		tokens:      make(map[string]map[uint64]uint64),
 		kick:        make(chan struct{}, 1),
 		stopped:     make(chan struct{}),
+		suspendCh:   make(chan struct{}),
+	}
+	if s.cfg.StateDir != "" {
+		store, rec, err := OpenStore(s.cfg.StateDir, StoreOptions{
+			Fsync:         s.cfg.Fsync,
+			FsyncInterval: s.cfg.FsyncInterval,
+			CompactBytes:  s.cfg.CompactBytes,
+			Metrics:       s.reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		if err := s.restore(rec); err != nil {
+			store.Close()
+			return nil, err
+		}
+		// Fold the replayed journal into a fresh snapshot right away:
+		// startup is a natural compaction point, and it proves the
+		// write path before the first admission is acknowledged.
+		if err := store.Compact(s.buildStateLocked()); err != nil {
+			store.Close()
+			return nil, err
+		}
 	}
 	// The scheduler-side exec observer stamps each job's first task
 	// execution, closing the admission-to-first-exec latency loop.
@@ -130,12 +219,143 @@ func New(sys *core.System, w *Workloads, cfg Config) *Service {
 	})
 	s.wgDisp.Add(1)
 	go s.dispatcher()
-	return s
+	if s.recovered.Readmitted > 0 {
+		s.nudge()
+	}
+	return s, nil
+}
+
+// Recovery returns what Open restored from the state directory (zero
+// value for in-memory services and fresh state dirs).
+func (s *Service) Recovery() RecoveryInfo { return s.recovered }
+
+// restore rebuilds the registry from replayed state. Runs before the
+// dispatcher starts, so no locking is needed.
+func (s *Service) restore(rec *RecoveredState) error {
+	info := RecoveryInfo{Replayed: rec.Replayed, TornTail: rec.TornTail}
+	s.nextTenant = rec.NextTenant
+	s.nextJob.Store(rec.NextJob)
+	for _, tr := range rec.Tenants {
+		if tr.Name == "" || s.tenantsByID[tr.ID] != nil {
+			return fmt.Errorf("%w: invalid tenant record %q/%d", ErrJournalCorrupt, tr.Name, tr.ID)
+		}
+		t := s.bindTenant(tr.Name, tr.ID)
+		t.quota = tr.Quota.normalized()
+		s.sys.SetTenantWeight(t.id, t.quota.Weight)
+		info.Tenants++
+	}
+	for _, jr := range rec.Jobs { // ID order: FIFO re-admission
+		t := s.tenantsByID[jr.Tenant]
+		if t == nil {
+			return fmt.Errorf("%w: job %d references unknown tenant %d", ErrJournalCorrupt, jr.ID, jr.Tenant)
+		}
+		j := &job{
+			id: jr.ID, ten: t, family: jr.Family, params: jr.Params,
+			bytes: jr.Bytes, submitted: nanosToTime(jr.Submitted),
+			client: jr.Client, seq: jr.Seq,
+			done: make(chan struct{}),
+		}
+		switch jr.State {
+		case Done, Failed, Cancelled:
+			j.state = jr.State
+			j.result = jr.Result
+			j.errStr = jr.Error
+			j.started = nanosToTime(jr.Started)
+			j.finished = nanosToTime(jr.Finished)
+			close(j.done)
+			info.Terminal++
+		default:
+			// Admitted (possibly mid-run at the crash): re-admit; the
+			// family spec re-runs it from scratch under the same ID.
+			j.state = Pending
+			t.pending = append(t.pending, j)
+			s.pendingTotal++
+			s.backlog.Add(1)
+			info.Readmitted++
+		}
+		s.jobs[j.id] = j
+		if j.client != "" {
+			m := s.tokens[j.client]
+			if m == nil {
+				m = make(map[uint64]uint64)
+				s.tokens[j.client] = m
+			}
+			m[j.seq] = j.id
+		}
+	}
+	s.reg.Counter(MetricRecoveredTerminal).Add(uint64(info.Terminal))
+	s.reg.Counter(MetricRecoveredReadmitted).Add(uint64(info.Readmitted))
+	s.recovered = info
+	return nil
+}
+
+func nanosToTime(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+func timeToNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// buildStateLocked snapshots the registry into its persisted form
+// (caller holds s.mu, or the service is not yet / no longer running).
+func (s *Service) buildStateLocked() storeState {
+	st := storeState{NextTenant: s.nextTenant, NextJob: s.nextJob.Load()}
+	for _, t := range s.ring {
+		st.Tenants = append(st.Tenants, tenantRec{Name: t.name, ID: t.id, Quota: t.quota})
+	}
+	ids := make([]uint64, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, k int) bool { return ids[i] < ids[k] })
+	for _, id := range ids {
+		j := s.jobs[id]
+		jr := jobRec{
+			ID: j.id, Tenant: j.ten.id, Family: j.family, Params: j.params,
+			Bytes: j.bytes, State: j.state, Result: j.result, Error: j.errStr,
+			Submitted: timeToNanos(j.submitted), Started: timeToNanos(j.started),
+			Finished: timeToNanos(j.finished), Client: j.client, Seq: j.seq,
+		}
+		st.Jobs = append(st.Jobs, jr)
+	}
+	return st
+}
+
+// journalLocked appends one record under s.mu; append order therefore
+// matches registry mutation order. Append errors on non-admission
+// records are swallowed (durability degrades, the live service keeps
+// running); the admission path checks explicitly and refuses instead.
+func (s *Service) journalLocked(body []byte) {
+	if s.store == nil {
+		return
+	}
+	s.store.Append(body)
+}
+
+// maybeCompact folds the registry into a new snapshot when the journal
+// outgrew its threshold (at most one compaction in flight).
+func (s *Service) maybeCompact() {
+	if s.store == nil || !s.store.ShouldCompact() || !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer s.compacting.Store(false)
+	s.mu.Lock()
+	state := s.buildStateLocked()
+	s.mu.Unlock()
+	s.store.Compact(state)
 }
 
 // RegisterTenant creates (or reconfigures) a tenant with an explicit
 // quota; tenants unknown at Submit are auto-registered with the
-// config's default quota.
+// config's default quota. The upsert is journaled, so quotas survive a
+// daemon restart.
 func (s *Service) RegisterTenant(name string, q Quota) error {
 	if name == "" {
 		return fmt.Errorf("jobs: empty tenant name")
@@ -151,13 +371,13 @@ func (s *Service) RegisterTenant(name string, q Quota) error {
 	}
 	t.quota = q.normalized()
 	s.sys.SetTenantWeight(t.id, t.quota.Weight)
+	s.journalLocked(appendTenantRec(nil, tenantRec{Name: t.name, ID: t.id, Quota: t.quota}))
 	return nil
 }
 
-// newTenantLocked allocates a tenant record; s.mu must be held.
-func (s *Service) newTenantLocked(name string) *tenant {
-	s.nextTenant++
-	id := s.nextTenant
+// bindTenant wires a tenant record with its per-tenant metrics under a
+// fixed ID (shared by fresh registration and recovery).
+func (s *Service) bindTenant(name string, id uint32) *tenant {
 	t := &tenant{
 		name:      name,
 		id:        id,
@@ -173,7 +393,15 @@ func (s *Service) newTenantLocked(name string) *tenant {
 	s.tenants[name] = t
 	s.tenantsByID[id] = t
 	s.ring = append(s.ring, t)
-	s.sys.SetTenantWeight(id, t.quota.Weight)
+	return t
+}
+
+// newTenantLocked allocates and journals a tenant; s.mu must be held.
+func (s *Service) newTenantLocked(name string) *tenant {
+	s.nextTenant++
+	t := s.bindTenant(name, s.nextTenant)
+	s.sys.SetTenantWeight(t.id, t.quota.Weight)
+	s.journalLocked(appendTenantRec(nil, tenantRec{Name: t.name, ID: t.id, Quota: t.quota}))
 	return t
 }
 
@@ -181,6 +409,17 @@ func (s *Service) newTenantLocked(name string) *tenant {
 // reasoned error (ErrBacklogFull / ErrTenantPending / ErrTenantMemory
 // / ErrUnknownFamily / ErrBadParams / ErrDraining).
 func (s *Service) Submit(tenantName string, spec JobSpec) (uint64, error) {
+	return s.SubmitToken(tenantName, spec, SubmitToken{})
+}
+
+// SubmitToken is Submit carrying a per-client idempotency token: the
+// admission is journaled together with (Client, Seq), so a client
+// retrying the same submission — across connection loss and daemon
+// restarts — gets the original job ID back instead of a duplicate job.
+// Ack is the highest Seq whose response the client already received;
+// token state at or below it is pruned. A zero token degrades to plain
+// at-most-once Submit.
+func (s *Service) SubmitToken(tenantName string, spec JobSpec, tok SubmitToken) (uint64, error) {
 	params, err := json.Marshal(spec.Params)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrBadParams, err)
@@ -189,6 +428,24 @@ func (s *Service) Submit(tenantName string, spec JobSpec) (uint64, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Duplicate detection precedes every other gate: a retried
+	// submission must resolve to its original job even while the
+	// service drains or its quotas are exhausted.
+	if tok.Client != "" {
+		if m := s.tokens[tok.Client]; m != nil {
+			for seq := range m {
+				if seq <= tok.Ack {
+					delete(m, seq)
+				}
+			}
+			if id, dup := m[tok.Seq]; dup {
+				return id, nil
+			}
+		}
+	}
+	if s.restarting {
+		return 0, ErrServerRestarting
+	}
 	if s.draining {
 		return 0, ErrDraining
 	}
@@ -234,13 +491,36 @@ func (s *Service) Submit(tenantName string, spec JobSpec) (uint64, error) {
 		bytes:     bytes,
 		state:     Pending,
 		submitted: time.Now(),
+		client:    tok.Client,
+		seq:       tok.Seq,
 		done:      make(chan struct{}),
+	}
+	// The admission record must be durable before the ack: journal
+	// first (under FsyncEvery, Append returns only after the fsync),
+	// and refuse the admission if the journal does.
+	if s.store != nil {
+		if jerr := s.store.Append(appendAdmitRec(nil, jobRec{
+			ID: j.id, Tenant: t.id, Family: j.family, Params: j.params,
+			Bytes: j.bytes, Submitted: timeToNanos(j.submitted),
+			Client: j.client, Seq: j.seq,
+		})); jerr != nil {
+			t.rejected.Inc()
+			return 0, jerr
+		}
 	}
 	s.jobs[j.id] = j
 	t.pending = append(t.pending, j)
 	s.pendingTotal++
 	t.admitted.Inc()
 	s.backlog.Add(1)
+	if tok.Client != "" {
+		m := s.tokens[tok.Client]
+		if m == nil {
+			m = make(map[uint64]uint64)
+			s.tokens[tok.Client] = m
+		}
+		m[tok.Seq] = j.id
+	}
 	s.nudge()
 	return j.id, nil
 }
@@ -272,7 +552,7 @@ func (s *Service) dispatcher() {
 func (s *Service) dispatch() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.activeTotal < s.cfg.MaxActive {
+	for s.activeTotal < s.cfg.MaxActive && !s.restarting {
 		j := s.nextDispatchLocked()
 		if j == nil {
 			return
@@ -284,6 +564,7 @@ func (s *Service) dispatch() {
 		t.bytes += j.bytes
 		s.pendingTotal--
 		s.activeTotal++
+		s.journalLocked(appendStartRec(nil, j.id, timeToNanos(j.started)))
 		s.wgDrv.Add(1)
 		go s.drive(j)
 	}
@@ -345,8 +626,30 @@ func (s *Service) drive(j *job) {
 	s.byJob.Delete(j.id)
 
 	s.mu.Lock()
-	j.finished = time.Now()
 	cancelled := j.cancelReq || sched.IsJobCancelled(err)
+	if j.suspend && err != nil && !j.cancelReq {
+		// Restart-style shutdown killed this job's task tree. It is
+		// NOT terminal: revert to the admitted state with no journal
+		// record, so recovery re-admits and re-runs it. Waiters were
+		// already failed with ErrServerRestarting via the suspend
+		// channel; the done channel stays open.
+		j.state = Pending
+		j.started = time.Time{}
+		j.finished = time.Time{}
+		j.errStr = ""
+		j.firstExec.Store(0)
+		t.active--
+		t.bytes -= j.bytes
+		s.activeTotal--
+		s.pendingTotal++
+		s.mu.Unlock()
+		if sp != nil {
+			sp.SetErr(err)
+			sp.End()
+		}
+		return
+	}
+	j.finished = time.Now()
 	switch {
 	case cancelled:
 		j.state = Cancelled
@@ -354,14 +657,17 @@ func (s *Service) drive(j *job) {
 			j.errStr = err.Error()
 		}
 		t.cancelled.Inc()
+		s.journalLocked(appendTerminalRec(nil, recCancel, j.id, j.errStr, timeToNanos(j.finished)))
 	case err != nil:
 		j.state = Failed
 		j.errStr = err.Error()
 		t.failed.Inc()
+		s.journalLocked(appendTerminalRec(nil, recFail, j.id, j.errStr, timeToNanos(j.finished)))
 	default:
 		j.state = Done
 		j.result = result
 		t.completed.Inc()
+		s.journalLocked(appendTerminalRec(nil, recDone, j.id, j.result, timeToNanos(j.finished)))
 	}
 	t.active--
 	t.bytes -= j.bytes
@@ -376,6 +682,7 @@ func (s *Service) drive(j *job) {
 	}
 	s.backlog.Add(-1)
 	close(j.done)
+	s.maybeCompact()
 	s.nudge()
 }
 
@@ -391,6 +698,12 @@ func (s *Service) Cancel(id uint64) error {
 		s.mu.Unlock()
 		return ErrNoSuchJob
 	}
+	if s.restarting {
+		// Suspend is tearing running jobs down without terminal records;
+		// a concurrent cancel would race the revert-to-Pending path.
+		s.mu.Unlock()
+		return ErrServerRestarting
+	}
 	switch j.state {
 	case Pending:
 		t := j.ten
@@ -404,6 +717,7 @@ func (s *Service) Cancel(id uint64) error {
 		j.finished = time.Now()
 		s.pendingTotal--
 		t.cancelled.Inc()
+		s.journalLocked(appendTerminalRec(nil, recCancel, j.id, "", timeToNanos(j.finished)))
 		s.mu.Unlock()
 		s.backlog.Add(-1)
 		close(j.done)
@@ -420,7 +734,10 @@ func (s *Service) Cancel(id uint64) error {
 	}
 }
 
-// Wait blocks until the job finished and returns its final status.
+// Wait blocks until the job finished and returns its final status. A
+// restart-style shutdown (Suspend) fails pending waits with
+// ErrServerRestarting: the job is not terminal — it will re-run after
+// recovery — so no final status exists yet.
 func (s *Service) Wait(id uint64) (JobStatus, error) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -428,9 +745,36 @@ func (s *Service) Wait(id uint64) (JobStatus, error) {
 	if !ok {
 		return JobStatus{}, ErrNoSuchJob
 	}
-	<-j.done
-	return s.Status(id)
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-s.suspendCh:
+		// Terminal-state wins over a concurrent suspend.
+		select {
+		case <-j.done:
+			return s.Status(id)
+		default:
+		}
+		return JobStatus{}, ErrServerRestarting
+	}
 }
+
+// jobDone exposes a job's completion channel to the protocol server so
+// a blocked wait can also observe connection loss (nil if unknown).
+func (s *Service) jobDone(id uint64) chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil
+	}
+	return j.done
+}
+
+// Suspended returns a channel closed when the service enters a
+// restart-style shutdown (Suspend); waiters should fail with
+// ErrServerRestarting and retry after the daemon comes back.
+func (s *Service) Suspended() <-chan struct{} { return s.suspendCh }
 
 // Status returns a point-in-time snapshot of one job.
 func (s *Service) Status(id uint64) (JobStatus, error) {
@@ -590,10 +934,77 @@ func (s *Service) Drain(timeout time.Duration) error {
 	// Cancelled trees still need to unwind before the drivers exit.
 	s.wait(deadline.Add(2 * time.Second))
 	s.stop()
+	s.closeStore()
 	if len(stragglers) > 0 {
 		return fmt.Errorf("jobs: drain timeout, cancelled %d unfinished jobs", len(stragglers))
 	}
 	return nil
+}
+
+// Suspend is the restart-flavored shutdown of a durable service: the
+// registry is preserved for the next Open rather than drained to
+// empty. Admission closes with ErrServerRestarting, pending waits fail
+// the same way, and running jobs get a grace window to finish
+// naturally (journaling their terminal records). Stragglers have their
+// task trees cancelled WITHOUT a terminal journal record — their
+// drivers revert them to Pending — so recovery re-admits and re-runs
+// them. The final registry state is compacted into a fresh snapshot
+// before the store closes.
+func (s *Service) Suspend(grace time.Duration) error {
+	if s.store == nil {
+		return fmt.Errorf("jobs: suspend needs a durable service (Config.StateDir)")
+	}
+	s.mu.Lock()
+	if s.restarting {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.restarting = true
+	close(s.suspendCh)
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(grace)
+	for {
+		s.mu.Lock()
+		active := s.activeTotal
+		s.mu.Unlock()
+		if active == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var stragglers []uint64
+	s.mu.Lock()
+	for id, j := range s.jobs {
+		if j.state == Running {
+			j.suspend = true
+			stragglers = append(stragglers, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range stragglers {
+		s.sys.CancelJob(id)
+	}
+	s.wait(deadline.Add(2 * time.Second))
+	s.stop()
+	s.closeStore()
+	return nil
+}
+
+// closeStore compacts the final registry state into a snapshot and
+// closes the store (no-op for in-memory services; tolerant of a store
+// already closed by an earlier shutdown path).
+func (s *Service) closeStore() {
+	if s.store == nil {
+		return
+	}
+	s.mu.Lock()
+	state := s.buildStateLocked()
+	s.mu.Unlock()
+	s.store.Compact(state)
+	s.store.Close()
 }
 
 // wait blocks until every driver exited or the deadline passed.
@@ -623,9 +1034,16 @@ func (s *Service) stop() {
 }
 
 // Close stops the service without draining (tests / abrupt exits);
-// running jobs are cancelled and awaited briefly.
+// running jobs are cancelled and awaited briefly. After a Suspend the
+// teardown already happened and Close is a no-op.
 func (s *Service) Close() {
 	s.mu.Lock()
+	if s.restarting {
+		s.mu.Unlock()
+		s.wait(time.Now().Add(5 * time.Second))
+		s.stop()
+		return
+	}
 	s.draining = true
 	var running []uint64
 	for id, j := range s.jobs {
@@ -639,4 +1057,5 @@ func (s *Service) Close() {
 	}
 	s.wait(time.Now().Add(5 * time.Second))
 	s.stop()
+	s.closeStore()
 }
